@@ -1,0 +1,60 @@
+// Command cudele-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cudele-bench [-scale 1.0] [-seed 1] [-csv] [experiment ...]
+//
+// With no arguments it runs every experiment. Experiments: table1, fig2,
+// fig3a, fig3b, fig3c, fig5, fig6a, fig6b, fig6c. Scale 1.0 is paper
+// scale (100K creates/client, 1M updates for fig6c); smaller scales
+// preserve the normalized shapes and run much faster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cudele/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper scale)")
+	seed := flag.Int64("seed", 1, "deterministic simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			e, _ := bench.Lookup(id)
+			fmt.Printf("%-8s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = bench.IDs()
+	}
+	opts := bench.Options{Scale: *scale, Seed: *seed}
+
+	exit := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cudele-bench: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Print(res.Render())
+			fmt.Printf("(%s wall clock)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	os.Exit(exit)
+}

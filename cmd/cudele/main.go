@@ -1,0 +1,279 @@
+// Command cudele is a small scripted shell over a simulated Cudele
+// cluster: it reads one command per line (from files or stdin) and
+// executes them against a fresh cluster, printing results. It exists so
+// the framework can be poked interactively without writing Go.
+//
+// Commands:
+//
+//	mkdir <path>                 create directories (mkdir -p)
+//	create <path>                create a file via RPCs
+//	ls <path>                    list a directory
+//	stat <path>                  print inode attributes
+//	rm <path>                    unlink a file
+//	decouple <path> [k=v ...]    register a subtree (consistency=weak
+//	                             durability=local inodes=1000 interfere=block)
+//	lcreate <name>               create in the decoupled subtree
+//	lmkdir <name>                mkdir in the decoupled subtree
+//	merge                        volatile-apply the client journal
+//	persist local|global         persist the client journal
+//	recouple <path>              drop a subtree's policy
+//	scrub                        check namespace consistency
+//	repair                       fix what scrub found
+//	status                       monitor + MDS state
+//	time                         print virtual time
+//
+// Lines starting with # are comments.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"strconv"
+	"strings"
+
+	"cudele"
+	"cudele/internal/namespace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cudele: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	lines, err := readLines(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cudele: %v\n", err)
+		os.Exit(1)
+	}
+
+	cl := cudele.NewCluster(cudele.WithSeed(*seed))
+	c := cl.NewClient("client.0")
+	exit := 0
+	cl.Run(func(p *cudele.Proc) {
+		for lineNo, line := range lines {
+			if err := execute(cl, c, p, line); err != nil {
+				fmt.Printf("line %d (%s): error: %v\n", lineNo+1, line, err)
+				exit = 1
+			}
+		}
+	})
+	os.Exit(exit)
+}
+
+func readLines(in io.Reader) ([]string, error) {
+	var out []string
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}
+
+func execute(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		if _, err := c.MkdirAll(p, args[0], 0755); err != nil {
+			return err
+		}
+		fmt.Printf("mkdir %s\n", args[0])
+	case "create":
+		if err := need(1); err != nil {
+			return err
+		}
+		dirPath, name := path.Split(args[0])
+		dir, err := c.Resolve(p, dirPath)
+		if err != nil {
+			return err
+		}
+		ino, err := c.Create(p, dir, name, 0644)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created %s (ino %d)\n", args[0], ino)
+	case "ls":
+		if err := need(1); err != nil {
+			return err
+		}
+		dir, err := c.Resolve(p, args[0])
+		if err != nil {
+			return err
+		}
+		names, err := c.ReadDir(p, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s\n", args[0], strings.Join(names, " "))
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		ino, err := c.Resolve(p, args[0])
+		if err != nil {
+			return err
+		}
+		st, err := c.Stat(p, ino)
+		if err != nil {
+			return err
+		}
+		kind := "file"
+		if st.IsDir {
+			kind = "dir"
+		}
+		fmt.Printf("%s: ino=%d type=%s mode=%o size=%d\n", args[0], st.Ino, kind, st.Mode, st.Size)
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		dirPath, name := path.Split(args[0])
+		dir, err := c.Resolve(p, dirPath)
+		if err != nil {
+			return err
+		}
+		if err := c.Unlink(p, dir, name); err != nil {
+			return err
+		}
+		fmt.Printf("removed %s\n", args[0])
+	case "decouple":
+		if err := need(1); err != nil {
+			return err
+		}
+		text, err := policiesText(args[1:])
+		if err != nil {
+			return err
+		}
+		e, err := cl.Decouple(p, c, args[0], text)
+		if err != nil {
+			return err
+		}
+		comp, _ := e.Policy.Composition()
+		fmt.Printf("decoupled %s epoch=%d inodes=[%d,+%d) %s\n",
+			e.Path, e.Epoch, e.GrantLo, e.GrantN, comp)
+	case "lcreate", "lmkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		root, err := c.DecoupledRoot()
+		if err != nil {
+			return err
+		}
+		var ino namespace.Ino
+		if cmd == "lmkdir" {
+			ino, err = c.LocalMkdir(p, root, args[0], 0755)
+		} else {
+			ino, err = c.LocalCreate(p, root, args[0], 0644)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s (ino %d, decoupled)\n", cmd, args[0], ino)
+	case "merge":
+		n, err := c.VolatileApply(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merged %d event(s)\n", n)
+	case "persist":
+		if err := need(1); err != nil {
+			return err
+		}
+		switch args[0] {
+		case "local":
+			if err := c.LocalPersist(p); err != nil {
+				return err
+			}
+		case "global":
+			if err := c.GlobalPersist(p); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("persist wants local or global, not %q", args[0])
+		}
+		fmt.Printf("persisted journal (%s)\n", args[0])
+	case "recouple":
+		if err := need(1); err != nil {
+			return err
+		}
+		if err := cl.Recouple(p, args[0]); err != nil {
+			return err
+		}
+		fmt.Printf("recoupled %s\n", args[0])
+	case "scrub":
+		problems := cl.MDS().Store().Check()
+		if len(problems) == 0 {
+			fmt.Println("scrub: namespace healthy")
+			break
+		}
+		for _, pr := range problems {
+			fmt.Printf("scrub: %s\n", pr)
+		}
+	case "repair":
+		actions := cl.MDS().Store().Repair()
+		if len(actions) == 0 {
+			fmt.Println("repair: nothing to do")
+		}
+		for _, a := range actions {
+			fmt.Printf("repair: %s\n", a)
+		}
+	case "status":
+		fmt.Print(cl.Monitor().Describe())
+		m := cl.MDS().Metrics()
+		fmt.Printf("mds: %d requests, %d journaled, %d merged, %d revokes, %d rejected\n",
+			m.Requests, m.Journaled, m.Merged, m.CapRevokes, m.Rejected)
+	case "time":
+		fmt.Printf("t=%.6fs\n", p.Now().Seconds())
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// policiesText converts k=v arguments into a policies file.
+func policiesText(kvs []string) (string, error) {
+	var b strings.Builder
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", fmt.Errorf("bad policy argument %q (want k=v)", kv)
+		}
+		switch k {
+		case "consistency", "durability", "interfere":
+			fmt.Fprintf(&b, "%s: %s\n", k, v)
+		case "inodes":
+			if _, err := strconv.Atoi(v); err != nil {
+				return "", fmt.Errorf("bad inodes %q", v)
+			}
+			fmt.Fprintf(&b, "allocated_inodes: %s\n", v)
+		default:
+			return "", fmt.Errorf("unknown policy key %q", k)
+		}
+	}
+	return b.String(), nil
+}

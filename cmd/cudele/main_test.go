@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cudele"
+)
+
+func TestPoliciesText(t *testing.T) {
+	text, err := policiesText([]string{"consistency=weak", "durability=local", "inodes=500", "interfere=block"})
+	if err != nil {
+		t.Fatalf("policiesText: %v", err)
+	}
+	for _, want := range []string{"consistency: weak", "durability: local", "allocated_inodes: 500", "interfere: block"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in %q", want, text)
+		}
+	}
+	for _, bad := range [][]string{
+		{"consistency"}, // no '='
+		{"inodes=lots"}, // non-integer
+		{"colour=blue"}, // unknown key
+	} {
+		if _, err := policiesText(bad); err == nil {
+			t.Errorf("policiesText(%v) accepted", bad)
+		}
+	}
+}
+
+func TestReadLines(t *testing.T) {
+	in := strings.NewReader("# comment\n\nmkdir /a\n  ls /a  \n")
+	lines, err := readLines(in)
+	if err != nil {
+		t.Fatalf("readLines: %v", err)
+	}
+	if len(lines) != 2 || lines[0] != "mkdir /a" || lines[1] != "ls /a" {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestExecuteScript(t *testing.T) {
+	cl := cudele.NewCluster()
+	c := cl.NewClient("client.0")
+	script := []string{
+		"mkdir /home/a",
+		"create /home/a/f",
+		"stat /home/a/f",
+		"ls /home/a",
+		"decouple /home/a consistency=weak durability=local inodes=50",
+		"lmkdir sub",
+		"lcreate x",
+		"persist local",
+		"merge",
+		"ls /home/a",
+		"recouple /home/a",
+		"rm /home/a/f",
+		"scrub",
+		"repair",
+		"status",
+		"time",
+	}
+	cl.Run(func(p *cudele.Proc) {
+		for _, line := range script {
+			if err := execute(cl, c, p, line); err != nil {
+				t.Errorf("execute %q: %v", line, err)
+				return
+			}
+		}
+	})
+	if _, err := cl.MDS().Store().Resolve("/home/a/x"); err != nil {
+		t.Fatalf("merged file missing: %v", err)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	cl := cudele.NewCluster()
+	c := cl.NewClient("client.0")
+	cl.Run(func(p *cudele.Proc) {
+		bad := []string{
+			"frobnicate /x",     // unknown command
+			"mkdir",             // missing arg
+			"create /missing/f", // bad path
+			"ls /missing",       // bad path
+			"merge",             // not decoupled
+			"persist sideways",  // bad mode
+			"recouple /never",   // unknown subtree
+			"decouple /missing", // bad path
+			"lcreate x",         // not decoupled
+			"stat /missing",     // bad path
+		}
+		for _, line := range bad {
+			if err := execute(cl, c, p, line); err == nil {
+				t.Errorf("execute %q succeeded", line)
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDemoInspectDumpEraseRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demo.journal")
+	if err := demo(path); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	if err := inspect(path); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := dump(path); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	if err := roundtrip(path); err != nil {
+		t.Fatalf("roundtrip: %v", err)
+	}
+	if err := erase(path, "1", "2"); err != nil {
+		t.Fatalf("erase: %v", err)
+	}
+	// Erased file still parses.
+	if err := inspect(path); err != nil {
+		t.Fatalf("inspect after erase: %v", err)
+	}
+}
+
+func TestEraseBadArgs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	if err := demo(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := erase(path, "x", "2"); err == nil {
+		t.Error("bad from accepted")
+	}
+	if err := erase(path, "1", "y"); err == nil {
+		t.Error("bad to accepted")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope")
+	for name, fn := range map[string]func(string) error{
+		"inspect":   inspect,
+		"dump":      dump,
+		"roundtrip": roundtrip,
+	} {
+		if err := fn(missing); err == nil {
+			t.Errorf("%s on missing file succeeded", name)
+		}
+	}
+}
+
+func TestCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(path, []byte("not a journal"), 0644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspect(path); err == nil {
+		t.Error("corrupt file inspected")
+	}
+}

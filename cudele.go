@@ -1,0 +1,253 @@
+// Package cudele is a Go reproduction of "Cudele: An API and Framework
+// for Programmable Consistency and Durability in a Global Namespace"
+// (Sevilla et al., IEEE IPDPS 2018).
+//
+// Cudele lets administrators assign consistency (invisible, weak, strong)
+// and durability (none, local, global) policies to subtrees of a single
+// global file-system namespace. Policies are compositions of six
+// mechanisms — RPCs, Append Client Journal, Volatile Apply, Nonvolatile
+// Apply, Stream, Local Persist, Global Persist — so one namespace can host
+// POSIX-strict subtrees next to BatchFS/DeltaFS-style decoupled subtrees.
+//
+// This package is the public facade over a complete, deterministic,
+// discrete-event-simulated CephFS-like cluster: a replicated object store
+// (RADOS), a metadata server with journal streaming and a capability
+// protocol, a monitor that versions and distributes policies, and a
+// client library implementing every mechanism. Metadata operations run
+// for real (real namespace trees, real binary journals, real objects);
+// only device timing is simulated, calibrated to the paper's testbed.
+//
+// A minimal session:
+//
+//	cl := cudele.NewCluster()
+//	c := cl.NewClient("client.0")
+//	cl.Run(func(p *cudele.Proc) {
+//		dir, _ := c.MkdirAll(p, "/home/alice/job", 0755)
+//		cl.Decouple(p, c, "/home/alice/job",
+//			"consistency: weak\ndurability: local\nallocated_inodes: 100000\n")
+//		root, _ := c.DecoupledRoot()
+//		c.LocalCreate(p, root, "ckpt.0", 0644)
+//		c.RunComposition(p, cudele.MustComposition(
+//			"local_persist+volatile_apply"))
+//		_ = dir
+//	})
+package cudele
+
+import (
+	"fmt"
+
+	"cudele/internal/client"
+	"cudele/internal/mds"
+	"cudele/internal/model"
+	"cudele/internal/monitor"
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/rados"
+	"cudele/internal/sim"
+)
+
+// Re-exported types: the facade's vocabulary is the internal packages'
+// types, so the whole public API lives behind one import.
+type (
+	// Cluster wires a complete simulated Cudele deployment: object
+	// store, metadata server, monitor, and clients, all sharing one
+	// deterministic virtual clock.
+	Cluster struct {
+		eng *sim.Engine
+		cfg model.Config
+
+		objects *rados.Cluster
+		srv     *mds.Server
+		mon     *monitor.Monitor
+
+		clients map[string]*client.Client
+	}
+
+	// Proc is a simulation process handle; all cluster operations take
+	// one.
+	Proc = sim.Proc
+
+	// Engine is the discrete-event simulation engine.
+	Engine = sim.Engine
+
+	// Client is a storage client with both the RPC path and the
+	// decoupled-namespace mechanisms.
+	Client = client.Client
+
+	// Policy is a subtree's consistency/durability configuration.
+	Policy = policy.Policy
+
+	// Composition is an ordered mechanism composition.
+	Composition = policy.Composition
+
+	// Config is the calibrated device/cost model.
+	Config = model.Config
+
+	// Ino is an inode number.
+	Ino = namespace.Ino
+
+	// Entry is a monitor registration for a decoupled subtree.
+	Entry = monitor.Entry
+)
+
+// Consistency levels (paper Table I columns).
+const (
+	ConsInvisible = policy.ConsInvisible
+	ConsWeak      = policy.ConsWeak
+	ConsStrong    = policy.ConsStrong
+)
+
+// Durability levels (paper Table I rows).
+const (
+	DurNone   = policy.DurNone
+	DurLocal  = policy.DurLocal
+	DurGlobal = policy.DurGlobal
+)
+
+// Interfere policies (paper §III-C).
+const (
+	InterfereAllow = policy.InterfereAllow
+	InterfereBlock = policy.InterfereBlock
+)
+
+// RootIno is the namespace root's inode number.
+const RootIno = namespace.RootIno
+
+// DefaultConfig returns the calibration for the paper's CloudLab testbed.
+func DefaultConfig() Config { return model.Default() }
+
+// Option customizes NewCluster.
+type Option func(*clusterOpts)
+
+type clusterOpts struct {
+	seed int64
+	cfg  model.Config
+}
+
+// WithSeed sets the deterministic simulation seed.
+func WithSeed(seed int64) Option { return func(o *clusterOpts) { o.seed = seed } }
+
+// WithConfig overrides the calibrated device model.
+func WithConfig(cfg Config) Option { return func(o *clusterOpts) { o.cfg = cfg } }
+
+// NewCluster builds a cluster with 1 monitor, 1 metadata server, and the
+// configured number of OSDs (paper §V: 1 MON, 1 MDS, 3 OSDs).
+func NewCluster(opts ...Option) *Cluster {
+	o := clusterOpts{seed: 1, cfg: model.Default()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("cudele: invalid config: %v", err))
+	}
+	eng := sim.NewEngine(o.seed)
+	obj := rados.New(eng, o.cfg)
+	srv := mds.New(eng, o.cfg, obj)
+	return &Cluster{
+		eng:     eng,
+		cfg:     o.cfg,
+		objects: obj,
+		srv:     srv,
+		mon:     monitor.New(eng, srv),
+		clients: make(map[string]*client.Client),
+	}
+}
+
+// Engine returns the simulation engine (for scheduling and virtual time).
+func (cl *Cluster) Engine() *Engine { return cl.eng }
+
+// Config returns the cluster's cost model.
+func (cl *Cluster) Config() Config { return cl.cfg }
+
+// MDS returns the metadata server.
+func (cl *Cluster) MDS() *mds.Server { return cl.srv }
+
+// Objects returns the simulated object store.
+func (cl *Cluster) Objects() *rados.Cluster { return cl.objects }
+
+// Monitor returns the cluster monitor.
+func (cl *Cluster) Monitor() *monitor.Monitor { return cl.mon }
+
+// NewClient creates and mounts a client. Client names must be unique.
+func (cl *Cluster) NewClient(name string) *Client {
+	if _, dup := cl.clients[name]; dup {
+		panic(fmt.Sprintf("cudele: duplicate client %q", name))
+	}
+	c := client.New(cl.eng, cl.cfg, name, cl.srv, cl.objects)
+	c.Mount()
+	cl.clients[name] = c
+	return c
+}
+
+// Client returns a previously created client by name.
+func (cl *Cluster) Client(name string) (*Client, bool) {
+	c, ok := cl.clients[name]
+	return c, ok
+}
+
+// Go spawns a simulation process; it will not run until Run/RunAll.
+func (cl *Cluster) Go(name string, fn func(p *Proc)) { cl.eng.Go(name, fn) }
+
+// Run spawns fn as a process and drives the simulation to completion,
+// returning the elapsed virtual time in seconds. It is the simplest way
+// to execute a scripted scenario.
+func (cl *Cluster) Run(fn func(p *Proc)) float64 {
+	cl.eng.Go("main", fn)
+	return float64(cl.eng.RunAll()) / 1e9
+}
+
+// RunAll drives all previously spawned processes to completion.
+func (cl *Cluster) RunAll() float64 { return float64(cl.eng.RunAll()) / 1e9 }
+
+// Now returns the current virtual time in seconds.
+func (cl *Cluster) Now() float64 { return cl.eng.Now().Seconds() }
+
+// Decouple registers the subtree at path with the monitor using a
+// policies file (the paper's (path, policies.yml) API) and attaches the
+// resulting grant to client c.
+func (cl *Cluster) Decouple(p *Proc, c *Client, path, policiesText string) (*Entry, error) {
+	e, err := cl.mon.Register(p, path, policiesText, c.Name())
+	if err != nil {
+		return nil, err
+	}
+	if err := c.AdoptGrant(p, path, e.GrantLo, e.GrantN); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// DecouplePolicy is Decouple with an already-built Policy.
+func (cl *Cluster) DecouplePolicy(p *Proc, c *Client, path string, pol *Policy) (*Entry, error) {
+	e, err := cl.mon.RegisterPolicy(p, path, pol, c.Name())
+	if err != nil {
+		return nil, err
+	}
+	if err := c.AdoptGrant(p, path, e.GrantLo, e.GrantN); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Recouple returns a subtree to the global namespace's semantics.
+func (cl *Cluster) Recouple(p *Proc, path string) error {
+	return cl.mon.Unregister(p, path)
+}
+
+// MustComposition parses a mechanism-composition DSL string and panics on
+// error; it is a convenience for examples and tests.
+func MustComposition(dsl string) Composition {
+	comp, err := policy.ParseComposition(dsl)
+	if err != nil {
+		panic(err)
+	}
+	return comp
+}
+
+// CompileTableI returns the Table I composition for a consistency and
+// durability level.
+func CompileTableI(c policy.Consistency, d policy.Durability) (Composition, error) {
+	return policy.Compile(c, d)
+}
+
+// ParsePolicies parses a policies file (§III-C).
+func ParsePolicies(text string) (*Policy, error) { return policy.ParseFile(text) }

@@ -1,0 +1,91 @@
+// Partial results (paper §V-B3): a long-running decoupled job writes
+// updates at memory speed while end-users check progress with ls. The
+// decoupled namespace is invisible to them, so the client runs a
+// "namespace sync" every few seconds, shipping batches of updates back to
+// the global namespace. The job pays a small pause per sync (a fork), and
+// the end-user's ls shows files appearing over time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cudele"
+)
+
+const (
+	updates      = 60000
+	syncInterval = 2 * time.Second
+)
+
+func main() {
+	cl := cudele.NewCluster(cudele.WithSeed(3))
+	writer := cl.NewClient("job")
+	watcher := cl.NewClient("enduser")
+	eng := cl.Engine()
+
+	cl.Run(func(p *cudele.Proc) {
+		if _, err := writer.MkdirAll(p, "/exp", 0755); err != nil {
+			log.Fatalf("mkdir: %v", err)
+		}
+		if _, err := cl.Decouple(p, writer, "/exp", fmt.Sprintf(`
+consistency: invisible
+durability: local
+allocated_inodes: %d
+`, updates+10)); err != nil {
+			log.Fatalf("decouple: %v", err)
+		}
+		root, _ := writer.DecoupledRoot()
+		jobDone := false
+
+		// The end-user polls progress with ls every second — the
+		// notoriously heavy-weight practice the paper describes.
+		eng.Go("enduser", func(wp *cudele.Proc) {
+			for !jobDone {
+				names, err := watcher.ReadDir(wp, root)
+				if err == nil {
+					fmt.Printf("[%6.2fs] enduser: ls /exp -> %5d files (%.0f%% done)\n",
+						wp.Now().Seconds(), len(names), 100*float64(len(names))/updates)
+				}
+				wp.Sleep(time.Second)
+			}
+		})
+
+		// The job writes updates locally and syncs on an interval.
+		start := p.Now()
+		last := p.Now()
+		for i := 0; i < updates; i++ {
+			if _, err := writer.LocalCreate(p, root, fmt.Sprintf("result.%06d", i), 0644); err != nil {
+				log.Fatalf("create: %v", err)
+			}
+			if time.Duration(p.Now()-last) >= syncInterval {
+				pause, shipped, err := writer.SyncNow(p)
+				if err != nil {
+					log.Fatalf("sync: %v", err)
+				}
+				fmt.Printf("[%6.2fs] job: namespace sync shipped %d updates (paused %v)\n",
+					p.Now().Seconds(), shipped, pause.Round(time.Millisecond))
+				last = p.Now()
+			}
+		}
+		writer.SyncNow(p)
+		// The job is done once the final sync's bytes are drained; the
+		// MDS applies the tail in the background.
+		if err := writer.WaitSyncDrain(p); err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		elapsed := (p.Now() - start).Seconds()
+		// Wait for full visibility before the final ls.
+		if err := writer.WaitSyncVisible(p); err != nil {
+			log.Fatalf("visible: %v", err)
+		}
+		jobDone = true
+		base := float64(updates) * cl.Config().ClientAppendTime.Seconds()
+		pauses, paused := writer.SyncStats()
+		fmt.Printf("\njob wrote %d updates in %.2fs (base %.2fs, overhead %.1f%%, %d sync pauses totalling %v)\n",
+			updates, elapsed, base, 100*(elapsed-base)/base, pauses, paused.Round(time.Millisecond))
+		names, _ := watcher.ReadDir(p, root)
+		fmt.Printf("final ls: %d files visible in the global namespace\n", len(names))
+	})
+}

@@ -1,0 +1,211 @@
+package cudele_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cudele"
+	"cudele/internal/namespace"
+)
+
+// These tests exercise the failure semantics that define the durability
+// spectrum (paper §II-A): "none" loses updates on any failure, "local"
+// survives if the client node recovers, "global" survives anything.
+
+// crashClient simulates a client node crash: the mounted session ends and
+// all volatile state (the in-memory journal) is gone. The client-local
+// disk survives, as it would on a real node.
+func crashClient(c *cudele.Client) {
+	c.Unmount()
+	if j, err := c.Journal(); err == nil {
+		j.Reset()
+	}
+}
+
+func TestDurabilityNoneLosesUpdatesOnCrash(t *testing.T) {
+	cl := cudele.NewCluster()
+	c := cl.NewClient("c0")
+	cl.Run(func(p *cudele.Proc) {
+		c.MkdirAll(p, "/job", 0755)
+		cl.DecouplePolicy(p, c, "/job", &cudele.Policy{
+			Consistency: cudele.ConsInvisible, Durability: cudele.DurNone,
+			AllocatedInodes: 100,
+		})
+		root, _ := c.DecoupledRoot()
+		for i := 0; i < 20; i++ {
+			c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644)
+		}
+		crashClient(c)
+		// Nothing to recover from: the computation must be redone
+		// (the paper's checkpoint-restart disaster scenario).
+		if _, err := c.RecoverLocal(p); err == nil {
+			t.Error("recovered a journal that was never persisted")
+		}
+		if _, err := cl.MDS().Store().Resolve("/job/f0"); err == nil {
+			t.Error("updates leaked into the global namespace")
+		}
+	})
+}
+
+func TestDurabilityLocalSurvivesClientRecovery(t *testing.T) {
+	cl := cudele.NewCluster()
+	c := cl.NewClient("c0")
+	cl.Run(func(p *cudele.Proc) {
+		c.MkdirAll(p, "/job", 0755)
+		cl.DecouplePolicy(p, c, "/job", &cudele.Policy{
+			Consistency: cudele.ConsWeak, Durability: cudele.DurLocal,
+			AllocatedInodes: 100,
+		})
+		root, _ := c.DecoupledRoot()
+		for i := 0; i < 20; i++ {
+			c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644)
+		}
+		if err := c.LocalPersist(p); err != nil {
+			t.Fatalf("persist: %v", err)
+		}
+		crashClient(c)
+
+		// The node comes back: remount, reload the journal from local
+		// disk, and merge.
+		c.Mount()
+		n, err := c.RecoverLocal(p)
+		if err != nil || n != 20 {
+			t.Fatalf("recover = %d, %v", n, err)
+		}
+		if _, err := c.VolatileApply(p); err != nil {
+			t.Fatalf("merge after recovery: %v", err)
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := cl.MDS().Store().Resolve(fmt.Sprintf("/job/f%d", i)); err != nil {
+				t.Fatalf("f%d lost despite local durability: %v", i, err)
+			}
+		}
+	})
+}
+
+func TestDurabilityGlobalSurvivesClientStayingDown(t *testing.T) {
+	// With global durability, even a client that never comes back loses
+	// nothing: any other node can fetch the journal from the object
+	// store and merge it.
+	cl := cudele.NewCluster()
+	c := cl.NewClient("c0")
+	rescuer := cl.NewClient("rescue")
+	cl.Run(func(p *cudele.Proc) {
+		c.MkdirAll(p, "/job", 0755)
+		cl.DecouplePolicy(p, c, "/job", &cudele.Policy{
+			Consistency: cudele.ConsInvisible, Durability: cudele.DurGlobal,
+			AllocatedInodes: 100,
+		})
+		root, _ := c.DecoupledRoot()
+		for i := 0; i < 20; i++ {
+			c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644)
+		}
+		if err := c.GlobalPersist(p); err != nil {
+			t.Fatalf("global persist: %v", err)
+		}
+		crashClient(c) // stays down forever
+
+		events, err := rescuer.FetchGlobalJournal(p, "c0")
+		if err != nil || len(events) != 20 {
+			t.Fatalf("fetch = %d events, %v", len(events), err)
+		}
+		if _, err := cl.MDS().VolatileApply(p, events, int64(len(events))*2500); err != nil {
+			t.Fatalf("rescue merge: %v", err)
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := cl.MDS().Store().Resolve(fmt.Sprintf("/job/f%d", i)); err != nil {
+				t.Fatalf("f%d lost despite global durability: %v", i, err)
+			}
+		}
+	})
+}
+
+func TestMDSCrashRecoveryWithStream(t *testing.T) {
+	// Stream gives the POSIX subtree global durability: after an MDS
+	// crash, flushed directory objects plus streamed journal segments
+	// reconstruct everything.
+	cl := cudele.NewCluster()
+	cl.MDS().SetStream(true)
+	c := cl.NewClient("c0")
+	var before *namespace.Store
+	cl.Run(func(p *cudele.Proc) {
+		dir, _ := c.MkdirAll(p, "/posix/data", 0755)
+		for i := 0; i < 50; i++ {
+			c.Create(p, dir, fmt.Sprintf("f%d", i), 0644)
+		}
+		cl.MDS().SaveStore(p)
+		// More updates after the flush live only in the stream.
+		for i := 50; i < 80; i++ {
+			c.Create(p, dir, fmt.Sprintf("f%d", i), 0644)
+		}
+		cl.MDS().FlushJournal(p)
+		before = cl.MDS().Store()
+
+		// Crash + restart: the in-memory store is rebuilt from RADOS.
+		if err := cl.MDS().Recover(p); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+	})
+	if cl.MDS().Store() == before {
+		t.Fatal("recover did not rebuild the store")
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := cl.MDS().Store().Resolve(fmt.Sprintf("/posix/data/f%d", i)); err != nil {
+			t.Fatalf("f%d missing after MDS recovery: %v", i, err)
+		}
+	}
+}
+
+func TestMDSCrashWithoutStreamLosesTail(t *testing.T) {
+	// The control: with Stream off, updates after the last flush are
+	// lost on an MDS crash — exactly what "durability: none" means for
+	// the strong-consistency column.
+	cl := cudele.NewCluster()
+	c := cl.NewClient("c0")
+	cl.Run(func(p *cudele.Proc) {
+		dir, _ := c.MkdirAll(p, "/posix", 0755)
+		c.Create(p, dir, "flushed", 0644)
+		cl.MDS().SaveStore(p)
+		c.Create(p, dir, "volatile", 0644)
+		if err := cl.MDS().Recover(p); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if _, err := cl.MDS().Store().Resolve("/posix/flushed"); err != nil {
+			t.Errorf("flushed file lost: %v", err)
+		}
+		if _, err := cl.MDS().Store().Resolve("/posix/volatile"); err == nil {
+			t.Error("unflushed update survived an MDS crash with no journal")
+		}
+	})
+}
+
+func TestInterfererCannotDestroyDecoupledResults(t *testing.T) {
+	// interfere: allow lets an interferer write, but at merge time the
+	// decoupled namespace's results take priority (paper §III-C).
+	cl := cudele.NewCluster()
+	owner := cl.NewClient("owner")
+	intr := cl.NewClient("intr")
+	cl.Run(func(p *cudele.Proc) {
+		owner.MkdirAll(p, "/exp", 0755)
+		cl.DecouplePolicy(p, owner, "/exp", &cudele.Policy{
+			Consistency: cudele.ConsWeak, Durability: cudele.DurNone,
+			AllocatedInodes: 100, Interfere: cudele.InterfereAllow,
+		})
+		root, _ := owner.DecoupledRoot()
+		owner.LocalCreate(p, root, "result", 0600)
+		// The interferer writes the same name with different attrs.
+		if _, err := intr.Create(p, root, "result", 0444); err != nil {
+			t.Fatalf("interferer create: %v", err)
+		}
+		if _, err := owner.VolatileApply(p); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		in, err := cl.MDS().Store().Resolve("/exp/result")
+		if err != nil {
+			t.Fatalf("result missing: %v", err)
+		}
+		if in.Mode != 0600 {
+			t.Fatalf("merge did not take priority: mode %o", in.Mode)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module cudele
+
+go 1.22

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"cudele/internal/policy"
+)
+
+func init() {
+	register("table1", "Consistency/durability spectrum from composed mechanisms (Table I)", Table1)
+}
+
+// Table1 regenerates Table I: for every (durability, consistency) cell,
+// the mechanism composition the policy compiler emits.
+func Table1(opts Options) (*Result, error) {
+	r := &Result{
+		ID:      "table1",
+		Title:   "mechanism composition per (durability, consistency) cell",
+		Columns: []string{"D \\ C", "invisible", "weak", "strong"},
+	}
+	for _, d := range []policy.Durability{policy.DurNone, policy.DurLocal, policy.DurGlobal} {
+		row := []string{d.String()}
+		for _, c := range []policy.Consistency{policy.ConsInvisible, policy.ConsWeak, policy.ConsStrong} {
+			comp, err := policy.Compile(c, d)
+			if err != nil {
+				return nil, err
+			}
+			if err := policy.ValidateComposition(comp); err != nil {
+				return nil, err
+			}
+			row = append(row, comp.String())
+		}
+		r.AddRow(row...)
+	}
+	r.Notef("presets: POSIX/CephFS/IndexFS=(strong,global), BatchFS=(weak,local), DeltaFS=(invisible,local), RAMDisk=(weak,none)")
+	return r, nil
+}

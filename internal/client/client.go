@@ -1,0 +1,295 @@
+// Package client implements the Cudele client library (paper §III-A,
+// §IV-B): the RPC path with capability-aware local lookups, and the
+// decoupled-namespace mechanisms — Append Client Journal, Volatile Apply,
+// Nonvolatile Apply, Local Persist, Global Persist — plus the namespace
+// sync used for partial results (§V-B3).
+//
+// All operations run inside simulation processes and charge calibrated
+// virtual time; the metadata itself (journals, namespaces, objects) is
+// real data manipulated for real.
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"cudele/internal/journal"
+	"cudele/internal/mds"
+	"cudele/internal/model"
+	"cudele/internal/namespace"
+	"cudele/internal/rados"
+	"cudele/internal/sim"
+	"cudele/internal/stats"
+)
+
+// ErrNoInodes is returned when a decoupled client exhausts its allocated
+// inode grant (the "Allocated Inodes" contract of §III-C).
+var ErrNoInodes = errors.New("client: allocated inode grant exhausted")
+
+// ErrNotDecoupled is returned when a decoupled-namespace operation is
+// attempted without a decoupled subtree.
+var ErrNotDecoupled = errors.New("client: no decoupled subtree")
+
+// Stats counts client-side activity; the interference benchmarks sample
+// these over time (Fig 3c).
+type Stats struct {
+	Creates       uint64 // successful creates (any mechanism)
+	LocalLookups  uint64 // lookups satisfied from the local dentry cache
+	RemoteLookups uint64 // lookup RPCs sent to the MDS
+	RPCs          uint64 // total RPCs sent
+	Appends       uint64 // journal events appended locally
+	Rejected      uint64 // -EBUSY replies from blocked subtrees
+}
+
+// Client is one storage client (application node).
+type Client struct {
+	eng  *sim.Engine
+	cfg  model.Config
+	name string
+	srv  *mds.Server
+	obj  *rados.Cluster
+
+	// localDisk models the node's own disk (Local Persist target).
+	localDisk  *sim.Pipe
+	localFiles map[string][]byte
+
+	// RPC-path state: which directories we hold the read-caching cap
+	// on, which are known shared, and our local dentry cache.
+	caps   map[namespace.Ino]bool
+	shared map[namespace.Ino]bool
+	dcache map[namespace.Ino]map[string]namespace.Ino
+
+	// Decoupled-namespace state.
+	dec *decoupled
+
+	// Namespace-sync state (partial updates, §V-B3).
+	sync *syncState
+
+	stats Stats
+
+	// latency records the round-trip time of every RPC the client
+	// issues; createLatency records whole Create operations (including
+	// any lookup RPC the capability state forces), for tail-latency
+	// reporting.
+	latency       stats.Histogram
+	createLatency stats.Histogram
+}
+
+// decoupled holds the client's decoupled subtree context.
+type decoupled struct {
+	path    string
+	root    namespace.Ino
+	jrnl    *journal.Journal
+	grantLo uint64
+	grantN  uint64
+	next    uint64
+	// localDirs tracks directories created inside the decoupled
+	// namespace (name resolution happens client-side).
+	store *namespace.Store // client-local image of the subtree
+	// mapping from the local image's inode numbers to granted inode
+	// numbers is 1:1 — local creates draw from the grant directly.
+}
+
+// New creates a client attached to a metadata server and object store.
+func New(eng *sim.Engine, cfg model.Config, name string, srv *mds.Server, obj *rados.Cluster) *Client {
+	return &Client{
+		eng:        eng,
+		cfg:        cfg,
+		name:       name,
+		srv:        srv,
+		obj:        obj,
+		localDisk:  sim.NewPipe(eng, name+".disk", cfg.LocalDiskBandwidth),
+		localFiles: make(map[string][]byte),
+		caps:       make(map[namespace.Ino]bool),
+		shared:     make(map[namespace.Ino]bool),
+		dcache:     make(map[namespace.Ino]map[string]namespace.Ino),
+	}
+}
+
+// Name returns the client's session name.
+func (c *Client) Name() string { return c.name }
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Latency returns the client's RPC round-trip histogram.
+func (c *Client) Latency() *stats.Histogram { return &c.latency }
+
+// CreateLatency returns the histogram of whole Create operations (lookup
+// RPC, when one is needed, plus the create RPC).
+func (c *Client) CreateLatency() *stats.Histogram { return &c.createLatency }
+
+// LocalDisk exposes the client's disk pipe for utilization reporting.
+func (c *Client) LocalDisk() *sim.Pipe { return c.localDisk }
+
+// Mount opens the client's MDS session.
+func (c *Client) Mount() { c.srv.OpenSession(c.name) }
+
+// Unmount closes the session and drops cached state.
+func (c *Client) Unmount() {
+	c.srv.CloseSession(c.name)
+	c.caps = make(map[namespace.Ino]bool)
+	c.shared = make(map[namespace.Ino]bool)
+	c.dcache = make(map[namespace.Ino]map[string]namespace.Ino)
+}
+
+// submit sends one RPC, charging client-side overhead, and folds the
+// reply's capability bits into local state.
+func (c *Client) submit(p *sim.Proc, req *mds.Request) *mds.Reply {
+	start := p.Now()
+	p.Sleep(c.cfg.ClientOpOverhead)
+	req.Client = c.name
+	c.stats.RPCs++
+	reply := c.srv.Submit(p, req)
+	c.latency.Observe(sim.Duration(p.Now() - start))
+	if reply.CapGranted {
+		c.caps[req.Parent] = true
+	}
+	if reply.CapLost {
+		delete(c.caps, req.Parent)
+		c.shared[req.Parent] = true
+	}
+	if errors.Is(reply.Err, namespace.ErrBusy) {
+		c.stats.Rejected++
+	}
+	return reply
+}
+
+func (c *Client) cacheDentry(dir namespace.Ino, name string, ino namespace.Ino) {
+	m := c.dcache[dir]
+	if m == nil {
+		m = make(map[string]namespace.Ino)
+		c.dcache[dir] = m
+	}
+	m[name] = ino
+}
+
+// Create makes a regular file via the RPCs mechanism. Per the paper's
+// §IV-C: if the client caches the directory inode (holds the read cap) it
+// can check existence locally and send a single create RPC; otherwise it
+// must send a lookup RPC first.
+func (c *Client) Create(p *sim.Proc, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
+	start := p.Now()
+	defer func() { c.createLatency.Observe(sim.Duration(p.Now() - start)) }()
+	if c.caps[dir] && !c.shared[dir] {
+		// Local existence check against the cached dentries.
+		c.stats.LocalLookups++
+		if _, exists := c.dcache[dir][name]; exists {
+			return 0, fmt.Errorf("create %q: %w", name, namespace.ErrExist)
+		}
+	} else {
+		c.stats.RemoteLookups++
+		lk := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: dir, Name: name})
+		if lk.Err == nil {
+			return 0, fmt.Errorf("create %q: %w", name, namespace.ErrExist)
+		}
+		if !errors.Is(lk.Err, namespace.ErrNotExist) {
+			return 0, lk.Err
+		}
+	}
+	r := c.submit(p, &mds.Request{Op: mds.OpCreate, Parent: dir, Name: name, Mode: mode})
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	c.stats.Creates++
+	c.cacheDentry(dir, name, r.Ino)
+	return r.Ino, nil
+}
+
+// Mkdir makes a directory via RPC.
+func (c *Client) Mkdir(p *sim.Proc, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
+	r := c.submit(p, &mds.Request{Op: mds.OpMkdir, Parent: dir, Name: name, Mode: mode})
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	c.cacheDentry(dir, name, r.Ino)
+	return r.Ino, nil
+}
+
+// MkdirAll resolves or creates each directory along path via RPC.
+func (c *Client) MkdirAll(p *sim.Proc, path string, mode uint32) (namespace.Ino, error) {
+	cur := namespace.RootIno
+	for _, comp := range namespace.SplitPath(path) {
+		lk := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: cur, Name: comp})
+		if lk.Err == nil {
+			if !lk.IsDir {
+				return 0, fmt.Errorf("mkdirall %q: %q: %w", path, comp, namespace.ErrNotDir)
+			}
+			cur = lk.Ino
+			continue
+		}
+		if !errors.Is(lk.Err, namespace.ErrNotExist) {
+			return 0, lk.Err
+		}
+		mk := c.submit(p, &mds.Request{Op: mds.OpMkdir, Parent: cur, Name: comp, Mode: mode})
+		if mk.Err != nil {
+			return 0, mk.Err
+		}
+		cur = mk.Ino
+	}
+	return cur, nil
+}
+
+// Lookup resolves one dentry via RPC, bypassing the local cache (an
+// explicit stat(2)-like existence check).
+func (c *Client) Lookup(p *sim.Proc, dir namespace.Ino, name string) (namespace.Ino, error) {
+	c.stats.RemoteLookups++
+	r := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: dir, Name: name})
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	return r.Ino, nil
+}
+
+// Resolve walks a path on the server.
+func (c *Client) Resolve(p *sim.Proc, path string) (namespace.Ino, error) {
+	r := c.submit(p, &mds.Request{Op: mds.OpResolve, Path: path})
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	return r.Ino, nil
+}
+
+// ReadDir lists a directory via RPC (the heavy "ls" of §V-B3).
+func (c *Client) ReadDir(p *sim.Proc, dir namespace.Ino) ([]string, error) {
+	r := c.submit(p, &mds.Request{Op: mds.OpReadDir, Parent: dir})
+	return r.Names, r.Err
+}
+
+// Unlink removes a file via RPC.
+func (c *Client) Unlink(p *sim.Proc, dir namespace.Ino, name string) error {
+	r := c.submit(p, &mds.Request{Op: mds.OpUnlink, Parent: dir, Name: name})
+	if r.Err == nil {
+		delete(c.dcache[dir], name)
+	}
+	return r.Err
+}
+
+// Rename moves a dentry via RPC.
+func (c *Client) Rename(p *sim.Proc, dir namespace.Ino, name string, newDir namespace.Ino, newName string) error {
+	r := c.submit(p, &mds.Request{Op: mds.OpRename, Parent: dir, Name: name, NewParent: newDir, NewName: newName})
+	if r.Err == nil {
+		delete(c.dcache[dir], name)
+		c.cacheDentry(newDir, newName, 0)
+	}
+	return r.Err
+}
+
+// SetAttr updates attributes via RPC.
+func (c *Client) SetAttr(p *sim.Proc, ino namespace.Ino, mode, uid, gid uint32, size uint64, mtime int64) error {
+	r := c.submit(p, &mds.Request{Op: mds.OpSetAttr, Ino: ino, Mode: mode, UID: uid, GID: gid, Size: size, Mtime: mtime})
+	return r.Err
+}
+
+// Stat fetches attributes via RPC.
+func (c *Client) Stat(p *sim.Proc, ino namespace.Ino) (*mds.Reply, error) {
+	r := c.submit(p, &mds.Request{Op: mds.OpGetAttr, Ino: ino})
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return r, nil
+}
+
+// HoldsCap reports whether the client believes it holds the read cap on
+// dir (Fig 3c's "local lookups" regime).
+func (c *Client) HoldsCap(dir namespace.Ino) bool { return c.caps[dir] && !c.shared[dir] }

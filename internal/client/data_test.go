@@ -1,0 +1,132 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/rados"
+	"cudele/internal/sim"
+)
+
+func TestWriteReadFile(t *testing.T) {
+	cl := newCluster()
+	c := cl.client("c0")
+	payload := make([]byte, 6<<20) // 1.5 stripes
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	cl.run(t, func(p *sim.Proc) {
+		dir, _ := c.Mkdir(p, namespace.RootIno, "d", 0755)
+		ino, _ := c.Create(p, dir, "blob", 0644)
+		if err := c.WriteFile(p, ino, payload); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		st, _ := c.Stat(p, ino)
+		if st.Size != uint64(len(payload)) {
+			t.Errorf("size = %d, want %d", st.Size, len(payload))
+		}
+		got, err := c.ReadFile(p, ino)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("read mismatch (%d bytes, %v)", len(got), err)
+		}
+	})
+}
+
+func TestReadEmptyFile(t *testing.T) {
+	cl := newCluster()
+	c := cl.client("c0")
+	cl.run(t, func(p *sim.Proc) {
+		ino, _ := c.Create(p, namespace.RootIno, "empty", 0644)
+		got, err := c.ReadFile(p, ino)
+		if err != nil || len(got) != 0 {
+			t.Errorf("empty read = %d bytes, %v", len(got), err)
+		}
+	})
+}
+
+func TestWriteFileErrors(t *testing.T) {
+	cl := newCluster()
+	c := cl.client("c0")
+	cl.run(t, func(p *sim.Proc) {
+		dir, _ := c.Mkdir(p, namespace.RootIno, "d", 0755)
+		if err := c.WriteFile(p, dir, []byte("x")); !errors.Is(err, namespace.ErrIsDir) {
+			t.Errorf("write to dir err = %v", err)
+		}
+		if _, err := c.ReadFile(p, dir); !errors.Is(err, namespace.ErrIsDir) {
+			t.Errorf("read dir err = %v", err)
+		}
+		if err := c.WriteFile(p, 99999, nil); !errors.Is(err, namespace.ErrNotExist) {
+			t.Errorf("write missing err = %v", err)
+		}
+	})
+}
+
+func TestLocalWriteFileMerges(t *testing.T) {
+	cl := newCluster()
+	c := cl.client("c0")
+	payload := []byte("checkpoint bytes")
+	cl.run(t, func(p *sim.Proc) {
+		c.MkdirAll(p, "/job", 0755)
+		c.Decouple(p, "/job", decouplePolicy(policy.ConsWeak, policy.DurNone, 100))
+		root, _ := c.DecoupledRoot()
+		ino, _ := c.LocalCreate(p, root, "ckpt", 0644)
+		if err := c.LocalWriteFile(p, ino, payload); err != nil {
+			t.Errorf("local write: %v", err)
+			return
+		}
+		if _, err := c.VolatileApply(p); err != nil {
+			t.Errorf("merge: %v", err)
+			return
+		}
+		// The merged global namespace knows the size, and the data is
+		// readable through the normal path.
+		in, err := cl.srv.Store().Resolve("/job/ckpt")
+		if err != nil || in.Size != uint64(len(payload)) {
+			t.Errorf("merged size = %d, %v", in.Size, err)
+			return
+		}
+		got, err := c.ReadFile(p, in.Ino)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("read after merge = %q, %v", got, err)
+		}
+	})
+}
+
+func TestLocalWriteFileErrors(t *testing.T) {
+	cl := newCluster()
+	c := cl.client("c0")
+	cl.run(t, func(p *sim.Proc) {
+		if err := c.LocalWriteFile(p, 1, nil); !errors.Is(err, ErrNotDecoupled) {
+			t.Errorf("not decoupled err = %v", err)
+		}
+		c.MkdirAll(p, "/job", 0755)
+		c.Decouple(p, "/job", decouplePolicy(policy.ConsInvisible, policy.DurNone, 100))
+		root, _ := c.DecoupledRoot()
+		sub, _ := c.LocalMkdir(p, root, "sub", 0755)
+		if err := c.LocalWriteFile(p, sub, nil); !errors.Is(err, namespace.ErrIsDir) {
+			t.Errorf("local write dir err = %v", err)
+		}
+		if err := c.LocalWriteFile(p, 424242, nil); !errors.Is(err, namespace.ErrNotExist) {
+			t.Errorf("local write missing err = %v", err)
+		}
+	})
+}
+
+func TestRemoveFileData(t *testing.T) {
+	cl := newCluster()
+	c := cl.client("c0")
+	cl.run(t, func(p *sim.Proc) {
+		ino, _ := c.Create(p, namespace.RootIno, "f", 0644)
+		c.WriteFile(p, ino, []byte("bytes"))
+		if err := c.RemoveFileData(p, ino); err != nil {
+			t.Errorf("remove data: %v", err)
+		}
+		if err := c.RemoveFileData(p, ino); !errors.Is(err, rados.ErrNotFound) {
+			t.Errorf("double remove err = %v", err)
+		}
+	})
+}

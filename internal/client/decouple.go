@@ -1,0 +1,455 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"cudele/internal/journal"
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/rados"
+	"cudele/internal/sim"
+)
+
+// ClientJournalPool is the RADOS pool that Global Persist pushes client
+// journals into.
+const ClientJournalPool = "cudele_client_journals"
+
+// Decouple detaches the subtree at path for exclusive local processing:
+// the MDS attaches the policy, grants an inode range, and the client
+// starts an in-memory journal (paper §III). Subsequent Local* operations
+// run entirely client-side via Append Client Journal.
+func (c *Client) Decouple(p *sim.Proc, path string, pol *policy.Policy) error {
+	lo, n, err := c.srv.Decouple(p, path, pol, c.name)
+	if err != nil {
+		return err
+	}
+	return c.AdoptGrant(p, path, lo, n)
+}
+
+// AdoptGrant attaches a decoupled subtree whose policy and inode grant
+// were registered externally — normally by the monitor on the client's
+// behalf (paper §III-C).
+func (c *Client) AdoptGrant(p *sim.Proc, path string, lo namespace.Ino, n uint64) error {
+	root, err := c.Resolve(p, path)
+	if err != nil {
+		return err
+	}
+	c.dec = &decoupled{
+		path:    path,
+		root:    root,
+		jrnl:    journal.New(c.cfg.SegmentEvents),
+		grantLo: uint64(lo),
+		grantN:  n,
+		store:   namespace.NewStore(),
+	}
+	c.sync = nil
+	return nil
+}
+
+// Decoupled reports whether the client has a decoupled subtree.
+func (c *Client) Decoupled() bool { return c.dec != nil }
+
+// DecoupledRoot returns the global inode of the decoupled subtree's root.
+func (c *Client) DecoupledRoot() (namespace.Ino, error) {
+	if c.dec == nil {
+		return 0, ErrNotDecoupled
+	}
+	return c.dec.root, nil
+}
+
+// Journal returns the client's in-memory journal (Append Client Journal's
+// backing store).
+func (c *Client) Journal() (*journal.Journal, error) {
+	if c.dec == nil {
+		return nil, ErrNotDecoupled
+	}
+	return c.dec.jrnl, nil
+}
+
+// JournalNominalBytes returns the journal's transfer footprint at the
+// paper's ~2.5 KB per update.
+func (c *Client) JournalNominalBytes() int64 {
+	if c.dec == nil {
+		return 0
+	}
+	return int64(c.dec.jrnl.Len()) * int64(c.cfg.JournalEventBytes)
+}
+
+// allocIno draws the next inode number from the subtree grant.
+func (d *decoupled) allocIno() (uint64, error) {
+	if d.next >= d.grantN {
+		return 0, fmt.Errorf("%w: %d inodes used", ErrNoInodes, d.grantN)
+	}
+	ino := d.grantLo + d.next
+	d.next++
+	return ino, nil
+}
+
+// InodesLeft returns the unused portion of the inode grant.
+func (c *Client) InodesLeft() uint64 {
+	if c.dec == nil {
+		return 0
+	}
+	return c.dec.grantN - c.dec.next
+}
+
+// localParent maps a decoupled-namespace inode to the client-local image:
+// the subtree root maps to the local root; locally created directories
+// map to themselves (they use granted global numbers in both).
+func (d *decoupled) localParent(dir namespace.Ino) namespace.Ino {
+	if dir == d.root {
+		return namespace.RootIno
+	}
+	return dir
+}
+
+// globalParent maps a local-image inode back to the global namespace.
+func (d *decoupled) globalParent(dir namespace.Ino) uint64 {
+	if dir == namespace.RootIno {
+		return uint64(d.root)
+	}
+	return uint64(dir)
+}
+
+// appendEvent charges the Append Client Journal cost and records the
+// event. Events are not checked against the global namespace — the
+// metadata server will blindly apply them at merge time (paper §III-A).
+func (c *Client) appendEvent(p *sim.Proc, ev *journal.Event) error {
+	p.Sleep(c.cfg.ClientAppendTime)
+	ev.Client = c.name
+	if _, err := c.dec.jrnl.Append(ev); err != nil {
+		return err
+	}
+	c.stats.Appends++
+	return nil
+}
+
+// LocalCreate creates a file in the decoupled subtree: a local-image
+// insert plus a journal append. dir is the subtree root or a directory
+// previously created with LocalMkdir.
+func (c *Client) LocalCreate(p *sim.Proc, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
+	if c.dec == nil {
+		return 0, ErrNotDecoupled
+	}
+	ino, err := c.dec.allocIno()
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.dec.store.Create(c.dec.localParent(dir), name,
+		namespace.CreateAttrs{Ino: namespace.Ino(ino), Mode: mode}); err != nil {
+		return 0, err
+	}
+	ev := &journal.Event{
+		Type: journal.EvCreate, Ino: ino,
+		Parent: c.dec.globalParent(dir), Name: name, Mode: mode,
+		Mtime: int64(p.Now()),
+	}
+	if err := c.appendEvent(p, ev); err != nil {
+		return 0, err
+	}
+	c.stats.Creates++
+	return namespace.Ino(ino), nil
+}
+
+// LocalMkdir creates a directory in the decoupled subtree.
+func (c *Client) LocalMkdir(p *sim.Proc, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
+	if c.dec == nil {
+		return 0, ErrNotDecoupled
+	}
+	ino, err := c.dec.allocIno()
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.dec.store.Mkdir(c.dec.localParent(dir), name,
+		namespace.CreateAttrs{Ino: namespace.Ino(ino), Mode: mode}); err != nil {
+		return 0, err
+	}
+	ev := &journal.Event{
+		Type: journal.EvMkdir, Ino: ino,
+		Parent: c.dec.globalParent(dir), Name: name, Mode: mode,
+		Mtime: int64(p.Now()),
+	}
+	if err := c.appendEvent(p, ev); err != nil {
+		return 0, err
+	}
+	return namespace.Ino(ino), nil
+}
+
+// LocalUnlink removes a file from the decoupled subtree.
+func (c *Client) LocalUnlink(p *sim.Proc, dir namespace.Ino, name string) error {
+	if c.dec == nil {
+		return ErrNotDecoupled
+	}
+	if err := c.dec.store.Unlink(c.dec.localParent(dir), name); err != nil {
+		return err
+	}
+	return c.appendEvent(p, &journal.Event{
+		Type: journal.EvUnlink, Parent: c.dec.globalParent(dir), Name: name,
+	})
+}
+
+// LocalReadDir lists a decoupled directory from the client-local image —
+// no RPC needed.
+func (c *Client) LocalReadDir(dir namespace.Ino) ([]string, error) {
+	if c.dec == nil {
+		return nil, ErrNotDecoupled
+	}
+	return c.dec.store.ReadDir(c.dec.localParent(dir))
+}
+
+// --- Mechanisms (paper §III-A) ---
+
+// VolatileApply ships the client journal to the MDS and replays it onto
+// the in-memory metadata store. On success the journal is cleared (the
+// updates now live in the global namespace).
+func (c *Client) VolatileApply(p *sim.Proc) (int, error) {
+	if c.dec == nil {
+		return 0, ErrNotDecoupled
+	}
+	n, err := c.srv.VolatileApply(p, c.dec.jrnl.Events(), c.JournalNominalBytes())
+	if err != nil {
+		return n, err
+	}
+	c.dec.jrnl.Reset()
+	return n, nil
+}
+
+// LocalPersist serializes the journal to the client's local disk. The
+// transfer cost is the disk's write bandwidth over the journal's nominal
+// footprint (paper §III-A).
+func (c *Client) LocalPersist(p *sim.Proc) error {
+	if c.dec == nil {
+		return ErrNotDecoupled
+	}
+	data, err := c.dec.jrnl.Export()
+	if err != nil {
+		return err
+	}
+	c.localDisk.Transfer(p, c.JournalNominalBytes())
+	c.localFiles["journal"] = data
+	return nil
+}
+
+// LocalJournalFile returns the bytes written by LocalPersist, as a
+// recovering client would read them back.
+func (c *Client) LocalJournalFile() ([]byte, bool) {
+	b, ok := c.localFiles["journal"]
+	return b, ok
+}
+
+// RecoverLocal reloads a persisted journal from local disk into a fresh
+// decoupled context, as a client restarting after a failure would
+// (paper §II-A: local durability means updates survive if the node
+// recovers).
+func (c *Client) RecoverLocal(p *sim.Proc) (int, error) {
+	if c.dec == nil {
+		return 0, ErrNotDecoupled
+	}
+	data, ok := c.localFiles["journal"]
+	if !ok {
+		return 0, errors.New("client: no persisted journal")
+	}
+	c.localDisk.Transfer(p, int64(len(data)))
+	j, err := journal.Import(data, c.cfg.SegmentEvents)
+	if err != nil {
+		return 0, err
+	}
+	c.dec.jrnl = j
+	return j.Len(), nil
+}
+
+// GlobalPersist pushes the serialized journal into the object store,
+// striped in parallel to exploit the cluster's collective bandwidth
+// (paper §V-A).
+func (c *Client) GlobalPersist(p *sim.Proc) error {
+	if c.dec == nil {
+		return ErrNotDecoupled
+	}
+	data, err := c.dec.jrnl.Export()
+	if err != nil {
+		return err
+	}
+	striper := rados.NewStriper(c.obj)
+	striper.WriteBilled(p, ClientJournalPool, c.name, data, c.JournalNominalBytes())
+	return nil
+}
+
+// FetchGlobalJournal reads back a journal persisted by GlobalPersist.
+func (c *Client) FetchGlobalJournal(p *sim.Proc, owner string) ([]*journal.Event, error) {
+	striper := rados.NewStriper(c.obj)
+	data, err := striper.Read(p, ClientJournalPool, owner)
+	if err != nil {
+		return nil, err
+	}
+	return journal.Decode(data)
+}
+
+// NonvolatileApply replays the client journal onto the metadata store in
+// the object store. For every update it pulls the affected directory
+// object and the root object, applies the update, and pushes both back —
+// the repeated read-modify-write the paper measures at 78x (§V-A). Pulls
+// and pushes are charged at omap granularity (the affected dentry), since
+// the dominant cost is the four object-store round trips per update, not
+// bandwidth. After the last update the materialized directory objects are
+// written out so a restarted metadata server (Server.Recover) observes
+// the merged namespace.
+func (c *Client) NonvolatileApply(p *sim.Proc) (int, error) {
+	if c.dec == nil {
+		return 0, ErrNotDecoupled
+	}
+	shadow := namespace.NewStore()
+	rootOID := rados.ObjectID{Pool: namespace.ObjectPool, Name: namespace.DirObjectName(namespace.RootIno)}
+
+	// Seed the shadow store from the root object if present.
+	if data, err := c.obj.Read(p, rootOID); err == nil {
+		if obj, derr := namespace.DecodeDir(data); derr == nil {
+			if err := c.loadChain(p, shadow, obj); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	applied := 0
+	touched := map[namespace.Ino]bool{namespace.RootIno: true}
+	for _, ev := range c.dec.jrnl.Events() {
+		dirIno := namespace.Ino(ev.Parent)
+		dirOID := rados.ObjectID{Pool: namespace.ObjectPool, Name: namespace.DirObjectName(dirIno)}
+
+		// Make sure the affected directory is materialized in the
+		// shadow store (first touch loads the ancestor chain).
+		if _, err := shadow.Get(dirIno); err != nil {
+			if data, rerr := c.obj.Read(p, dirOID); rerr == nil {
+				if obj, derr := namespace.DecodeDir(data); derr == nil {
+					if cerr := c.loadChain(p, shadow, obj); cerr != nil {
+						return applied, cerr
+					}
+				}
+			}
+		}
+
+		// Pull both objects that may be affected — every update, as
+		// the journal tool does (paper §V-A): the experiment
+		// directory and the root.
+		c.obj.OmapGet(p, dirOID, ev.Name)
+		c.obj.OmapGet(p, rootOID, "rstat")
+
+		if err := shadow.ApplyEvent(ev); err != nil {
+			return applied, fmt.Errorf("nonvolatile apply: %w", err)
+		}
+		applied++
+		touched[dirIno] = true
+		if ev.Type == journal.EvMkdir {
+			touched[namespace.Ino(ev.Ino)] = true
+		}
+
+		// Push both back (the updated dentry and the root's recursive
+		// stats).
+		c.obj.OmapSet(p, dirOID, map[string][]byte{ev.Name: encodeDentry(shadow, dirIno, ev.Name)})
+		c.obj.OmapSet(p, rootOID, map[string][]byte{"rstat": rstat(shadow)})
+	}
+
+	// Materialize the final directory objects for recovery.
+	for ino := range touched {
+		if _, err := shadow.Get(ino); err != nil {
+			continue // directory was removed by the journal
+		}
+		data, err := shadow.EncodeDir(ino)
+		if err != nil {
+			continue // a touched inode may be a file's parent only
+		}
+		c.obj.Write(p, rados.ObjectID{
+			Pool: namespace.ObjectPool,
+			Name: namespace.DirObjectName(ino),
+		}, data)
+	}
+	c.dec.jrnl.Reset()
+	return applied, nil
+}
+
+// encodeDentry renders one dentry's omap value for the push-back.
+func encodeDentry(s *namespace.Store, dir namespace.Ino, name string) []byte {
+	in, err := s.Lookup(dir, name)
+	if err != nil {
+		return []byte("tombstone")
+	}
+	return []byte(fmt.Sprintf("ino=%d type=%v mode=%o", in.Ino, in.Type, in.Mode))
+}
+
+// rstat renders the root's recursive statistics omap value.
+func rstat(s *namespace.Store) []byte {
+	return []byte(fmt.Sprintf("inodes=%d version=%d", s.Len(), s.Version()))
+}
+
+// loadChain installs obj into the shadow store, first loading any missing
+// ancestors from the object store.
+func (c *Client) loadChain(p *sim.Proc, shadow *namespace.Store, obj *namespace.DirObject) error {
+	if _, err := shadow.Get(obj.Parent); err != nil && obj.Ino != namespace.RootIno {
+		parentOID := rados.ObjectID{Pool: namespace.ObjectPool, Name: namespace.DirObjectName(obj.Parent)}
+		data, rerr := c.obj.Read(p, parentOID)
+		if rerr != nil {
+			return fmt.Errorf("nonvolatile apply: missing ancestor %d: %w", obj.Parent, rerr)
+		}
+		pobj, derr := namespace.DecodeDir(data)
+		if derr != nil {
+			return derr
+		}
+		if err := c.loadChain(p, shadow, pobj); err != nil {
+			return err
+		}
+	}
+	return shadow.InstallDir(obj)
+}
+
+// RunComposition executes a policy composition: steps in sequence,
+// mechanisms within a step in parallel (paper §III-B). RPCs and Append
+// Client Journal are workload-time mechanisms, not completion-time ones,
+// so they are no-ops here; Stream is an MDS-side setting toggled by the
+// composition.
+func (c *Client) RunComposition(p *sim.Proc, comp policy.Composition) error {
+	for _, step := range comp {
+		if len(step.Parallel) == 1 {
+			if err := c.runMechanism(p, step.Parallel[0]); err != nil {
+				return err
+			}
+			continue
+		}
+		g := sim.NewGroup(c.eng)
+		errs := make([]error, len(step.Parallel))
+		for i, m := range step.Parallel {
+			i, m := i, m
+			g.Go("mech."+m.String(), func(sp *sim.Proc) {
+				errs[i] = c.runMechanism(sp, m)
+			})
+		}
+		g.Wait(p)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Client) runMechanism(p *sim.Proc, m policy.Mechanism) error {
+	switch m {
+	case policy.MechRPCs, policy.MechAppendClientJournal:
+		// Workload-time mechanisms; nothing to do at completion time.
+		return nil
+	case policy.MechStream:
+		c.srv.SetStream(true)
+		return nil
+	case policy.MechVolatileApply:
+		_, err := c.VolatileApply(p)
+		return err
+	case policy.MechNonvolatileApply:
+		_, err := c.NonvolatileApply(p)
+		return err
+	case policy.MechLocalPersist:
+		return c.LocalPersist(p)
+	case policy.MechGlobalPersist:
+		return c.GlobalPersist(p)
+	}
+	return fmt.Errorf("client: unknown mechanism %v", m)
+}

@@ -1,0 +1,110 @@
+package client
+
+import (
+	"cudele/internal/sim"
+)
+
+// Namespace sync (paper §V-B3): a decoupled client periodically sends the
+// updates it has accumulated back to the global namespace so end-users can
+// check job progress with ls, while the job keeps its decoupled-namespace
+// performance. The client pauses only to fork a background process — the
+// pause is the address-space copy — and an idle core does the logging and
+// network transfer.
+
+type syncState struct {
+	synced   int         // journal events already shipped
+	inFlight *sim.Signal // disk+network drain of the most recent sync
+	visible  *sim.Signal // MDS apply of the most recent sync
+	pauses   int
+	paused   sim.Duration
+}
+
+// SyncNow forks a background drain of all journal events appended since
+// the previous sync. It returns the pause inflicted on the client and the
+// number of events shipped. The drain itself proceeds on an idle core and
+// completes asynchronously; drains are serialized with each other.
+func (c *Client) SyncNow(p *sim.Proc) (pause sim.Duration, synced int, err error) {
+	if c.dec == nil {
+		return 0, 0, ErrNotDecoupled
+	}
+	if c.sync == nil {
+		c.sync = &syncState{}
+	}
+	events := c.dec.jrnl.Events()
+	delta := events[c.sync.synced:]
+	if len(delta) == 0 {
+		return 0, 0, nil
+	}
+	bytes := int64(len(delta)) * int64(c.cfg.JournalEventBytes)
+
+	// The fork pause: base cost plus copying the journal pages.
+	pause = c.cfg.ForkBase + sim.Duration(float64(bytes)/c.cfg.ForkCopyBandwidth*1e9)
+	p.Sleep(pause)
+	c.sync.synced = len(events)
+	c.sync.pauses++
+	c.sync.paused += pause
+
+	prev := c.sync.inFlight
+	prevVisible := c.sync.visible
+	drained := sim.NewSignal(c.eng)
+	visible := sim.NewSignal(c.eng)
+	c.sync.inFlight = drained
+	c.sync.visible = visible
+	srv := c.srv
+	c.eng.Go(c.name+".syncdrain", func(bp *sim.Proc) {
+		if prev != nil {
+			prev.Wait(bp) // drains are ordered
+		}
+		// Log the updates and push them over disk+network from the
+		// idle core. Once the bytes are at the metadata server the
+		// drain is complete; the MDS applies them at its own pace.
+		bp.Sleep(sim.Duration(float64(bytes) / c.cfg.SyncDrainBandwidth * 1e9))
+		drained.Fire(nil)
+		if prevVisible != nil {
+			prevVisible.Wait(bp) // applies are ordered too
+		}
+		// Partial updates become visible in the global namespace.
+		// The transfer cost was charged above, so the apply ships
+		// zero nominal bytes.
+		_, aerr := srv.VolatileApply(bp, delta, 0)
+		visible.Fire(aerr)
+	})
+	return pause, len(delta), nil
+}
+
+// WaitSyncDrain blocks until the most recent sync's bytes have finished
+// their disk+network transfer to the metadata server. The final drain at
+// job end is on the critical path, which is why very large sync intervals
+// cost more than the optimum (paper Fig 6c).
+func (c *Client) WaitSyncDrain(p *sim.Proc) error {
+	if c.sync == nil || c.sync.inFlight == nil {
+		return nil
+	}
+	v := c.sync.inFlight.Wait(p)
+	if err, ok := v.(error); ok && err != nil {
+		return err
+	}
+	return nil
+}
+
+// WaitSyncVisible blocks until the most recent sync's updates have been
+// applied to the global namespace (end-users' ls sees them).
+func (c *Client) WaitSyncVisible(p *sim.Proc) error {
+	if c.sync == nil || c.sync.visible == nil {
+		return nil
+	}
+	v := c.sync.visible.Wait(p)
+	if err, ok := v.(error); ok && err != nil {
+		return err
+	}
+	return nil
+}
+
+// SyncStats reports the number of sync pauses and the total time the
+// client spent paused.
+func (c *Client) SyncStats() (pauses int, paused sim.Duration) {
+	if c.sync == nil {
+		return 0, 0
+	}
+	return c.sync.pauses, c.sync.paused
+}

@@ -1,0 +1,218 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Binary layout.
+//
+// Journal file = header, then records back to back:
+//
+//	header:  magic "CUDELEJ\x01" (8 bytes)
+//	record:  uvarint payloadLen | payload | crc32c(payload) (4 bytes LE)
+//	payload: type (1) | uvarint fields in fixed order | strings as
+//	         uvarint-len + bytes
+//
+// Integers use unsigned varints; Mtime is zig-zag encoded. The format is
+// self-delimiting, so segments are just contiguous runs of records.
+const (
+	magic      = "CUDELEJ\x01"
+	MagicLen   = len(magic)
+	Version    = 1
+	maxStrLen  = 1 << 16
+	maxPayload = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func putUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func putString(b []byte, s string) []byte {
+	b = putUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendEvent encodes ev as one record and appends it to b.
+func AppendEvent(b []byte, ev *Event) ([]byte, error) {
+	if err := ev.Validate(); err != nil {
+		return b, err
+	}
+	payload := make([]byte, 0, 64+len(ev.Name)+len(ev.NewName)+len(ev.Client))
+	payload = append(payload, byte(ev.Type))
+	payload = putUvarint(payload, ev.Seq)
+	payload = putString(payload, ev.Client)
+	payload = putUvarint(payload, ev.Ino)
+	payload = putUvarint(payload, ev.Parent)
+	payload = putString(payload, ev.Name)
+	payload = putUvarint(payload, ev.NewParent)
+	payload = putString(payload, ev.NewName)
+	payload = putUvarint(payload, uint64(ev.Mode))
+	payload = putUvarint(payload, uint64(ev.UID))
+	payload = putUvarint(payload, uint64(ev.GID))
+	payload = putUvarint(payload, ev.Size)
+	payload = putUvarint(payload, zigzag(ev.Mtime))
+
+	b = putUvarint(b, uint64(len(payload)))
+	b = append(b, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	return append(b, crc[:]...), nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Decoder iterates records in an encoded journal body (no file header).
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder over an encoded record stream.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// More reports whether bytes remain.
+func (d *Decoder) More() bool { return d.off < len(d.buf) }
+
+// Offset returns the byte offset of the next record.
+func (d *Decoder) Offset() int { return d.off }
+
+func (d *Decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *Decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStrLen {
+		return "", fmt.Errorf("%w: string length %d", ErrBadEvent, n)
+	}
+	if d.off+int(n) > len(d.buf) {
+		return "", ErrTruncated
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// Next decodes the next record. It verifies the CRC before interpreting
+// any field.
+func (d *Decoder) Next() (*Event, error) {
+	plen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if plen > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d", ErrBadEvent, plen)
+	}
+	if d.off+int(plen)+4 > len(d.buf) {
+		return nil, ErrTruncated
+	}
+	payload := d.buf[d.off : d.off+int(plen)]
+	d.off += int(plen)
+	want := binary.LittleEndian.Uint32(d.buf[d.off : d.off+4])
+	d.off += 4
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, ErrChecksum
+	}
+
+	pd := &Decoder{buf: payload}
+	if len(payload) < 1 {
+		return nil, ErrTruncated
+	}
+	ev := &Event{Type: EventType(payload[0])}
+	pd.off = 1
+	if ev.Seq, err = pd.uvarint(); err != nil {
+		return nil, err
+	}
+	if ev.Client, err = pd.str(); err != nil {
+		return nil, err
+	}
+	if ev.Ino, err = pd.uvarint(); err != nil {
+		return nil, err
+	}
+	if ev.Parent, err = pd.uvarint(); err != nil {
+		return nil, err
+	}
+	if ev.Name, err = pd.str(); err != nil {
+		return nil, err
+	}
+	if ev.NewParent, err = pd.uvarint(); err != nil {
+		return nil, err
+	}
+	if ev.NewName, err = pd.str(); err != nil {
+		return nil, err
+	}
+	var v uint64
+	if v, err = pd.uvarint(); err != nil {
+		return nil, err
+	}
+	ev.Mode = uint32(v)
+	if v, err = pd.uvarint(); err != nil {
+		return nil, err
+	}
+	ev.UID = uint32(v)
+	if v, err = pd.uvarint(); err != nil {
+		return nil, err
+	}
+	ev.GID = uint32(v)
+	if ev.Size, err = pd.uvarint(); err != nil {
+		return nil, err
+	}
+	if v, err = pd.uvarint(); err != nil {
+		return nil, err
+	}
+	ev.Mtime = unzigzag(v)
+	if err := ev.Validate(); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// Encode serializes events with the file header, producing a complete
+// journal image suitable for Local/Global Persist or journal-tool export.
+func Encode(events []*Event) ([]byte, error) {
+	out := make([]byte, 0, 32*len(events)+MagicLen)
+	out = append(out, magic...)
+	var err error
+	for i, ev := range events {
+		out, err = AppendEvent(out, ev)
+		if err != nil {
+			return nil, fmt.Errorf("encode event %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Decode parses a complete journal image produced by Encode.
+func Decode(buf []byte) ([]*Event, error) {
+	if len(buf) < MagicLen {
+		return nil, ErrBadMagic
+	}
+	if string(buf[:MagicLen]) != magic {
+		return nil, ErrBadMagic
+	}
+	d := NewDecoder(buf[MagicLen:])
+	var out []*Event
+	for d.More() {
+		ev, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("record %d at offset %d: %w", len(out), d.Offset(), err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package mds
+
+import (
+	"fmt"
+
+	"cudele/internal/journal"
+	"cudele/internal/sim"
+)
+
+// mergeChunk bounds how many events are applied per CPU acquisition
+// during Volatile Apply, so bulk merges do not starve RPC traffic forever
+// while keeping simulation overhead low.
+const mergeChunk = 256
+
+// VolatileApply is the merge mechanism (paper §III-A): the client's
+// in-memory journal is shipped to the MDS (memory-to-memory over the
+// network) and blindly replayed onto the in-memory metadata store. No
+// consistency checks are performed; conflicting creates are resolved in
+// favor of the decoupled namespace (interfere "allow" semantics). Nothing
+// is durable until a separate durability mechanism runs.
+//
+// nominalBytes is the journal's transfer footprint (events x ~2.5 KB).
+// The call blocks the client process until the merge completes and
+// returns the number of events applied.
+func (s *Server) VolatileApply(p *sim.Proc, events []*journal.Event, nominalBytes int64) (int, error) {
+	if s.stopped {
+		return 0, ErrShutdown
+	}
+	s.mergeQueue++
+	defer func() { s.mergeQueue-- }()
+
+	// Ship the journal to the MDS. The network hop is charged against
+	// the shared fabric; concurrent merges queue on it.
+	p.Sleep(s.cfg.NetLatency)
+	if nominalBytes > 0 {
+		s.obj.Net().Transfer(p, nominalBytes)
+	}
+
+	// Session/inode-range validation before replay.
+	s.cpu.Use(p, s.cfg.MDSMergeSetup)
+	s.metrics.MergeJobs++
+
+	applied := 0
+	for off := 0; off < len(events); off += mergeChunk {
+		end := off + mergeChunk
+		if end > len(events) {
+			end = len(events)
+		}
+		chunk := events[off:end]
+
+		// Apply cost grows with the number of journals waiting to
+		// merge: 20 journals landing at once congest the MDS
+		// (paper Fig 6a).
+		per := sim.Duration(float64(s.cfg.MDSApplyTime) *
+			(1 + float64(s.mergeQueue-1)*s.cfg.MDSMergeCongestion))
+
+		s.cpu.Acquire(p)
+		p.Sleep(per * sim.Duration(len(chunk)))
+		for _, ev := range chunk {
+			if err := s.store.ApplyEvent(ev); err != nil {
+				s.cpu.Release()
+				return applied, fmt.Errorf("volatile apply: %w", err)
+			}
+			applied++
+			s.metrics.Merged++
+		}
+		s.cpu.Release()
+	}
+	return applied, nil
+}
+
+// MergeQueue reports the number of in-flight Volatile Apply jobs.
+func (s *Server) MergeQueue() int { return s.mergeQueue }

@@ -1,0 +1,428 @@
+// Package mds implements the metadata server: the in-memory metadata
+// store, the request pipeline, the inode cache and capability protocol,
+// journal streaming with the segment/dispatch tunables, bulk merge of
+// decoupled client journals (Volatile Apply), and recovery from the
+// RADOS-resident metadata store (paper §II, §IV).
+//
+// The server is a simulation process: clients call Submit from their own
+// sim processes; the request is queued, served on the MDS CPU resource
+// (charging calibrated service times), and the reply carries capability
+// state back to the client.
+package mds
+
+import (
+	"errors"
+	"fmt"
+
+	"cudele/internal/model"
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/rados"
+	"cudele/internal/sim"
+)
+
+// Op identifies a metadata RPC.
+type Op uint8
+
+// Metadata RPC operations.
+const (
+	OpLookup Op = iota
+	OpCreate
+	OpMkdir
+	OpGetAttr
+	OpSetAttr
+	OpReadDir
+	OpUnlink
+	OpRmdir
+	OpRename
+	OpResolve
+	opMax
+)
+
+var opNames = [...]string{
+	OpLookup:  "lookup",
+	OpCreate:  "create",
+	OpMkdir:   "mkdir",
+	OpGetAttr: "getattr",
+	OpSetAttr: "setattr",
+	OpReadDir: "readdir",
+	OpUnlink:  "unlink",
+	OpRmdir:   "rmdir",
+	OpRename:  "rename",
+	OpResolve: "resolve",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Request is one metadata RPC from a client.
+type Request struct {
+	Op     Op
+	Client string
+
+	Parent namespace.Ino
+	Name   string
+	Path   string // OpResolve only
+
+	NewParent namespace.Ino // OpRename
+	NewName   string        // OpRename
+
+	Ino   namespace.Ino // OpGetAttr / OpSetAttr
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	Size  uint64
+	Mtime int64
+}
+
+// Reply is the MDS's answer.
+type Reply struct {
+	Err error
+
+	Ino   namespace.Ino
+	IsDir bool
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	Size  uint64
+	Mtime int64
+
+	Names []string // OpReadDir
+
+	// CapGranted tells the client it now holds the read-caching
+	// capability on the request's parent directory: it may satisfy
+	// lookups locally.
+	CapGranted bool
+	// CapLost tells the client the directory has become shared and its
+	// capability (if any) is gone: subsequent creates need a lookup RPC
+	// first (paper Fig 3c).
+	CapLost bool
+}
+
+// ErrShutdown is returned for requests submitted to a stopped server.
+var ErrShutdown = errors.New("mds: server shut down")
+
+// Metrics collects cumulative server counters for the benchmarks.
+type Metrics struct {
+	Requests   uint64
+	ByOp       [opMax]uint64
+	CapRevokes uint64
+	Rejected   uint64 // interfere-block -EBUSY replies
+	Journaled  uint64 // events appended to the MDS journal
+	Dispatches uint64 // journal segments pushed to the object store
+	Merged     uint64 // events merged via Volatile Apply
+	MergeJobs  uint64 // client journals merged
+}
+
+// Server is one simulated metadata server daemon.
+type Server struct {
+	eng   *sim.Engine
+	cfg   model.Config
+	store *namespace.Store
+	obj   *rados.Cluster
+
+	cpu *sim.Resource // single-threaded request pipeline, like CephFS
+
+	sessions map[string]bool
+
+	caps map[namespace.Ino]*dirCaps
+
+	// owners maps a decoupled subtree's policy-root inode to the client
+	// that decoupled it, for interfere-policy enforcement.
+	owners map[namespace.Ino]string
+
+	stream *streamState
+
+	mergeQueue int // client journals queued for Volatile Apply
+
+	metrics Metrics
+
+	stopped bool
+}
+
+// New creates a metadata server over the given object store. The store
+// starts with just the root directory; use Recover to load state from
+// RADOS.
+func New(eng *sim.Engine, cfg model.Config, obj *rados.Cluster) *Server {
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		store:    namespace.NewStore(),
+		obj:      obj,
+		cpu:      sim.NewResource(eng, "mds.cpu", 1),
+		sessions: make(map[string]bool),
+		caps:     make(map[namespace.Ino]*dirCaps),
+		owners:   make(map[namespace.Ino]string),
+	}
+	s.stream = newStreamState(s)
+	return s
+}
+
+// Store exposes the in-memory metadata store. Benchmarks and the monitor
+// read it; clients must go through Submit.
+func (s *Server) Store() *namespace.Store { return s.store }
+
+// CPU exposes the MDS CPU resource for utilization reporting.
+func (s *Server) CPU() *sim.Resource { return s.cpu }
+
+// Metrics returns a snapshot of the server counters.
+func (s *Server) Metrics() Metrics { return s.metrics }
+
+// Config returns the server's calibration config.
+func (s *Server) Config() model.Config { return s.cfg }
+
+// SetStream turns MDS journal streaming (the Stream mechanism) on or off.
+func (s *Server) SetStream(on bool) { s.stream.enabled = on }
+
+// StreamEnabled reports whether journal streaming is on.
+func (s *Server) StreamEnabled() bool { return s.stream.enabled }
+
+// Shutdown makes the server reject future requests.
+func (s *Server) Shutdown() { s.stopped = true }
+
+// OpenSession registers a client session. Additional active sessions add
+// per-op bookkeeping overhead (lock contention, cap accounting), which is
+// what limits scaling beyond pure CPU saturation (paper §II-A).
+func (s *Server) OpenSession(client string) {
+	s.sessions[client] = true
+}
+
+// CloseSession removes a client session and drops its capabilities.
+func (s *Server) CloseSession(client string) {
+	delete(s.sessions, client)
+	for _, dc := range s.caps {
+		if dc.holder == client {
+			dc.holder = ""
+		}
+	}
+}
+
+// Sessions returns the number of active client sessions.
+func (s *Server) Sessions() int { return len(s.sessions) }
+
+// serviceTime is the MDS CPU cost of one request, with uniform noise of
+// +-MDSOpJitter to model cache misses and allocator variance.
+func (s *Server) serviceTime(op Op) sim.Duration {
+	base := s.cfg.MDSOpTime
+	switch op {
+	case OpLookup, OpGetAttr, OpResolve, OpReadDir:
+		base = s.cfg.MDSLookupTime
+	}
+	n := len(s.sessions)
+	if n > 1 {
+		base += sim.Duration(n-1) * s.cfg.MDSSessionOverhead
+	}
+	if j := s.cfg.MDSOpJitter; j > 0 {
+		noise := 1 + j*(2*s.eng.Rand().Float64()-1)
+		base = sim.Duration(float64(base) * noise)
+	}
+	return base
+}
+
+// Submit sends one RPC to the server from the calling client process: one
+// network hop in, FIFO service on the MDS CPU, one network hop back
+// (paper §II: the RPCs mechanism).
+func (s *Server) Submit(p *sim.Proc, req *Request) *Reply {
+	p.Sleep(s.cfg.NetLatency) // request on the wire
+	if s.stopped {
+		return &Reply{Err: ErrShutdown}
+	}
+	s.metrics.Requests++
+	if int(req.Op) < len(s.metrics.ByOp) {
+		s.metrics.ByOp[req.Op]++
+	}
+
+	s.cpu.Acquire(p)
+	reply := s.process(p, req)
+	s.cpu.Release()
+
+	// Journal the update: encoding and segment bookkeeping steal MDS CPU
+	// (MDSJournalOpTime), and the client additionally waits for the safe
+	// ack (MDSJournalLatency, latency only).
+	if reply.Err == nil && s.stream.enabled && mutates(req.Op) {
+		s.cpu.Acquire(p)
+		p.Sleep(s.cfg.MDSJournalOpTime)
+		s.stream.record(p, req)
+		s.cpu.Release()
+		p.Sleep(s.cfg.MDSJournalLatency)
+	}
+
+	p.Sleep(s.cfg.NetLatency) // reply on the wire
+	return reply
+}
+
+func mutates(op Op) bool {
+	switch op {
+	case OpCreate, OpMkdir, OpSetAttr, OpUnlink, OpRmdir, OpRename:
+		return true
+	}
+	return false
+}
+
+// process runs the request body while the CPU is held.
+func (s *Server) process(p *sim.Proc, req *Request) *Reply {
+	p.Sleep(s.serviceTime(req.Op))
+
+	// Interfere policy: a request into a decoupled subtree owned by a
+	// different client may be rejected with -EBUSY (paper §III-C).
+	if mutates(req.Op) {
+		if rej := s.checkInterfere(p, req); rej != nil {
+			return rej
+		}
+	}
+
+	switch req.Op {
+	case OpLookup:
+		in, err := s.store.Lookup(req.Parent, req.Name)
+		if err != nil {
+			return &Reply{Err: err}
+		}
+		return inodeReply(in)
+	case OpResolve:
+		in, err := s.store.Resolve(req.Path)
+		if err != nil {
+			return &Reply{Err: err}
+		}
+		return inodeReply(in)
+	case OpGetAttr:
+		in, err := s.store.Get(req.Ino)
+		if err != nil {
+			return &Reply{Err: err}
+		}
+		return inodeReply(in)
+	case OpReadDir:
+		names, err := s.store.ReadDir(req.Parent)
+		if err != nil {
+			return &Reply{Err: err}
+		}
+		return &Reply{Names: names}
+	case OpCreate, OpMkdir:
+		attrs := namespace.CreateAttrs{
+			Mode: req.Mode, UID: req.UID, GID: req.GID,
+			Mtime: int64(p.Now()),
+		}
+		var in *namespace.Inode
+		var err error
+		if req.Op == OpMkdir {
+			in, err = s.store.Mkdir(req.Parent, req.Name, attrs)
+		} else {
+			in, err = s.store.Create(req.Parent, req.Name, attrs)
+		}
+		if err != nil {
+			return &Reply{Err: err}
+		}
+		reply := inodeReply(in)
+		s.updateCaps(p, req.Parent, req.Client, reply)
+		return reply
+	case OpSetAttr:
+		if err := s.store.SetAttr(req.Ino, req.Mode, req.UID, req.GID, req.Size, req.Mtime); err != nil {
+			return &Reply{Err: err}
+		}
+		return &Reply{Ino: req.Ino}
+	case OpUnlink:
+		if err := s.store.Unlink(req.Parent, req.Name); err != nil {
+			return &Reply{Err: err}
+		}
+		reply := &Reply{}
+		s.updateCaps(p, req.Parent, req.Client, reply)
+		return reply
+	case OpRmdir:
+		if err := s.store.Rmdir(req.Parent, req.Name); err != nil {
+			return &Reply{Err: err}
+		}
+		return &Reply{}
+	case OpRename:
+		if err := s.store.Rename(req.Parent, req.Name, req.NewParent, req.NewName); err != nil {
+			return &Reply{Err: err}
+		}
+		reply := &Reply{}
+		s.updateCaps(p, req.Parent, req.Client, reply)
+		return reply
+	}
+	return &Reply{Err: fmt.Errorf("mds: %v: %w", req.Op, namespace.ErrInval)}
+}
+
+func inodeReply(in *namespace.Inode) *Reply {
+	return &Reply{
+		Ino: in.Ino, IsDir: in.IsDir(),
+		Mode: in.Mode, UID: in.UID, GID: in.GID,
+		Size: in.Size, Mtime: in.Mtime,
+	}
+}
+
+// checkInterfere rejects mutations into a blocked decoupled subtree.
+func (s *Server) checkInterfere(p *sim.Proc, req *Request) *Reply {
+	parent := req.Parent
+	if parent == 0 {
+		return nil
+	}
+	root, err := s.store.PolicyRoot(parent)
+	if err != nil || root == namespace.RootIno {
+		return nil
+	}
+	owner, ok := s.owners[root]
+	if !ok || owner == req.Client {
+		return nil
+	}
+	pol, err := s.store.EffectivePolicy(root)
+	if err != nil || pol.Interfere != policy.InterfereBlock {
+		return nil
+	}
+	// Rejecting still costs cycles; when the MDS is underloaded this
+	// overhead is visible (paper §V-B2).
+	p.Sleep(s.cfg.MDSRejectTime)
+	s.metrics.Rejected++
+	return &Reply{Err: fmt.Errorf("mds: subtree decoupled by %s: %w", owner, namespace.ErrBusy)}
+}
+
+// Decouple attaches pol to the subtree at path, records client as its
+// owner, and reserves an inode range for it. It is invoked via the
+// monitor. The returned lo is the first inode of the grant.
+func (s *Server) Decouple(p *sim.Proc, path string, pol *policy.Policy, client string) (lo namespace.Ino, n uint64, err error) {
+	s.cpu.Acquire(p)
+	defer s.cpu.Release()
+	p.Sleep(s.serviceTime(OpResolve))
+
+	in, err := s.store.Resolve(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := s.store.SetPolicy(in.Ino, pol); err != nil {
+		return 0, 0, err
+	}
+	grant := pol.AllocatedInodes
+	if grant <= 0 {
+		grant = s.cfg.AllocatedInodesDefault
+	}
+	// Grant a range far from server-assigned numbers, like CephFS
+	// prealloc ranges.
+	lo = namespace.Ino(uint64(1)<<40 + uint64(len(s.owners))<<24)
+	if err := s.store.ReserveRange(lo, uint64(grant)); err != nil {
+		return 0, 0, err
+	}
+	s.owners[in.Ino] = client
+	return lo, uint64(grant), nil
+}
+
+// Recouple clears the subtree's policy and owner registration.
+func (s *Server) Recouple(p *sim.Proc, path string) error {
+	s.cpu.Acquire(p)
+	defer s.cpu.Release()
+	p.Sleep(s.serviceTime(OpResolve))
+	in, err := s.store.Resolve(path)
+	if err != nil {
+		return err
+	}
+	delete(s.owners, in.Ino)
+	return s.store.SetPolicy(in.Ino, nil)
+}
+
+// Owner returns the client that decoupled the subtree rooted at ino.
+func (s *Server) Owner(ino namespace.Ino) (string, bool) {
+	o, ok := s.owners[ino]
+	return o, ok
+}

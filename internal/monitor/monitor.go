@@ -1,0 +1,126 @@
+// Package monitor implements the cluster monitor daemon (paper §III-C):
+// users present a directory path and a policies configuration; the monitor
+// parses it, versions it, distributes it to the metadata servers, and
+// returns the subtree's inode grant.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cudele/internal/mds"
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/sim"
+)
+
+// ErrUnknownSubtree is returned when unregistering a path that was never
+// registered.
+var ErrUnknownSubtree = errors.New("monitor: unknown subtree")
+
+// commitLatency approximates the monitor quorum commit plus map
+// distribution to the daemons.
+const commitLatency = 2 * time.Millisecond
+
+// Entry is one registered subtree in the monitor's map.
+type Entry struct {
+	Path    string
+	Policy  *policy.Policy
+	Owner   string
+	Epoch   uint64
+	GrantLo namespace.Ino
+	GrantN  uint64
+}
+
+// Monitor manages cluster state changes.
+type Monitor struct {
+	eng      *sim.Engine
+	srv      *mds.Server
+	epoch    uint64
+	subtrees map[string]*Entry
+}
+
+// New creates a monitor governing one metadata server.
+func New(eng *sim.Engine, srv *mds.Server) *Monitor {
+	return &Monitor{eng: eng, srv: srv, subtrees: make(map[string]*Entry)}
+}
+
+// Epoch returns the current cluster-map epoch, bumped on every change.
+func (m *Monitor) Epoch() uint64 { return m.epoch }
+
+// Register parses policiesText (the policies.yml of §III-C), stamps it
+// with a new epoch, distributes it, and reserves the subtree's inode
+// grant. Registering the same path again replaces its policy.
+func (m *Monitor) Register(p *sim.Proc, path, policiesText, owner string) (*Entry, error) {
+	pol, err := policy.ParseFile(policiesText)
+	if err != nil {
+		return nil, err
+	}
+	return m.RegisterPolicy(p, path, pol, owner)
+}
+
+// RegisterPolicy is Register with an already-parsed policy.
+func (m *Monitor) RegisterPolicy(p *sim.Proc, path string, pol *policy.Policy, owner string) (*Entry, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	p.Sleep(commitLatency)
+	m.epoch++
+	pol.Version = m.epoch
+	lo, n, err := m.srv.Decouple(p, path, pol, owner)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{
+		Path: path, Policy: pol, Owner: owner,
+		Epoch: m.epoch, GrantLo: lo, GrantN: n,
+	}
+	m.subtrees[path] = e
+	return e, nil
+}
+
+// Unregister removes the subtree's policy and returns it to the global
+// namespace's semantics.
+func (m *Monitor) Unregister(p *sim.Proc, path string) error {
+	if _, ok := m.subtrees[path]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSubtree, path)
+	}
+	p.Sleep(commitLatency)
+	m.epoch++
+	if err := m.srv.Recouple(p, path); err != nil {
+		return err
+	}
+	delete(m.subtrees, path)
+	return nil
+}
+
+// Lookup returns the registered entry for path.
+func (m *Monitor) Lookup(path string) (*Entry, bool) {
+	e, ok := m.subtrees[path]
+	return e, ok
+}
+
+// Subtrees lists registered entries sorted by path.
+func (m *Monitor) Subtrees() []*Entry {
+	out := make([]*Entry, 0, len(m.subtrees))
+	for _, e := range m.subtrees {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Describe renders the cluster map for operators.
+func (m *Monitor) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch %d, %d subtree(s)\n", m.epoch, len(m.subtrees))
+	for _, e := range m.Subtrees() {
+		comp, _ := e.Policy.Composition()
+		fmt.Fprintf(&b, "  %-20s owner=%-10s epoch=%-3d inodes=[%d,+%d) %s\n",
+			e.Path, e.Owner, e.Epoch, e.GrantLo, e.GrantN, comp)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package monitor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cudele/internal/mds"
+	"cudele/internal/model"
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/rados"
+	"cudele/internal/sim"
+)
+
+func newTestMonitor() (*sim.Engine, *mds.Server, *Monitor) {
+	eng := sim.NewEngine(5)
+	obj := rados.New(eng, model.Default())
+	srv := mds.New(eng, model.Default(), obj)
+	return eng, srv, New(eng, srv)
+}
+
+func run(t *testing.T, eng *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	eng.Go("test", fn)
+	eng.RunAll()
+}
+
+func mkdirs(t *testing.T, eng *sim.Engine, srv *mds.Server, path string) {
+	t.Helper()
+	run(t, eng, func(p *sim.Proc) {
+		if _, err := srv.Store().MkdirAll(path, namespace.CreateAttrs{Mode: 0755}); err != nil {
+			t.Fatalf("mkdirall: %v", err)
+		}
+	})
+}
+
+func TestRegisterParsesAndGrants(t *testing.T) {
+	eng, srv, m := newTestMonitor()
+	mkdirs(t, eng, srv, "/msevilla/mydir")
+	run(t, eng, func(p *sim.Proc) {
+		e, err := m.Register(p, "/msevilla/mydir",
+			"consistency: weak\ndurability: local\nallocated_inodes: 5000\ninterfere: block\n",
+			"client.0")
+		if err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		if e.GrantN != 5000 || e.GrantLo == 0 {
+			t.Errorf("grant = [%d,+%d)", e.GrantLo, e.GrantN)
+		}
+		if e.Epoch != 1 || e.Policy.Version != 1 {
+			t.Errorf("epoch = %d, version = %d", e.Epoch, e.Policy.Version)
+		}
+		if e.Policy.Interfere != policy.InterfereBlock {
+			t.Errorf("interfere = %v", e.Policy.Interfere)
+		}
+	})
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch = %d", m.Epoch())
+	}
+	// The MDS now enforces the policy.
+	in, err := srv.Store().Resolve("/msevilla/mydir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner, ok := srv.Owner(in.Ino); !ok || owner != "client.0" {
+		t.Fatalf("owner = %q, %v", owner, ok)
+	}
+}
+
+func TestRegisterEmptyPoliciesFileIsCephFS(t *testing.T) {
+	// Paper §III-C: decoupling with an empty policies file gives the
+	// application 100 inodes but stock CephFS behaviour.
+	eng, srv, m := newTestMonitor()
+	mkdirs(t, eng, srv, "/d")
+	run(t, eng, func(p *sim.Proc) {
+		e, err := m.Register(p, "/d", "", "c0")
+		if err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		if e.GrantN != 100 {
+			t.Errorf("default grant = %d, want 100", e.GrantN)
+		}
+		comp, _ := e.Policy.Composition()
+		if comp.String() != "rpcs+stream" {
+			t.Errorf("default composition = %q", comp)
+		}
+	})
+}
+
+func TestRegisterErrors(t *testing.T) {
+	eng, srv, m := newTestMonitor()
+	mkdirs(t, eng, srv, "/d")
+	run(t, eng, func(p *sim.Proc) {
+		if _, err := m.Register(p, "/d", "bogus line", "c0"); err == nil {
+			t.Error("bad policies file accepted")
+		}
+		if _, err := m.Register(p, "/missing", "", "c0"); !errors.Is(err, namespace.ErrNotExist) {
+			t.Errorf("missing path err = %v", err)
+		}
+	})
+}
+
+func TestUnregister(t *testing.T) {
+	eng, srv, m := newTestMonitor()
+	mkdirs(t, eng, srv, "/d")
+	run(t, eng, func(p *sim.Proc) {
+		if _, err := m.Register(p, "/d", "interfere: block", "c0"); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		if err := m.Unregister(p, "/d"); err != nil {
+			t.Errorf("unregister: %v", err)
+		}
+		if err := m.Unregister(p, "/d"); !errors.Is(err, ErrUnknownSubtree) {
+			t.Errorf("double unregister err = %v", err)
+		}
+	})
+	if len(m.Subtrees()) != 0 {
+		t.Fatalf("subtrees = %d", len(m.Subtrees()))
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", m.Epoch())
+	}
+}
+
+func TestSubtreesSortedAndDescribe(t *testing.T) {
+	eng, srv, m := newTestMonitor()
+	mkdirs(t, eng, srv, "/b")
+	mkdirs(t, eng, srv, "/a")
+	run(t, eng, func(p *sim.Proc) {
+		m.Register(p, "/b", "consistency: weak\ndurability: local", "c1")
+		m.Register(p, "/a", "consistency: invisible\ndurability: none", "c0")
+	})
+	subs := m.Subtrees()
+	if len(subs) != 2 || subs[0].Path != "/a" || subs[1].Path != "/b" {
+		t.Fatalf("subtrees = %+v", subs)
+	}
+	desc := m.Describe()
+	for _, want := range []string{"epoch 2", "/a", "/b", "append_client_journal"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	eng, srv, m := newTestMonitor()
+	mkdirs(t, eng, srv, "/d")
+	run(t, eng, func(p *sim.Proc) {
+		m.Register(p, "/d", "", "c0")
+	})
+	if _, ok := m.Lookup("/d"); !ok {
+		t.Fatal("registered subtree not found")
+	}
+	if _, ok := m.Lookup("/nope"); ok {
+		t.Fatal("phantom subtree found")
+	}
+}
+
+func TestReRegisterReplacesPolicy(t *testing.T) {
+	// Dynamically changing a subtree's semantics (paper §VII): register
+	// again with a different policy.
+	eng, srv, m := newTestMonitor()
+	mkdirs(t, eng, srv, "/d")
+	run(t, eng, func(p *sim.Proc) {
+		m.Register(p, "/d", "consistency: invisible\ndurability: none", "c0")
+		e, err := m.Register(p, "/d", "consistency: strong\ndurability: global", "c0")
+		if err != nil {
+			t.Errorf("re-register: %v", err)
+			return
+		}
+		if e.Policy.Consistency != policy.ConsStrong {
+			t.Errorf("policy = %v", e.Policy.Consistency)
+		}
+		if e.Epoch != 2 {
+			t.Errorf("epoch = %d", e.Epoch)
+		}
+	})
+}

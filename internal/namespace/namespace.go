@@ -1,0 +1,541 @@
+// Package namespace implements the file-system namespace data structure:
+// inodes, dentries, and directory fragments, plus recursive subtree policy
+// attachment (paper §IV-A, §IV-C).
+//
+// A Store is the "metadata store" of CephFS: the tree the MDS keeps in
+// memory and also flushes to the object store. It implements
+// journal.Target, so journal replay — the shared recovery code path behind
+// Volatile Apply, Nonvolatile Apply, and Stream recovery — is simply
+// Store.ApplyEvent in a loop.
+package namespace
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"cudele/internal/journal"
+	"cudele/internal/policy"
+)
+
+// Ino is an inode number. Inode 0 is never valid; the root is RootIno.
+type Ino uint64
+
+// RootIno is the root directory's inode number, like CephFS's inode 1.
+const RootIno Ino = 1
+
+// FileType distinguishes regular files from directories.
+type FileType uint8
+
+const (
+	// TypeFile is a regular file.
+	TypeFile FileType = iota
+	// TypeDir is a directory.
+	TypeDir
+)
+
+func (t FileType) String() string {
+	if t == TypeDir {
+		return "dir"
+	}
+	return "file"
+}
+
+// Errors returned by namespace operations. They mirror the POSIX errno
+// values a file system client would see.
+var (
+	ErrExist    = errors.New("namespace: file exists")             // EEXIST
+	ErrNotExist = errors.New("namespace: no such file or dir")     // ENOENT
+	ErrNotDir   = errors.New("namespace: not a directory")         // ENOTDIR
+	ErrIsDir    = errors.New("namespace: is a directory")          // EISDIR
+	ErrNotEmpty = errors.New("namespace: directory not empty")     // ENOTEMPTY
+	ErrInval    = errors.New("namespace: invalid argument")        // EINVAL
+	ErrBusy     = errors.New("namespace: device or resource busy") // EBUSY
+	ErrNoSpace  = errors.New("namespace: inode grant exhausted")   // ENOSPC
+)
+
+// Inode is one file or directory. Directory inodes carry their dentries
+// (a single directory fragment; CephFS fragments large directories, and
+// this Store keeps one fragment per directory). Following the paper's
+// "large inodes" design (§IV-C), subtree policies live directly in the
+// inode.
+type Inode struct {
+	Ino    Ino
+	Parent Ino // parent directory; RootIno's parent is itself
+	Name   string
+	Type   FileType
+	Mode   uint32
+	UID    uint32
+	GID    uint32
+	Size   uint64
+	Mtime  int64
+
+	// children maps dentry name to child inode (directories only).
+	children map[string]Ino
+
+	// Policy is the Cudele subtree policy stored in the large inode,
+	// nil when the subtree inherits from its parent.
+	Policy *policy.Policy
+}
+
+// IsDir reports whether the inode is a directory.
+func (in *Inode) IsDir() bool { return in.Type == TypeDir }
+
+// NumChildren returns the number of dentries of a directory inode.
+func (in *Inode) NumChildren() int { return len(in.children) }
+
+// Store is the namespace metadata store.
+type Store struct {
+	inodes map[Ino]*Inode
+
+	// nextIno is the store's own allocation pointer for server-assigned
+	// inode numbers.
+	nextIno Ino
+
+	// reserved tracks inode ranges granted to decoupled clients so the
+	// server-side allocator skips them (paper §IV-C).
+	reserved []inoRange
+
+	version uint64 // bumped on every mutation
+}
+
+type inoRange struct{ lo, hi Ino } // half-open [lo, hi)
+
+// NewStore creates a store containing only the root directory.
+func NewStore() *Store {
+	s := &Store{
+		inodes:  make(map[Ino]*Inode),
+		nextIno: RootIno + 1,
+	}
+	s.inodes[RootIno] = &Inode{
+		Ino:      RootIno,
+		Parent:   RootIno,
+		Name:     "/",
+		Type:     TypeDir,
+		Mode:     0755,
+		children: make(map[string]Ino),
+	}
+	return s
+}
+
+// Version returns the store's mutation counter.
+func (s *Store) Version() uint64 { return s.version }
+
+// Len returns the number of inodes, including the root.
+func (s *Store) Len() int { return len(s.inodes) }
+
+// Get returns the inode numbered ino.
+func (s *Store) Get(ino Ino) (*Inode, error) {
+	in, ok := s.inodes[ino]
+	if !ok {
+		return nil, fmt.Errorf("inode %d: %w", ino, ErrNotExist)
+	}
+	return in, nil
+}
+
+// Root returns the root directory inode.
+func (s *Store) Root() *Inode {
+	in, _ := s.Get(RootIno)
+	return in
+}
+
+// Lookup resolves one dentry: name within directory parent.
+func (s *Store) Lookup(parent Ino, name string) (*Inode, error) {
+	dir, err := s.Get(parent)
+	if err != nil {
+		return nil, err
+	}
+	if !dir.IsDir() {
+		return nil, fmt.Errorf("lookup %q in inode %d: %w", name, parent, ErrNotDir)
+	}
+	ci, ok := dir.children[name]
+	if !ok {
+		return nil, fmt.Errorf("lookup %q in inode %d: %w", name, parent, ErrNotExist)
+	}
+	return s.Get(ci)
+}
+
+// SplitPath cleans p and splits it into components. The root is the empty
+// list.
+func SplitPath(p string) []string {
+	p = path.Clean("/" + p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(p[1:], "/")
+}
+
+// Resolve walks an absolute path to its inode.
+func (s *Store) Resolve(p string) (*Inode, error) {
+	cur := s.Root()
+	for _, comp := range SplitPath(p) {
+		next, err := s.Lookup(cur.Ino, comp)
+		if err != nil {
+			return nil, fmt.Errorf("resolve %q: %w", p, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// PathOf reconstructs the absolute path of ino by walking parents.
+func (s *Store) PathOf(ino Ino) (string, error) {
+	if ino == RootIno {
+		return "/", nil
+	}
+	var parts []string
+	cur, err := s.Get(ino)
+	if err != nil {
+		return "", err
+	}
+	for cur.Ino != RootIno {
+		parts = append(parts, cur.Name)
+		cur, err = s.Get(cur.Parent)
+		if err != nil {
+			return "", err
+		}
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/"), nil
+}
+
+// AllocIno returns a fresh server-assigned inode number, skipping ranges
+// reserved for decoupled clients and numbers already in use.
+func (s *Store) AllocIno() Ino {
+	for {
+		ino := s.nextIno
+		s.nextIno++
+		if _, used := s.inodes[ino]; used {
+			continue
+		}
+		if s.inReserved(ino) {
+			continue
+		}
+		return ino
+	}
+}
+
+func (s *Store) inReserved(ino Ino) bool {
+	for _, r := range s.reserved {
+		if ino >= r.lo && ino < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// ReserveRange records [lo, lo+n) as granted to a decoupled client so the
+// server-side allocator skips it.
+func (s *Store) ReserveRange(lo Ino, n uint64) error {
+	if lo == 0 || n == 0 {
+		return fmt.Errorf("reserve [%d,+%d): %w", lo, n, ErrInval)
+	}
+	s.reserved = append(s.reserved, inoRange{lo: lo, hi: lo + Ino(n)})
+	return nil
+}
+
+// ReservedRanges returns the number of active grants.
+func (s *Store) ReservedRanges() int { return len(s.reserved) }
+
+func (s *Store) insertChild(dir *Inode, in *Inode) {
+	if dir.children == nil {
+		dir.children = make(map[string]Ino)
+	}
+	dir.children[in.Name] = in.Ino
+	s.inodes[in.Ino] = in
+	s.version++
+}
+
+// CreateAttrs carries optional attributes for Create/Mkdir.
+type CreateAttrs struct {
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	Mtime int64
+	// Ino, when non-zero, is the caller-supplied inode number (from a
+	// decoupled client's grant). Zero means server-assigned.
+	Ino Ino
+}
+
+func (s *Store) createCommon(parent Ino, name string, typ FileType, attrs CreateAttrs) (*Inode, error) {
+	if name == "" || strings.Contains(name, "/") {
+		return nil, fmt.Errorf("create %q: %w", name, ErrInval)
+	}
+	dir, err := s.Get(parent)
+	if err != nil {
+		return nil, err
+	}
+	if !dir.IsDir() {
+		return nil, fmt.Errorf("create %q in inode %d: %w", name, parent, ErrNotDir)
+	}
+	if _, exists := dir.children[name]; exists {
+		return nil, fmt.Errorf("create %q in inode %d: %w", name, parent, ErrExist)
+	}
+	ino := attrs.Ino
+	if ino == 0 {
+		ino = s.AllocIno()
+	} else if _, used := s.inodes[ino]; used {
+		return nil, fmt.Errorf("create %q: inode %d: %w", name, ino, ErrExist)
+	}
+	in := &Inode{
+		Ino:    ino,
+		Parent: parent,
+		Name:   name,
+		Type:   typ,
+		Mode:   attrs.Mode,
+		UID:    attrs.UID,
+		GID:    attrs.GID,
+		Mtime:  attrs.Mtime,
+	}
+	if typ == TypeDir {
+		in.children = make(map[string]Ino)
+	}
+	s.insertChild(dir, in)
+	return in, nil
+}
+
+// Create adds a regular file dentry to directory parent.
+func (s *Store) Create(parent Ino, name string, attrs CreateAttrs) (*Inode, error) {
+	return s.createCommon(parent, name, TypeFile, attrs)
+}
+
+// Mkdir adds a directory dentry to directory parent.
+func (s *Store) Mkdir(parent Ino, name string, attrs CreateAttrs) (*Inode, error) {
+	return s.createCommon(parent, name, TypeDir, attrs)
+}
+
+// MkdirAll creates every missing directory along absolute path p and
+// returns the final directory.
+func (s *Store) MkdirAll(p string, attrs CreateAttrs) (*Inode, error) {
+	cur := s.Root()
+	for _, comp := range SplitPath(p) {
+		next, err := s.Lookup(cur.Ino, comp)
+		if errors.Is(err, ErrNotExist) {
+			a := attrs
+			a.Ino = 0
+			next, err = s.Mkdir(cur.Ino, comp, a)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !next.IsDir() {
+			return nil, fmt.Errorf("mkdirall %q: %q: %w", p, comp, ErrNotDir)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Unlink removes the file dentry name from parent.
+func (s *Store) Unlink(parent Ino, name string) error {
+	victim, err := s.Lookup(parent, name)
+	if err != nil {
+		return err
+	}
+	if victim.IsDir() {
+		return fmt.Errorf("unlink %q: %w", name, ErrIsDir)
+	}
+	dir, _ := s.Get(parent)
+	delete(dir.children, name)
+	delete(s.inodes, victim.Ino)
+	s.version++
+	return nil
+}
+
+// Rmdir removes the empty directory dentry name from parent.
+func (s *Store) Rmdir(parent Ino, name string) error {
+	victim, err := s.Lookup(parent, name)
+	if err != nil {
+		return err
+	}
+	if !victim.IsDir() {
+		return fmt.Errorf("rmdir %q: %w", name, ErrNotDir)
+	}
+	if len(victim.children) > 0 {
+		return fmt.Errorf("rmdir %q: %w", name, ErrNotEmpty)
+	}
+	dir, _ := s.Get(parent)
+	delete(dir.children, name)
+	delete(s.inodes, victim.Ino)
+	s.version++
+	return nil
+}
+
+// Rename moves dentry (srcParent, srcName) to (dstParent, dstName). An
+// existing destination file is replaced; an existing destination directory
+// must be empty. Renaming a directory under its own descendant fails with
+// ErrInval.
+func (s *Store) Rename(srcParent Ino, srcName string, dstParent Ino, dstName string) error {
+	if dstName == "" || strings.Contains(dstName, "/") {
+		return fmt.Errorf("rename to %q: %w", dstName, ErrInval)
+	}
+	src, err := s.Lookup(srcParent, srcName)
+	if err != nil {
+		return err
+	}
+	dstDir, err := s.Get(dstParent)
+	if err != nil {
+		return err
+	}
+	if !dstDir.IsDir() {
+		return fmt.Errorf("rename into inode %d: %w", dstParent, ErrNotDir)
+	}
+	// No-op rename.
+	if srcParent == dstParent && srcName == dstName {
+		return nil
+	}
+	// A directory must not be moved under itself.
+	if src.IsDir() {
+		for cur := dstDir; ; {
+			if cur.Ino == src.Ino {
+				return fmt.Errorf("rename %q under itself: %w", srcName, ErrInval)
+			}
+			if cur.Ino == RootIno {
+				break
+			}
+			cur, err = s.Get(cur.Parent)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	// Replace semantics for an existing destination.
+	if exIno, exists := dstDir.children[dstName]; exists {
+		ex, err := s.Get(exIno)
+		if err != nil {
+			return err
+		}
+		switch {
+		case ex.IsDir() && !src.IsDir():
+			return fmt.Errorf("rename %q over directory: %w", srcName, ErrIsDir)
+		case !ex.IsDir() && src.IsDir():
+			return fmt.Errorf("rename directory over %q: %w", dstName, ErrNotDir)
+		case ex.IsDir() && len(ex.children) > 0:
+			return fmt.Errorf("rename over %q: %w", dstName, ErrNotEmpty)
+		}
+		delete(s.inodes, ex.Ino)
+	}
+	srcDir, _ := s.Get(srcParent)
+	delete(srcDir.children, srcName)
+	src.Parent = dstParent
+	src.Name = dstName
+	if dstDir.children == nil {
+		dstDir.children = make(map[string]Ino)
+	}
+	dstDir.children[dstName] = src.Ino
+	s.version++
+	return nil
+}
+
+// SetAttr updates attributes of ino. Zero-valued fields of attrs are still
+// applied (this is a full setattr, like the journal event).
+func (s *Store) SetAttr(ino Ino, mode, uid, gid uint32, size uint64, mtime int64) error {
+	in, err := s.Get(ino)
+	if err != nil {
+		return err
+	}
+	in.Mode, in.UID, in.GID, in.Size, in.Mtime = mode, uid, gid, size, mtime
+	s.version++
+	return nil
+}
+
+// ReadDir returns the dentry names of directory ino in sorted order.
+func (s *Store) ReadDir(ino Ino) ([]string, error) {
+	dir, err := s.Get(ino)
+	if err != nil {
+		return nil, err
+	}
+	if !dir.IsDir() {
+		return nil, fmt.Errorf("readdir inode %d: %w", ino, ErrNotDir)
+	}
+	names := make([]string, 0, len(dir.children))
+	for name := range dir.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Walk visits every inode under root (inclusive) in depth-first, sorted
+// order. The callback receives the inode's absolute path.
+func (s *Store) Walk(root Ino, fn func(p string, in *Inode) error) error {
+	base, err := s.PathOf(root)
+	if err != nil {
+		return err
+	}
+	return s.walk(base, root, fn)
+}
+
+func (s *Store) walk(p string, ino Ino, fn func(string, *Inode) error) error {
+	in, err := s.Get(ino)
+	if err != nil {
+		return err
+	}
+	if err := fn(p, in); err != nil {
+		return err
+	}
+	if !in.IsDir() {
+		return nil
+	}
+	names, _ := s.ReadDir(ino)
+	for _, name := range names {
+		child := in.children[name]
+		cp := p + "/" + name
+		if p == "/" {
+			cp = "/" + name
+		}
+		if err := s.walk(cp, child, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyEvent implements journal.Target: it replays one journal event onto
+// the store. This is the recovery/merge code path shared by Stream replay,
+// Volatile Apply, and Nonvolatile Apply (paper §IV-B).
+func (s *Store) ApplyEvent(ev *journal.Event) error {
+	switch ev.Type {
+	case journal.EvCreate, journal.EvMkdir:
+		attrs := CreateAttrs{
+			Mode: ev.Mode, UID: ev.UID, GID: ev.GID,
+			Mtime: ev.Mtime, Ino: Ino(ev.Ino),
+		}
+		var err error
+		if ev.Type == journal.EvMkdir {
+			_, err = s.Mkdir(Ino(ev.Parent), ev.Name, attrs)
+		} else {
+			_, err = s.Create(Ino(ev.Parent), ev.Name, attrs)
+		}
+		// Merge semantics: the decoupled namespace's updates take
+		// priority, so a create over an existing interfering dentry
+		// overwrites it (paper §III-C "interfere: allow").
+		if errors.Is(err, ErrExist) {
+			if ev.Type == journal.EvMkdir {
+				return nil // directory already materialized
+			}
+			if rmErr := s.Unlink(Ino(ev.Parent), ev.Name); rmErr != nil {
+				return err
+			}
+			_, err = s.Create(Ino(ev.Parent), ev.Name, attrs)
+		}
+		return err
+	case journal.EvUnlink:
+		return s.Unlink(Ino(ev.Parent), ev.Name)
+	case journal.EvRmdir:
+		return s.Rmdir(Ino(ev.Parent), ev.Name)
+	case journal.EvRename:
+		return s.Rename(Ino(ev.Parent), ev.Name, Ino(ev.NewParent), ev.NewName)
+	case journal.EvSetAttr:
+		return s.SetAttr(Ino(ev.Ino), ev.Mode, ev.UID, ev.GID, ev.Size, ev.Mtime)
+	case journal.EvAllocRange:
+		return s.ReserveRange(Ino(ev.Ino), ev.Size)
+	}
+	return fmt.Errorf("apply %v: %w", ev.Type, ErrInval)
+}
+
+var _ journal.Target = (*Store)(nil)

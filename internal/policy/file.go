@@ -1,0 +1,238 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Interfere says how the MDS handles a request from another client aimed
+// at a decoupled subtree (paper §III-C).
+type Interfere uint8
+
+const (
+	// InterfereAllow lets interfering writes through; the decoupled
+	// namespace wins conflicts at merge time.
+	InterfereAllow Interfere = iota
+	// InterfereBlock rejects interfering requests with "device busy".
+	InterfereBlock
+)
+
+func (i Interfere) String() string {
+	if i == InterfereBlock {
+		return "block"
+	}
+	return "allow"
+}
+
+// ParseInterfere recognizes "allow" and "block".
+func ParseInterfere(s string) (Interfere, error) {
+	switch s {
+	case "allow":
+		return InterfereAllow, nil
+	case "block":
+		return InterfereBlock, nil
+	}
+	return 0, fmt.Errorf("%w: interfere %q", ErrParse, s)
+}
+
+// DefaultAllocatedInodes is the default inode grant for a decoupled
+// subtree (paper §III-C).
+const DefaultAllocatedInodes = 100
+
+// Policy is one subtree's consistency/durability configuration. The zero
+// value plus Normalize is the paper's default policies file: RPCs
+// consistency, Stream durability, 100 inodes, interfere allow — i.e. the
+// subtree behaves like stock CephFS.
+type Policy struct {
+	// Consistency and Durability are the semantic levels. They are used
+	// to compile compositions when the explicit fields below are empty,
+	// and to position the subtree in Table I.
+	Consistency Consistency
+	Durability  Durability
+
+	// ConsistencyComp and DurabilityComp, when non-nil, override the
+	// compiled compositions (the policies-file values may be raw DSL).
+	ConsistencyComp Composition
+	DurabilityComp  Composition
+
+	// AllocatedInodes is the subtree's inode grant.
+	AllocatedInodes int
+
+	// Interfere is the subtree's interference policy.
+	Interfere Interfere
+
+	// Version is stamped by the monitor when the policy is distributed.
+	Version uint64
+}
+
+// Default returns the paper's default policy: strong consistency over
+// RPCs, global durability over Stream, 100 inodes, interfere allow.
+func Default() *Policy {
+	return &Policy{
+		Consistency:     ConsStrong,
+		Durability:      DurGlobal,
+		AllocatedInodes: DefaultAllocatedInodes,
+		Interfere:       InterfereAllow,
+	}
+}
+
+// Composition returns the full mechanism composition for the policy: the
+// explicit compositions when set, otherwise the Table I compilation of the
+// semantic levels.
+func (p *Policy) Composition() (Composition, error) {
+	if p.ConsistencyComp != nil || p.DurabilityComp != nil {
+		comp := append(Composition{}, p.ConsistencyComp...)
+		comp = append(comp, p.DurabilityComp...)
+		if err := ValidateComposition(comp); err != nil {
+			return nil, err
+		}
+		return comp, nil
+	}
+	comp, err := Compile(p.Consistency, p.Durability)
+	if err != nil {
+		return nil, err
+	}
+	return comp, nil
+}
+
+// Decoupled reports whether the subtree is decoupled from the global
+// namespace (its composition writes a client journal instead of RPCs).
+func (p *Policy) Decoupled() bool {
+	comp, err := p.Composition()
+	if err != nil {
+		return false
+	}
+	return comp.Contains(MechAppendClientJournal)
+}
+
+// Validate checks the policy for consistency. A zero inode grant is
+// allowed and means "inherit the parent subtree's grant" (or the default).
+func (p *Policy) Validate() error {
+	if p.AllocatedInodes < 0 {
+		return fmt.Errorf("%w: allocated_inodes %d", ErrParse, p.AllocatedInodes)
+	}
+	_, err := p.Composition()
+	return err
+}
+
+// String renders the policy in policies-file form.
+func (p *Policy) String() string {
+	var b strings.Builder
+	if p.ConsistencyComp != nil {
+		fmt.Fprintf(&b, "consistency: %s\n", p.ConsistencyComp)
+	} else {
+		fmt.Fprintf(&b, "consistency: %s\n", p.Consistency)
+	}
+	if p.DurabilityComp != nil {
+		fmt.Fprintf(&b, "durability: %s\n", p.DurabilityComp)
+	} else {
+		fmt.Fprintf(&b, "durability: %s\n", p.Durability)
+	}
+	fmt.Fprintf(&b, "allocated_inodes: %d\n", p.AllocatedInodes)
+	fmt.Fprintf(&b, "interfere: %s\n", p.Interfere)
+	return b.String()
+}
+
+// ParseFile parses a policies file (the "policies.yml" of §III-C): one
+// "key: value" pair per line, "#" comments, blank lines ignored. Keys:
+//
+//	consistency:      invisible | weak | strong | <mechanism DSL>
+//	durability:       none | local | global | <mechanism DSL>
+//	allocated_inodes: positive integer
+//	interfere:        allow | block
+//
+// Missing keys take the paper's defaults, so an empty file yields a
+// subtree that behaves like the existing CephFS implementation.
+func ParseFile(text string) (*Policy, error) {
+	p := Default()
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: missing ':' in %q", ErrParse, lineNo+1, raw)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		switch key {
+		case "consistency":
+			if c, err := ParseConsistency(value); err == nil {
+				p.Consistency = c
+				break
+			}
+			comp, err := ParseComposition(value)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			p.ConsistencyComp = comp
+		case "durability":
+			if d, err := ParseDurability(value); err == nil {
+				p.Durability = d
+				break
+			}
+			comp, err := ParseComposition(value)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			p.DurabilityComp = comp
+		case "allocated_inodes":
+			n, err := strconv.Atoi(value)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("%w: line %d: allocated_inodes %q", ErrParse, lineNo+1, value)
+			}
+			p.AllocatedInodes = n
+		case "interfere":
+			i, err := ParseInterfere(value)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			p.Interfere = i
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown key %q", ErrParse, lineNo+1, key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Inherit returns the effective policy for a child subtree under the
+// embeddable-policies extension (paper §VII future work): the child keeps
+// its parent's guarantees except for fields the child explicitly sets.
+// child may be nil, meaning "inherit everything".
+func Inherit(parent, child *Policy) *Policy {
+	if parent == nil {
+		parent = Default()
+	}
+	if child == nil {
+		cp := *parent
+		return &cp
+	}
+	out := *child
+	if out.AllocatedInodes == 0 {
+		out.AllocatedInodes = parent.AllocatedInodes
+	}
+	return &out
+}
+
+// Presets for the real-world systems of Figure 1 / Figure 5.
+var (
+	// PresetPOSIX is stock CephFS/IndexFS: strong consistency, global
+	// durability (RPCs + Stream).
+	PresetPOSIX = &Policy{Consistency: ConsStrong, Durability: DurGlobal,
+		AllocatedInodes: DefaultAllocatedInodes}
+	// PresetBatchFS: weak consistency, local durability.
+	PresetBatchFS = &Policy{Consistency: ConsWeak, Durability: DurLocal,
+		AllocatedInodes: DefaultAllocatedInodes}
+	// PresetDeltaFS: invisible consistency, local durability.
+	PresetDeltaFS = &Policy{Consistency: ConsInvisible, Durability: DurLocal,
+		AllocatedInodes: DefaultAllocatedInodes}
+	// PresetRAMDisk: weak consistency, no durability (decoupled,
+	// memory-only, merged on demand).
+	PresetRAMDisk = &Policy{Consistency: ConsWeak, Durability: DurNone,
+		AllocatedInodes: DefaultAllocatedInodes}
+)

@@ -1,0 +1,336 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseConsistencyDurability(t *testing.T) {
+	for _, name := range []string{"invisible", "weak", "strong"} {
+		c, err := ParseConsistency(name)
+		if err != nil || c.String() != name {
+			t.Errorf("consistency %q: %v, %v", name, c, err)
+		}
+	}
+	for _, name := range []string{"none", "local", "global"} {
+		d, err := ParseDurability(name)
+		if err != nil || d.String() != name {
+			t.Errorf("durability %q: %v, %v", name, d, err)
+		}
+	}
+	if _, err := ParseConsistency("bogus"); !errors.Is(err, ErrParse) {
+		t.Errorf("bogus consistency err = %v", err)
+	}
+	if _, err := ParseDurability("bogus"); !errors.Is(err, ErrParse) {
+		t.Errorf("bogus durability err = %v", err)
+	}
+}
+
+func TestParseMechanism(t *testing.T) {
+	for m, name := range map[Mechanism]string{
+		MechRPCs:                "rpcs",
+		MechAppendClientJournal: "append_client_journal",
+		MechVolatileApply:       "volatile_apply",
+		MechNonvolatileApply:    "nonvolatile_apply",
+		MechStream:              "stream",
+		MechLocalPersist:        "local_persist",
+		MechGlobalPersist:       "global_persist",
+	} {
+		got, err := ParseMechanism(name)
+		if err != nil || got != m {
+			t.Errorf("mechanism %q = %v, %v", name, got, err)
+		}
+	}
+	// Aliases.
+	if m, _ := ParseMechanism("append"); m != MechAppendClientJournal {
+		t.Error("alias append failed")
+	}
+	if m, _ := ParseMechanism("rpc"); m != MechRPCs {
+		t.Error("alias rpc failed")
+	}
+	if _, err := ParseMechanism("nope"); !errors.Is(err, ErrParse) {
+		t.Errorf("bad mechanism err = %v", err)
+	}
+}
+
+func TestParseComposition(t *testing.T) {
+	comp, err := ParseComposition("append_client_journal+local_persist||volatile_apply")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(comp) != 2 {
+		t.Fatalf("steps = %d, want 2", len(comp))
+	}
+	if len(comp[0].Parallel) != 1 || comp[0].Parallel[0] != MechAppendClientJournal {
+		t.Fatalf("step 0 = %v", comp[0])
+	}
+	if len(comp[1].Parallel) != 2 ||
+		comp[1].Parallel[0] != MechLocalPersist ||
+		comp[1].Parallel[1] != MechVolatileApply {
+		t.Fatalf("step 1 = %v", comp[1])
+	}
+	// Round trip through String.
+	again, err := ParseComposition(comp.String())
+	if err != nil || again.String() != comp.String() {
+		t.Fatalf("string round trip: %q vs %q (%v)", again, comp, err)
+	}
+}
+
+func TestParseCompositionErrors(t *testing.T) {
+	for _, s := range []string{"", "+", "append+", "x||y", "append_client_journal++stream"} {
+		if _, err := ParseComposition(s); err == nil {
+			t.Errorf("ParseComposition(%q) accepted", s)
+		}
+	}
+}
+
+func TestCompileTableI(t *testing.T) {
+	// Every cell of Table I.
+	want := map[[2]int]string{
+		{int(ConsInvisible), int(DurNone)}:   "append_client_journal",
+		{int(ConsWeak), int(DurNone)}:        "append_client_journal+volatile_apply",
+		{int(ConsStrong), int(DurNone)}:      "rpcs",
+		{int(ConsInvisible), int(DurLocal)}:  "append_client_journal+local_persist",
+		{int(ConsWeak), int(DurLocal)}:       "append_client_journal+local_persist+volatile_apply",
+		{int(ConsStrong), int(DurLocal)}:     "rpcs+local_persist",
+		{int(ConsInvisible), int(DurGlobal)}: "append_client_journal+global_persist",
+		{int(ConsWeak), int(DurGlobal)}:      "append_client_journal+global_persist+volatile_apply",
+		{int(ConsStrong), int(DurGlobal)}:    "rpcs+stream",
+	}
+	for key, dsl := range want {
+		comp, err := Compile(Consistency(key[0]), Durability(key[1]))
+		if err != nil {
+			t.Errorf("compile (%d,%d): %v", key[0], key[1], err)
+			continue
+		}
+		if comp.String() != dsl {
+			t.Errorf("cell (%v,%v) = %q, want %q",
+				Consistency(key[0]), Durability(key[1]), comp, dsl)
+		}
+		if err := ValidateComposition(comp); err != nil {
+			t.Errorf("cell (%v,%v) invalid: %v",
+				Consistency(key[0]), Durability(key[1]), err)
+		}
+	}
+}
+
+func TestValidateCompositionRejectsSenseless(t *testing.T) {
+	bad := []string{
+		"append_client_journal+rpcs",       // same updates twice (paper §III-B)
+		"stream+local_persist",             // global subsumes local (paper §III-B)
+		"volatile_apply+nonvolatile_apply", // double apply
+		"rpcs||append_client_journal",      // parallel variant
+	}
+	for _, dsl := range bad {
+		comp, err := ParseComposition(dsl)
+		if err != nil {
+			t.Fatalf("parse %q: %v", dsl, err)
+		}
+		if err := ValidateComposition(comp); !errors.Is(err, ErrSenseless) {
+			t.Errorf("ValidateComposition(%q) = %v, want ErrSenseless", dsl, err)
+		}
+	}
+	if err := ValidateComposition(nil); !errors.Is(err, ErrSenseless) {
+		t.Errorf("empty composition err = %v", err)
+	}
+}
+
+func TestPolicyDefault(t *testing.T) {
+	p := Default()
+	comp, err := p.Composition()
+	if err != nil {
+		t.Fatalf("composition: %v", err)
+	}
+	if comp.String() != "rpcs+stream" {
+		t.Fatalf("default composition = %q, want rpcs+stream", comp)
+	}
+	if p.AllocatedInodes != 100 || p.Interfere != InterfereAllow {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if p.Decoupled() {
+		t.Fatal("default policy should not be decoupled")
+	}
+}
+
+func TestPolicyDecoupled(t *testing.T) {
+	p := &Policy{Consistency: ConsInvisible, Durability: DurLocal, AllocatedInodes: 10}
+	if !p.Decoupled() {
+		t.Fatal("invisible/local should be decoupled")
+	}
+}
+
+func TestParseFileEmpty(t *testing.T) {
+	p, err := ParseFile("")
+	if err != nil {
+		t.Fatalf("empty file: %v", err)
+	}
+	comp, _ := p.Composition()
+	if comp.String() != "rpcs+stream" {
+		t.Fatalf("empty policies file composition = %q", comp)
+	}
+	if p.AllocatedInodes != 100 {
+		t.Fatalf("empty policies file inodes = %d", p.AllocatedInodes)
+	}
+}
+
+func TestParseFileFull(t *testing.T) {
+	text := `
+# BatchFS-style subtree
+consistency: weak
+durability: local
+allocated_inodes: 200000
+interfere: block
+`
+	p, err := ParseFile(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if p.Consistency != ConsWeak || p.Durability != DurLocal {
+		t.Fatalf("levels = %v/%v", p.Consistency, p.Durability)
+	}
+	if p.AllocatedInodes != 200000 || p.Interfere != InterfereBlock {
+		t.Fatalf("policy = %+v", p)
+	}
+	comp, _ := p.Composition()
+	if comp.String() != "append_client_journal+local_persist+volatile_apply" {
+		t.Fatalf("composition = %q", comp)
+	}
+}
+
+func TestParseFileExplicitDSL(t *testing.T) {
+	p, err := ParseFile("consistency: append_client_journal\ndurability: global_persist||local_persist\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	comp, err := p.Composition()
+	if err != nil {
+		t.Fatalf("composition: %v", err)
+	}
+	if comp.String() != "append_client_journal+global_persist||local_persist" {
+		t.Fatalf("composition = %q", comp)
+	}
+}
+
+func TestParseFileErrors(t *testing.T) {
+	cases := []string{
+		"consistency weak",       // missing colon
+		"consistency: sorta",     // unknown level and not DSL
+		"allocated_inodes: -5",   // non-positive
+		"allocated_inodes: many", // non-integer
+		"interfere: maybe",       // unknown
+		"favourite_colour: blue", // unknown key
+		"consistency: rpcs\ndurability: local_persist||stream\n", // senseless combo
+	}
+	for _, text := range cases {
+		if _, err := ParseFile(text); err == nil {
+			t.Errorf("ParseFile(%q) accepted", text)
+		}
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	p := &Policy{Consistency: ConsWeak, Durability: DurGlobal, AllocatedInodes: 5000, Interfere: InterfereBlock}
+	p2, err := ParseFile(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if p2.Consistency != p.Consistency || p2.Durability != p.Durability ||
+		p2.AllocatedInodes != p.AllocatedInodes || p2.Interfere != p.Interfere {
+		t.Fatalf("round trip: %+v vs %+v", p2, p)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	cases := []struct {
+		p    *Policy
+		want string
+	}{
+		{PresetPOSIX, "rpcs+stream"},
+		{PresetBatchFS, "append_client_journal+local_persist+volatile_apply"},
+		{PresetDeltaFS, "append_client_journal+local_persist"},
+		{PresetRAMDisk, "append_client_journal+volatile_apply"},
+	}
+	for _, c := range cases {
+		comp, err := c.p.Composition()
+		if err != nil {
+			t.Errorf("preset %v: %v", c.p, err)
+			continue
+		}
+		if comp.String() != c.want {
+			t.Errorf("preset composition = %q, want %q", comp, c.want)
+		}
+	}
+}
+
+func TestInherit(t *testing.T) {
+	parent := &Policy{Consistency: ConsStrong, Durability: DurGlobal, AllocatedInodes: 500}
+	// nil child inherits everything.
+	got := Inherit(parent, nil)
+	if got.Consistency != ConsStrong || got.AllocatedInodes != 500 {
+		t.Fatalf("nil child inherit = %+v", got)
+	}
+	if got == parent {
+		t.Fatal("Inherit returned the parent pointer, want a copy")
+	}
+	// Child with explicit fields keeps them but inherits the grant.
+	child := &Policy{Consistency: ConsStrong, Durability: DurNone}
+	got = Inherit(parent, child)
+	if got.Durability != DurNone {
+		t.Fatalf("child durability overridden: %+v", got)
+	}
+	if got.AllocatedInodes != 500 {
+		t.Fatalf("child did not inherit inode grant: %+v", got)
+	}
+	// nil parent falls back to defaults.
+	got = Inherit(nil, nil)
+	if got.AllocatedInodes != 100 {
+		t.Fatalf("nil parent inherit = %+v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	p.AllocatedInodes = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative inode grant accepted")
+	}
+	p.AllocatedInodes = 0 // zero means "inherit"
+	if err := p.Validate(); err != nil {
+		t.Fatalf("zero inode grant rejected: %v", err)
+	}
+}
+
+// Property: Compile output always validates and is decoupled exactly when
+// consistency != strong.
+func TestCompileQuick(t *testing.T) {
+	f := func(c, d uint8) bool {
+		cons := Consistency(c % 3)
+		dur := Durability(d % 3)
+		comp, err := Compile(cons, dur)
+		if err != nil {
+			return false
+		}
+		if ValidateComposition(comp) != nil {
+			return false
+		}
+		wantDecoupled := cons != ConsStrong
+		return comp.Contains(MechAppendClientJournal) == wantDecoupled
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMechanismStringUnknown(t *testing.T) {
+	if s := Mechanism(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("unknown mechanism string = %q", s)
+	}
+	if Mechanism(99).Valid() {
+		t.Fatal("mechanism 99 reported valid")
+	}
+}

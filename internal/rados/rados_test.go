@@ -1,0 +1,334 @@
+package rados
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cudele/internal/model"
+	"cudele/internal/sim"
+)
+
+func newTestCluster(t *testing.T) (*sim.Engine, *Cluster) {
+	t.Helper()
+	e := sim.NewEngine(7)
+	return e, New(e, model.Default())
+}
+
+// run executes fn as a sim process and drives the engine to completion.
+func run(t *testing.T, e *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	e.Go("test", fn)
+	e.RunAll()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("leaked %d procs", e.LiveProcs())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	e, c := newTestCluster(t)
+	oid := ObjectID{Pool: "meta", Name: "obj1"}
+	run(t, e, func(p *sim.Proc) {
+		c.Write(p, oid, []byte("hello"))
+		got, err := c.Read(p, oid)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if string(got) != "hello" {
+			t.Errorf("read = %q, want hello", got)
+		}
+	})
+}
+
+func TestWriteOverwrites(t *testing.T) {
+	e, c := newTestCluster(t)
+	oid := ObjectID{Pool: "meta", Name: "obj1"}
+	run(t, e, func(p *sim.Proc) {
+		c.Write(p, oid, []byte("aaaa"))
+		c.Write(p, oid, []byte("bb"))
+		got, _ := c.Read(p, oid)
+		if string(got) != "bb" {
+			t.Errorf("after overwrite = %q, want bb", got)
+		}
+	})
+}
+
+func TestAppend(t *testing.T) {
+	e, c := newTestCluster(t)
+	oid := ObjectID{Pool: "meta", Name: "log"}
+	run(t, e, func(p *sim.Proc) {
+		c.Append(p, oid, []byte("ab"))
+		c.Append(p, oid, []byte("cd"))
+		got, _ := c.Read(p, oid)
+		if string(got) != "abcd" {
+			t.Errorf("appended = %q, want abcd", got)
+		}
+	})
+}
+
+func TestReadMissing(t *testing.T) {
+	e, c := newTestCluster(t)
+	run(t, e, func(p *sim.Proc) {
+		_, err := c.Read(p, ObjectID{Pool: "meta", Name: "nope"})
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	e, c := newTestCluster(t)
+	oid := ObjectID{Pool: "meta", Name: "obj"}
+	run(t, e, func(p *sim.Proc) {
+		c.Write(p, oid, []byte("orig"))
+		got, _ := c.Read(p, oid)
+		got[0] = 'X'
+		again, _ := c.Read(p, oid)
+		if string(again) != "orig" {
+			t.Errorf("mutating a read corrupted the store: %q", again)
+		}
+	})
+}
+
+func TestRemoveAndExists(t *testing.T) {
+	e, c := newTestCluster(t)
+	oid := ObjectID{Pool: "meta", Name: "obj"}
+	run(t, e, func(p *sim.Proc) {
+		c.Write(p, oid, []byte("x"))
+		if !c.Exists(p, oid) {
+			t.Error("object missing after write")
+		}
+		if err := c.Remove(p, oid); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		if c.Exists(p, oid) {
+			t.Error("object exists after remove")
+		}
+		if err := c.Remove(p, oid); !errors.Is(err, ErrNotFound) {
+			t.Errorf("second remove err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestStat(t *testing.T) {
+	e, c := newTestCluster(t)
+	oid := ObjectID{Pool: "meta", Name: "obj"}
+	run(t, e, func(p *sim.Proc) {
+		c.Write(p, oid, make([]byte, 123))
+		n, err := c.Stat(p, oid)
+		if err != nil || n != 123 {
+			t.Errorf("stat = %d,%v, want 123,nil", n, err)
+		}
+		_, err = c.Stat(p, ObjectID{Pool: "meta", Name: "gone"})
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("stat missing err = %v", err)
+		}
+	})
+}
+
+func TestOmap(t *testing.T) {
+	e, c := newTestCluster(t)
+	oid := ObjectID{Pool: "meta", Name: "dir.1"}
+	run(t, e, func(p *sim.Proc) {
+		c.OmapSet(p, oid, map[string][]byte{"b": []byte("2"), "a": []byte("1")})
+		v, err := c.OmapGet(p, oid, "a")
+		if err != nil || string(v) != "1" {
+			t.Errorf("omap get a = %q,%v", v, err)
+		}
+		keys, err := c.OmapList(p, oid)
+		if err != nil || len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+			t.Errorf("omap list = %v,%v", keys, err)
+		}
+		if err := c.OmapRemove(p, oid, "a"); err != nil {
+			t.Errorf("omap remove: %v", err)
+		}
+		if _, err := c.OmapGet(p, oid, "a"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("removed key err = %v", err)
+		}
+		if err := c.OmapRemove(p, oid, "zz"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing key remove err = %v", err)
+		}
+	})
+}
+
+func TestList(t *testing.T) {
+	e, c := newTestCluster(t)
+	run(t, e, func(p *sim.Proc) {
+		c.Write(p, ObjectID{Pool: "a", Name: "x"}, nil)
+		c.Write(p, ObjectID{Pool: "a", Name: "y"}, nil)
+		c.Write(p, ObjectID{Pool: "b", Name: "z"}, nil)
+		got := c.List(p, "a")
+		if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+			t.Errorf("list a = %v", got)
+		}
+	})
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	e, c := newTestCluster(t)
+	_ = e
+	oid := ObjectID{Pool: "meta", Name: "obj"}
+	a := c.primary(oid)
+	b := c.primary(oid)
+	if a != b {
+		t.Fatal("placement not deterministic")
+	}
+}
+
+func TestPlacementSpreads(t *testing.T) {
+	e, c := newTestCluster(t)
+	_ = e
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		oid := ObjectID{Pool: "meta", Name: stripeName("j", i)}
+		seen[c.primary(oid).ID] = true
+	}
+	if len(seen) != len(c.osds) {
+		t.Fatalf("200 objects hit only %d/%d OSDs", len(seen), len(c.osds))
+	}
+}
+
+func TestWriteChargesTime(t *testing.T) {
+	e, c := newTestCluster(t)
+	var took sim.Time
+	run(t, e, func(p *sim.Proc) {
+		start := p.Now()
+		c.Write(p, ObjectID{Pool: "meta", Name: "big"}, make([]byte, 12<<20))
+		took = p.Now() - start
+	})
+	// 12 MB at 120 MB/s disk is at least 100 ms.
+	if took.Seconds() < 0.1 {
+		t.Fatalf("12MB write took %.3fs, want >= 0.1s", took.Seconds())
+	}
+}
+
+func TestStriperRoundTrip(t *testing.T) {
+	e, c := newTestCluster(t)
+	s := NewStriper(c)
+	data := make([]byte, 10<<20) // 2.5 stripes at 4 MB
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	run(t, e, func(p *sim.Proc) {
+		s.Write(p, "journal", "client0", data)
+		got, err := s.Read(p, "journal", "client0")
+		if err != nil {
+			t.Errorf("striper read: %v", err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("striper round trip mismatch")
+		}
+	})
+	// 10 MB / 4 MB = 3 stripe objects.
+	if n := c.Stats().Objects; n != 3 {
+		t.Fatalf("stripe objects = %d, want 3", n)
+	}
+}
+
+func TestStriperParallelBeatsSerial(t *testing.T) {
+	// Striping across independent OSD disks should be faster than one
+	// serial append of the same bytes to a single object.
+	cfg := model.Default()
+	data := make([]byte, 24<<20)
+
+	e1 := sim.NewEngine(1)
+	c1 := New(e1, cfg)
+	var striped sim.Time
+	e1.Go("w", func(p *sim.Proc) {
+		start := p.Now()
+		NewStriper(c1).Write(p, "j", "x", data)
+		striped = p.Now() - start
+	})
+	e1.RunAll()
+
+	e2 := sim.NewEngine(1)
+	c2 := New(e2, cfg)
+	var serial sim.Time
+	e2.Go("w", func(p *sim.Proc) {
+		start := p.Now()
+		c2.Write(p, ObjectID{Pool: "j", Name: "x"}, data)
+		serial = p.Now() - start
+	})
+	e2.RunAll()
+
+	if float64(striped) > 0.8*float64(serial) {
+		t.Fatalf("striped %v not faster than serial %v", striped, serial)
+	}
+}
+
+func TestStriperRemove(t *testing.T) {
+	e, c := newTestCluster(t)
+	s := NewStriper(c)
+	run(t, e, func(p *sim.Proc) {
+		s.Write(p, "j", "x", make([]byte, 9<<20))
+		if err := s.Remove(p, "j", "x"); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		if _, err := s.Read(p, "j", "x"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("read after remove err = %v", err)
+		}
+		if err := s.Remove(p, "j", "x"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("double remove err = %v", err)
+		}
+	})
+}
+
+func TestStriperEmptyWrite(t *testing.T) {
+	e, c := newTestCluster(t)
+	s := NewStriper(c)
+	run(t, e, func(p *sim.Proc) {
+		s.Write(p, "j", "empty", nil)
+		got, err := s.Read(p, "j", "empty")
+		if err != nil || len(got) != 0 {
+			t.Errorf("empty round trip = %v,%v", got, err)
+		}
+	})
+}
+
+func TestStats(t *testing.T) {
+	e, c := newTestCluster(t)
+	run(t, e, func(p *sim.Proc) {
+		c.Write(p, ObjectID{Pool: "a", Name: "x"}, make([]byte, 10))
+		c.Read(p, ObjectID{Pool: "a", Name: "x"})
+		c.Remove(p, ObjectID{Pool: "a", Name: "x"})
+	})
+	st := c.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesWritten != 10 || st.BytesRead != 10 {
+		t.Fatalf("byte stats = %+v", st)
+	}
+}
+
+// Property: any sequence of write/append/read through the striper
+// reassembles exactly.
+func TestStriperQuick(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		var want []byte
+		for _, ch := range chunks {
+			want = append(want, ch...)
+		}
+		cfg := model.Default()
+		cfg.StripeUnit = 64 // tiny stripes to force many objects
+		e := sim.NewEngine(3)
+		c := New(e, cfg)
+		s := NewStriper(c)
+		ok := true
+		e.Go("w", func(p *sim.Proc) {
+			s.Write(p, "j", "q", want)
+			got, err := s.Read(p, "j", "q")
+			if err != nil || !bytes.Equal(got, want) {
+				ok = false
+			}
+		})
+		e.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

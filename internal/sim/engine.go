@@ -1,0 +1,214 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// It provides a virtual clock, coroutine-style processes, FIFO resource
+// servers with utilization accounting, bandwidth pipes, and condition
+// signals. The Cudele cluster (clients, metadata servers, object storage
+// daemons, monitor) is modeled as sim processes that execute the real
+// metadata code paths while charging virtual time to simulated devices.
+//
+// Only one process runs at a time; the engine and the running process hand
+// control back and forth over unbuffered channels, so simulations are fully
+// deterministic for a given seed and schedule.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is convertible to
+// and from time.Duration.
+type Duration = time.Duration
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events run FIFO
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the event queue.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	running bool
+
+	// yielded is signaled by a process when it blocks or finishes,
+	// returning control to the engine loop.
+	yielded chan struct{}
+
+	procs   int // live process count, for leak detection
+	stopped bool
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose random
+// source is seeded deterministically with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:     rand.New(rand.NewSource(seed)),
+		yielded: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation processes (never concurrently).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule arranges for fn to run at time e.Now()+d. Scheduling with d <= 0
+// runs fn as soon as the current process yields.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + Time(d), seq: e.seq, fn: fn})
+}
+
+// Go spawns a new process executing fn. The process starts when the engine
+// next reaches the current virtual time in its event loop.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.procs++
+	e.Schedule(0, func() {
+		go func() {
+			defer func() {
+				p.done = true
+				e.procs--
+				e.yielded <- struct{}{}
+			}()
+			fn(p)
+		}()
+		// Wait for the new goroutine to block or finish.
+		<-e.yielded
+	})
+	return p
+}
+
+// Run drives the event loop until the queue is empty or the clock passes
+// until (use a huge value to run to completion). It returns the final
+// virtual time.
+func (e *Engine) Run(until Time) Time {
+	if e.running {
+		panic("sim: Engine.Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at > until {
+			// Push back so a later Run can continue.
+			heap.Push(&e.queue, ev)
+			break
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunAll drives the event loop until no events remain.
+func (e *Engine) RunAll() Time { return e.Run(Time(1<<62 - 1)) }
+
+// Stop halts the event loop after the current event completes. Blocked
+// processes are abandoned (their goroutines are parked forever), so Stop is
+// intended for ending a simulation for good, typically from within a
+// process right before the caller discards the engine.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// LiveProcs reports the number of processes that have been spawned and not
+// yet finished. After RunAll on a well-formed simulation this is the number
+// of processes blocked forever (normally zero).
+func (e *Engine) LiveProcs() int { return e.procs }
+
+// Proc is a simulation process: a goroutine that alternates control with
+// the engine. All Proc methods must be called from the process's own
+// goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the process name given to Engine.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine that owns this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// block yields control to the engine and waits until some event calls
+// p.wake.
+func (p *Proc) block() {
+	p.eng.yielded <- struct{}{}
+	<-p.resume
+}
+
+// wake resumes a blocked process from engine context (inside an event) and
+// waits for it to block again or finish.
+func (p *Proc) wake() {
+	p.resume <- struct{}{}
+	<-p.eng.yielded
+}
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		// Still yield so equal-time events interleave fairly.
+		d = 0
+	}
+	p.eng.Schedule(d, p.wake)
+	p.block()
+}
+
+// Yield gives other ready events a chance to run at the current time.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }

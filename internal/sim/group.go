@@ -1,0 +1,55 @@
+package sim
+
+// Group waits for a set of simulation processes to finish, like a
+// sync.WaitGroup for virtual time. Add/Done/Wait must all be called from
+// simulation context (inside events or processes), never concurrently.
+type Group struct {
+	eng  *Engine
+	n    int
+	done *Signal
+}
+
+// NewGroup creates an empty group bound to engine e.
+func NewGroup(e *Engine) *Group {
+	return &Group{eng: e, done: NewSignal(e)}
+}
+
+// Add registers delta more processes the group will wait for.
+func (g *Group) Add(delta int) {
+	g.n += delta
+	if g.n < 0 {
+		panic("sim: Group counter below zero")
+	}
+}
+
+// Done marks one process finished, firing the completion signal when the
+// count reaches zero.
+func (g *Group) Done() {
+	g.Add(-1)
+	if g.n == 0 && !g.done.Fired() {
+		g.done.Fire(nil)
+	}
+}
+
+// Go spawns fn as a process tracked by the group.
+func (g *Group) Go(name string, fn func(p *Proc)) {
+	g.Add(1)
+	g.eng.Go(name, func(p *Proc) {
+		defer g.Done()
+		fn(p)
+	})
+}
+
+// Wait blocks p until the group count reaches zero. A group that never had
+// members fires immediately on the first Done... so Wait on an empty group
+// that was never used blocks forever; always pair Wait with prior Go/Add.
+func (g *Group) Wait(p *Proc) {
+	if g.n == 0 && g.done.Fired() {
+		return
+	}
+	if g.n == 0 && !g.done.Fired() {
+		// Nothing pending and nothing ever registered: treat as done.
+		return
+	}
+	g.done.Wait(p)
+}

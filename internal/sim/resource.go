@@ -1,0 +1,234 @@
+package sim
+
+import "fmt"
+
+// Signal is a one-shot condition: processes Wait on it and are all released
+// when Fire is called. Fire may be called before any Wait, in which case
+// Wait returns immediately. Signals carry an optional value.
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	val     interface{}
+	waiters []*Proc
+}
+
+// NewSignal creates a signal bound to engine e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Fire releases all current and future waiters, handing them val.
+// Firing twice panics: a signal is one-shot by design.
+func (s *Signal) Fire(val interface{}) {
+	if s.fired {
+		panic("sim: Signal fired twice")
+	}
+	s.fired = true
+	s.val = val
+	for _, w := range s.waiters {
+		w := w
+		s.eng.Schedule(0, w.wake)
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Wait blocks p until the signal fires and returns the fired value.
+func (s *Signal) Wait(p *Proc) interface{} {
+	if !s.fired {
+		s.waiters = append(s.waiters, p)
+		p.block()
+	}
+	return s.val
+}
+
+// Resource is a server with integer capacity and a FIFO queue. It tracks
+// busy time so utilization can be reported. A Resource with capacity 1
+// models an exclusive device (one CPU core, one disk head); higher
+// capacities model pools.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	queue    []*Proc
+
+	// accounting
+	busyArea   float64 // integral of inUse over time, in unit·seconds
+	lastChange Time
+	acquires   uint64
+	waitTotal  Duration
+	waitStart  map[*Proc]Time
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{
+		eng:       e,
+		name:      name,
+		capacity:  capacity,
+		waitStart: make(map[*Proc]Time),
+	}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) account() {
+	now := r.eng.now
+	r.busyArea += float64(r.inUse) * (now - r.lastChange).Seconds()
+	r.lastChange = now
+}
+
+// Acquire takes one unit, blocking p in FIFO order until one is free.
+func (r *Resource) Acquire(p *Proc) {
+	r.acquires++
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.account()
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	r.waitStart[p] = r.eng.now
+	p.block()
+	// Woken by Release with the unit already transferred to us.
+	r.waitTotal += Duration(r.eng.now - r.waitStart[p])
+	delete(r.waitStart, p)
+}
+
+// TryAcquire takes one unit if immediately available and reports success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.account()
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit and hands it to the head waiter, if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: resource %q released below zero", r.name))
+	}
+	if len(r.queue) > 0 {
+		// Transfer the unit directly: inUse stays constant, so no
+		// accounting edge.
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.eng.Schedule(0, next.wake)
+		return
+	}
+	r.account()
+	r.inUse--
+}
+
+// Use acquires one unit, holds it for service duration d, then releases.
+// This is the common "serve one request" pattern.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Utilization returns mean busy fraction (busy unit·time / capacity·time)
+// over the window from simulation start to now.
+func (r *Resource) Utilization() float64 {
+	r.account()
+	elapsed := r.eng.now.Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.busyArea / (elapsed * float64(r.capacity))
+}
+
+// UtilizationSince returns the mean busy fraction between mark and now,
+// where mark was obtained from UtilizationMark.
+func (r *Resource) UtilizationSince(mark ResourceMark) float64 {
+	r.account()
+	dt := (r.eng.now - mark.at).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (r.busyArea - mark.busyArea) / (dt * float64(r.capacity))
+}
+
+// ResourceMark is a snapshot of resource accounting, for windowed
+// utilization measurements.
+type ResourceMark struct {
+	at       Time
+	busyArea float64
+}
+
+// UtilizationMark snapshots the accounting state at the current time.
+func (r *Resource) UtilizationMark() ResourceMark {
+	r.account()
+	return ResourceMark{at: r.eng.now, busyArea: r.busyArea}
+}
+
+// Acquires returns the total number of Acquire/TryAcquire grants requested.
+func (r *Resource) Acquires() uint64 { return r.acquires }
+
+// MeanWait returns the mean queueing delay of completed Acquire calls that
+// had to wait.
+func (r *Resource) MeanWait() Duration {
+	if r.acquires == 0 {
+		return 0
+	}
+	return r.waitTotal / Duration(r.acquires)
+}
+
+// Pipe models a store-and-forward link or device with a fixed bandwidth in
+// bytes per second. Transfers are serialized FIFO through the pipe, so
+// concurrent transfers queue, which matches a single NIC or disk channel.
+type Pipe struct {
+	res  *Resource
+	rate float64 // bytes per second
+	sent uint64
+}
+
+// NewPipe creates a bandwidth pipe. rate must be positive (bytes/second).
+func NewPipe(e *Engine, name string, rate float64) *Pipe {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: pipe %q rate %v <= 0", name, rate))
+	}
+	return &Pipe{res: NewResource(e, name, 1), rate: rate}
+}
+
+// Transfer moves n bytes through the pipe, blocking p for queueing plus
+// n/rate seconds of service time.
+func (pp *Pipe) Transfer(p *Proc, n int64) {
+	if n < 0 {
+		panic("sim: negative transfer size")
+	}
+	pp.sent += uint64(n)
+	d := Duration(float64(n) / pp.rate * 1e9)
+	pp.res.Use(p, d)
+}
+
+// Rate returns the configured bandwidth in bytes per second.
+func (pp *Pipe) Rate() float64 { return pp.rate }
+
+// Bytes returns the total bytes pushed through the pipe.
+func (pp *Pipe) Bytes() uint64 { return pp.sent }
+
+// Utilization returns the pipe's busy fraction since simulation start.
+func (pp *Pipe) Utilization() float64 { return pp.res.Utilization() }
+
+// UtilizationMark snapshots pipe accounting for windowed measurement.
+func (pp *Pipe) UtilizationMark() ResourceMark { return pp.res.UtilizationMark() }
+
+// UtilizationSince returns busy fraction since mark.
+func (pp *Pipe) UtilizationSince(m ResourceMark) float64 { return pp.res.UtilizationSince(m) }

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Histogram is a log-scale latency histogram with quarter-octave buckets:
+// bucket i counts samples in [2^(i/4), 2^((i+1)/4)) microseconds, giving
+// ~19% relative resolution. It is cheap enough to sit on every client's
+// RPC path and supports approximate quantiles (upper bucket bounds),
+// which is what the tail-latency reporting in the benchmarks uses.
+type Histogram struct {
+	counts [160]uint64 // 2^40 us ~= 12.7 days, plenty
+	total  uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// subBuckets is the number of buckets per power of two.
+const subBuckets = 4
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log2(float64(us)) * subBuckets)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(Histogram{}.counts) {
+		b = len(Histogram{}.counts) - 1
+	}
+	return b
+}
+
+// bucketUpper returns the upper bound of bucket i in microseconds.
+func bucketUpper(i int) time.Duration {
+	us := math.Exp2(float64(i+1) / subBuckets)
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.total++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean sample.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// upper edge of the bucket containing it.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			upper := bucketUpper(i)
+			if upper > h.max && h.max > 0 {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// String summarizes count/mean/p50/p99/max.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.5).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.max.Round(time.Microsecond))
+	return b.String()
+}

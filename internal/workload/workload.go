@@ -1,0 +1,131 @@
+// Package workload generates the metadata workloads of the paper's
+// evaluation: create-heavy private-directory jobs (checkpoint-restart,
+// untar), interfering clients, the Linux-compile phase mix of Figure 2,
+// and the namespace-sync writer of Figure 6c.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"cudele/internal/client"
+	"cudele/internal/namespace"
+	"cudele/internal/sim"
+)
+
+// CreateMany issues n file creates named <prefix>NNNNNN in dir via the
+// RPCs mechanism, the create-heavy pattern of §V-B1. It stops at the
+// first error other than EBUSY; EBUSY replies (blocked subtrees) are
+// counted and skipped, modeling an interferer that keeps trying.
+func CreateMany(p *sim.Proc, c *client.Client, dir namespace.Ino, n int, prefix string) (created, busy int, err error) {
+	for i := 0; i < n; i++ {
+		_, cerr := c.Create(p, dir, fmt.Sprintf("%s%06d", prefix, i), 0644)
+		switch {
+		case cerr == nil:
+			created++
+		case errors.Is(cerr, namespace.ErrBusy):
+			busy++
+		default:
+			return created, busy, cerr
+		}
+	}
+	return created, busy, nil
+}
+
+// CreateManyLocal issues n decoupled creates (Append Client Journal).
+func CreateManyLocal(p *sim.Proc, c *client.Client, dir namespace.Ino, n int, prefix string) (int, error) {
+	for i := 0; i < n; i++ {
+		if _, err := c.LocalCreate(p, dir, fmt.Sprintf("%s%06d", prefix, i), 0644); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+// Interfere creates perDir files in every listed directory — the
+// interfering client of Figures 3b, 3c, and 6b, which triggers capability
+// revocations and false sharing.
+func Interfere(p *sim.Proc, c *client.Client, dirs []namespace.Ino, perDir int) (created, busy int) {
+	for round := 0; round < perDir; round++ {
+		for di, dir := range dirs {
+			_, err := c.Create(p, dir, fmt.Sprintf("intruder-%d-%06d", di, round), 0644)
+			switch {
+			case err == nil:
+				created++
+			case errors.Is(err, namespace.ErrBusy):
+				busy++
+			}
+		}
+	}
+	return created, busy
+}
+
+// Phase is one stage of the compile-trace workload (Figure 2), defined by
+// its metadata op mix per unit of work.
+type Phase struct {
+	Name string
+	// Ops per work unit.
+	Creates  int
+	Mkdirs   int
+	Lookups  int
+	ReadDirs int
+	Renames  int
+	Units    int
+}
+
+// CompilePhases models compiling the Linux kernel in a CephFS mount
+// (paper Fig 2): download (data-heavy, little metadata), untar (a flash
+// crowd of creates — the highest metadata load), configure (stat/lookup
+// heavy), make (mixed lookups and creates), install (creates + renames).
+func CompilePhases() []Phase {
+	return []Phase{
+		{Name: "download", Lookups: 3, Creates: 1, Units: 30},
+		{Name: "untar", Mkdirs: 1, Creates: 40, Lookups: 4, Units: 120},
+		{Name: "configure", Lookups: 30, ReadDirs: 4, Creates: 1, Units: 60},
+		{Name: "make", Lookups: 20, Creates: 5, Units: 150},
+		{Name: "install", Creates: 5, Renames: 2, Lookups: 14, Units: 40},
+	}
+}
+
+// RunPhase executes one phase inside dir (the phase's working directory,
+// created by the caller so setup stays outside any measurement window).
+// It returns the number of metadata ops issued.
+func RunPhase(p *sim.Proc, c *client.Client, dir namespace.Ino, ph Phase) (int, error) {
+	ops := 0
+	for u := 0; u < ph.Units; u++ {
+		sub := dir
+		for i := 0; i < ph.Mkdirs; i++ {
+			d, err := c.Mkdir(p, sub, fmt.Sprintf("d%04d-%d", u, i), 0755)
+			if err != nil {
+				return ops, err
+			}
+			sub = d
+			ops++
+		}
+		for i := 0; i < ph.Creates; i++ {
+			if _, err := c.Create(p, sub, fmt.Sprintf("f%04d-%d", u, i), 0644); err != nil {
+				return ops, err
+			}
+			ops++
+		}
+		for i := 0; i < ph.Lookups; i++ {
+			// Existence checks over the phase directory; misses are
+			// part of the workload.
+			c.Lookup(p, sub, fmt.Sprintf("f%04d-%d", u, i%(ph.Creates+1)))
+			ops++
+		}
+		for i := 0; i < ph.ReadDirs; i++ {
+			if _, err := c.ReadDir(p, dir); err != nil {
+				return ops, err
+			}
+			ops++
+		}
+		for i := 0; i < ph.Renames; i++ {
+			src := fmt.Sprintf("f%04d-%d", u, i)
+			if err := c.Rename(p, sub, src, sub, src+".done"); err == nil {
+				ops++
+			}
+		}
+	}
+	return ops, nil
+}
