@@ -4,16 +4,17 @@
 //
 //	cudele-bench [-scale 1.0] [-seed 1] [-csv] [experiment ...]
 //
-// With no arguments it runs every experiment. Experiments: table1, fig2,
-// fig3a, fig3b, fig3c, fig5, fig6a, fig6b, fig6c. Scale 1.0 is paper
-// scale (100K creates/client, 1M updates for fig6c); smaller scales
-// preserve the normalized shapes and run much faster.
+// With no arguments (or the id "all") it runs every experiment; see
+// -list for the registry. Scale 1.0 is paper scale (100K creates/client,
+// 1M updates for fig6c); smaller scales preserve the normalized shapes
+// and run much faster.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cudele/internal/bench"
@@ -37,11 +38,28 @@ func main() {
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = bench.IDs()
+	} else {
+		// "all" anywhere in the list expands to the full registry.
+		expanded := make([]string, 0, len(ids))
+		for _, id := range ids {
+			if id == "all" {
+				expanded = append(expanded, bench.IDs()...)
+			} else {
+				expanded = append(expanded, id)
+			}
+		}
+		ids = expanded
 	}
 	opts := bench.Options{Scale: *scale, Seed: *seed}
 
 	exit := 0
 	for _, id := range ids {
+		if _, ok := bench.Lookup(id); !ok {
+			fmt.Fprintf(os.Stderr, "cudele-bench: unknown experiment %q\nvalid ids: all %s\n",
+				id, strings.Join(bench.IDs(), " "))
+			exit = 1
+			continue
+		}
 		start := time.Now()
 		res, err := bench.Run(id, opts)
 		if err != nil {

@@ -11,7 +11,9 @@
 //	stat <path>                  print inode attributes
 //	rm <path>                    unlink a file
 //	decouple <path> [k=v ...]    register a subtree (consistency=weak
-//	                             durability=local inodes=1000 interfere=block)
+//	                             durability=local inodes=1000 interfere=block
+//	                             rank=1)
+//	pin <path> <rank>            place a subtree on a metadata rank
 //	lcreate <name>               create in the decoupled subtree
 //	lmkdir <name>                mkdir in the decoupled subtree
 //	merge                        volatile-apply the client journal
@@ -41,6 +43,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
+	ranks := flag.Int("ranks", 1, "metadata ranks")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -59,7 +62,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	cl := cudele.NewCluster(cudele.WithSeed(*seed))
+	cl := cudele.NewCluster(cudele.WithSeed(*seed), cudele.WithMDSRanks(*ranks))
 	c := cl.NewClient("client.0")
 	exit := 0
 	cl.Run(func(p *cudele.Proc) {
@@ -217,6 +220,18 @@ func execute(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, line string) 
 			return fmt.Errorf("persist wants local or global, not %q", args[0])
 		}
 		fmt.Printf("persisted journal (%s)\n", args[0])
+	case "pin":
+		if err := need(2); err != nil {
+			return err
+		}
+		rank, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("bad rank %q", args[1])
+		}
+		if err := cl.Monitor().Place(p, args[0], rank); err != nil {
+			return err
+		}
+		fmt.Printf("pinned %s to rank %d\n", args[0], rank)
 	case "recouple":
 		if err := need(1); err != nil {
 			return err
@@ -244,9 +259,12 @@ func execute(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, line string) 
 		}
 	case "status":
 		fmt.Print(cl.Monitor().Describe())
-		m := cl.MDS().Metrics()
-		fmt.Printf("mds: %d requests, %d journaled, %d merged, %d revokes, %d rejected\n",
-			m.Requests, m.Journaled, m.Merged, m.CapRevokes, m.Rejected)
+		meta := cl.Metadata()
+		for i := 0; i < meta.Ranks(); i++ {
+			m := meta.Rank(i).Metrics()
+			fmt.Printf("mds.%d: %d requests, %d journaled, %d merged, %d revokes, %d rejected\n",
+				i, m.Requests, m.Journaled, m.Merged, m.CapRevokes, m.Rejected)
+		}
 	case "time":
 		fmt.Printf("t=%.6fs\n", p.Now().Seconds())
 	default:
@@ -271,6 +289,11 @@ func policiesText(kvs []string) (string, error) {
 				return "", fmt.Errorf("bad inodes %q", v)
 			}
 			fmt.Fprintf(&b, "allocated_inodes: %s\n", v)
+		case "rank":
+			if _, err := strconv.Atoi(v); err != nil {
+				return "", fmt.Errorf("bad rank %q", v)
+			}
+			fmt.Fprintf(&b, "mds_rank: %s\n", v)
 		default:
 			return "", fmt.Errorf("unknown policy key %q", k)
 		}

@@ -50,14 +50,14 @@ import (
 // types, so the whole public API lives behind one import.
 type (
 	// Cluster wires a complete simulated Cudele deployment: object
-	// store, metadata server, monitor, and clients, all sharing one
-	// deterministic virtual clock.
+	// store, metadata cluster (one or more ranks), monitor, and
+	// clients, all sharing one deterministic virtual clock.
 	Cluster struct {
 		eng *sim.Engine
 		cfg model.Config
 
 		objects *rados.Cluster
-		srv     *mds.Server
+		meta    *mds.Cluster
 		mon     *monitor.Monitor
 
 		clients map[string]*client.Client
@@ -120,8 +120,9 @@ func DefaultConfig() Config { return model.Default() }
 type Option func(*clusterOpts)
 
 type clusterOpts struct {
-	seed int64
-	cfg  model.Config
+	seed  int64
+	cfg   model.Config
+	ranks int
 }
 
 // WithSeed sets the deterministic simulation seed.
@@ -130,10 +131,16 @@ func WithSeed(seed int64) Option { return func(o *clusterOpts) { o.seed = seed }
 // WithConfig overrides the calibrated device model.
 func WithConfig(cfg Config) Option { return func(o *clusterOpts) { o.cfg = cfg } }
 
-// NewCluster builds a cluster with 1 monitor, 1 metadata server, and the
-// configured number of OSDs (paper §V: 1 MON, 1 MDS, 3 OSDs).
+// WithMDSRanks sets the number of metadata ranks. The default is 1, the
+// paper's deployment; more ranks partition the namespace by subtree
+// placement (mds_rank in a policies file, or Monitor.Place).
+func WithMDSRanks(n int) Option { return func(o *clusterOpts) { o.ranks = n } }
+
+// NewCluster builds a cluster with 1 monitor, the configured number of
+// metadata ranks (default 1), and the configured number of OSDs
+// (paper §V: 1 MON, 1 MDS, 3 OSDs).
 func NewCluster(opts ...Option) *Cluster {
-	o := clusterOpts{seed: 1, cfg: model.Default()}
+	o := clusterOpts{seed: 1, cfg: model.Default(), ranks: 1}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -142,13 +149,13 @@ func NewCluster(opts ...Option) *Cluster {
 	}
 	eng := sim.NewEngine(o.seed)
 	obj := rados.New(eng, o.cfg)
-	srv := mds.New(eng, o.cfg, obj)
+	meta := mds.NewCluster(eng, o.cfg, obj, o.ranks)
 	return &Cluster{
 		eng:     eng,
 		cfg:     o.cfg,
 		objects: obj,
-		srv:     srv,
-		mon:     monitor.New(eng, srv),
+		meta:    meta,
+		mon:     monitor.New(eng, meta),
 		clients: make(map[string]*client.Client),
 	}
 }
@@ -159,8 +166,12 @@ func (cl *Cluster) Engine() *Engine { return cl.eng }
 // Config returns the cluster's cost model.
 func (cl *Cluster) Config() Config { return cl.cfg }
 
-// MDS returns the metadata server.
-func (cl *Cluster) MDS() *mds.Server { return cl.srv }
+// MDS returns the rank-0 metadata server — the whole service when the
+// cluster runs the default single rank.
+func (cl *Cluster) MDS() *mds.Server { return cl.meta.Rank(0) }
+
+// Metadata returns the metadata cluster (all ranks plus routing).
+func (cl *Cluster) Metadata() *mds.Cluster { return cl.meta }
 
 // Objects returns the simulated object store.
 func (cl *Cluster) Objects() *rados.Cluster { return cl.objects }
@@ -169,11 +180,15 @@ func (cl *Cluster) Objects() *rados.Cluster { return cl.objects }
 func (cl *Cluster) Monitor() *monitor.Monitor { return cl.mon }
 
 // NewClient creates and mounts a client. Client names must be unique.
+// Each client gets its own portal — a routed endpoint over a
+// placement-table replica that the monitor keeps refreshed.
 func (cl *Cluster) NewClient(name string) *Client {
 	if _, dup := cl.clients[name]; dup {
 		panic(fmt.Sprintf("cudele: duplicate client %q", name))
 	}
-	c := client.New(cl.eng, cl.cfg, name, cl.srv, cl.objects)
+	portal := cl.meta.Portal()
+	cl.mon.Subscribe(name, portal.Table())
+	c := client.New(cl.eng, cl.cfg, name, portal, cl.objects)
 	c.Mount()
 	cl.clients[name] = c
 	return c

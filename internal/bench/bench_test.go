@@ -22,7 +22,7 @@ func cell(t *testing.T, s string) float64 {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"ext-latency", "fig2", "fig3a", "fig3b", "fig3c", "fig5", "fig6a", "fig6b", "fig6c", "table1"}
+	want := []string{"ext-latency", "fig2", "fig3a", "fig3b", "fig3c", "fig5", "fig6a", "fig6b", "fig6c", "multimds", "table1"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -157,7 +157,7 @@ func TestFig3cLookupsAppear(t *testing.T) {
 }
 
 func TestFig5Ordering(t *testing.T) {
-	r, err := Run("fig5", Options{Scale: 0.05, Seed: 1})
+	r, err := fig5At05()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestFig5Ordering(t *testing.T) {
 }
 
 func TestFig6aOrdering(t *testing.T) {
-	r, err := Run("fig6a", Options{Scale: 0.05, Seed: 1})
+	r, err := fig6aAt05()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,6 +232,31 @@ func TestFig6cShape(t *testing.T) {
 		if cell(t, row[2]) < 0 {
 			t.Errorf("row %d negative overhead", i)
 		}
+	}
+}
+
+func TestMultiMDSThroughputScales(t *testing.T) {
+	r, err := Run("multimds", Options{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(multiMDSRanks) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Aggregate create throughput must rise with every added rank while
+	// the MDS CPU is the bottleneck.
+	prev := 0.0
+	for _, row := range r.Rows {
+		rate := cell(t, row[2])
+		if rate <= prev {
+			t.Errorf("ranks=%s: %.0f creates/s not above %.0f at previous rank count", row[0], rate, prev)
+		}
+		prev = rate
+	}
+	// 4 ranks should come well clear of the single-MDS saturation point.
+	first, last := cell(t, r.Rows[0][2]), cell(t, r.Rows[len(r.Rows)-1][2])
+	if last/first < 2 {
+		t.Errorf("4-rank speedup = %.2fx, want >2x", last/first)
 	}
 }
 

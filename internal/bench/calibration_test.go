@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+)
+
+// Calibration guard: the headline ratios below were captured from this
+// repository's seed tree at Scale 0.05, Seed 1. The simulation is
+// deterministic, so any drift here means a change altered the calibrated
+// behavior of the default single-rank cluster — exactly what refactors of
+// the transport/MDS path must not do. The guard shares one run per figure
+// with the shape tests via sync.Once.
+const (
+	seedFig5RPCs        = 16.84  // rpcs consistency, normalized to append
+	seedFig5Nonvolatile = 78.38  // nonvolatile_apply, normalized to append
+	seedFig5Volatile    = 1.15   // volatile_apply, normalized to append
+	seedFig5Stream      = 10.42  // stream (journal on - off), normalized
+	seedFig6aMergeRPC   = 7.64   // create+merge speedup over RPCs, 20 clients
+	seedFig6aCreateRPC  = 188.77 // decoupled-create speedup over RPCs, 20 clients
+
+	guardTolerance = 0.03 // relative
+)
+
+var (
+	fig5Once sync.Once
+	fig5Res  *Result
+	fig5Err  error
+
+	fig6aOnce sync.Once
+	fig6aRes  *Result
+	fig6aErr  error
+)
+
+func fig5At05() (*Result, error) {
+	fig5Once.Do(func() { fig5Res, fig5Err = Run("fig5", Options{Scale: 0.05, Seed: 1}) })
+	return fig5Res, fig5Err
+}
+
+func fig6aAt05() (*Result, error) {
+	fig6aOnce.Do(func() { fig6aRes, fig6aErr = Run("fig6a", Options{Scale: 0.05, Seed: 1}) })
+	return fig6aRes, fig6aErr
+}
+
+func within(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	lo, hi := want*(1-guardTolerance), want*(1+guardTolerance)
+	if got < lo || got > hi {
+		t.Errorf("%s = %.2f, want %.2f +/- %.0f%% (seed calibration drifted)",
+			name, got, want, guardTolerance*100)
+	}
+}
+
+func TestCalibrationGuardFig5(t *testing.T) {
+	r, err := fig5At05()
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := map[string]float64{}
+	for _, row := range r.Rows {
+		norm[row[1]] = cell(t, row[3])
+	}
+	within(t, "fig5 rpcs", norm["rpcs"], seedFig5RPCs)
+	within(t, "fig5 nonvolatile_apply", norm["nonvolatile_apply"], seedFig5Nonvolatile)
+	within(t, "fig5 volatile_apply", norm["volatile_apply"], seedFig5Volatile)
+	within(t, "fig5 stream", norm["stream (journal on - off)"], seedFig5Stream)
+}
+
+func TestCalibrationGuardFig6a(t *testing.T) {
+	r, err := fig6aAt05()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := r.Rows[len(r.Rows)-1]
+	rpc, merge, create := cell(t, last[1]), cell(t, last[2]), cell(t, last[3])
+	within(t, "fig6a merge/rpc", merge/rpc, seedFig6aMergeRPC)
+	within(t, "fig6a create/rpc", create/rpc, seedFig6aCreateRPC)
+}

@@ -12,6 +12,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	gopath "path"
 
 	"cudele/internal/journal"
 	"cudele/internal/mds"
@@ -20,7 +21,19 @@ import (
 	"cudele/internal/rados"
 	"cudele/internal/sim"
 	"cudele/internal/stats"
+	"cudele/internal/transport"
 )
+
+// Service is the client's contract with the metadata service: a message
+// endpoint plus session and stream control. Both a single *mds.Server
+// and a multi-rank *mds.Portal satisfy it; the client never holds a
+// concrete server, so it works unchanged against any number of ranks.
+type Service interface {
+	transport.Endpoint
+	OpenSession(client string)
+	CloseSession(client string)
+	SetStream(on bool)
+}
 
 // ErrNoInodes is returned when a decoupled client exhausts its allocated
 // inode grant (the "Allocated Inodes" contract of §III-C).
@@ -46,7 +59,7 @@ type Client struct {
 	eng  *sim.Engine
 	cfg  model.Config
 	name string
-	srv  *mds.Server
+	svc  Service
 	obj  *rados.Cluster
 
 	// localDisk models the node's own disk (Local Persist target).
@@ -58,6 +71,11 @@ type Client struct {
 	caps   map[namespace.Ino]bool
 	shared map[namespace.Ino]bool
 	dcache map[namespace.Ino]map[string]namespace.Ino
+
+	// paths remembers the full path of inodes the client has resolved
+	// or created, so requests carry a route hint for the rank-routing
+	// layer. Unknown inodes route to rank 0.
+	paths map[namespace.Ino]string
 
 	// Decoupled-namespace state.
 	dec *decoupled
@@ -90,19 +108,21 @@ type decoupled struct {
 	// numbers is 1:1 — local creates draw from the grant directly.
 }
 
-// New creates a client attached to a metadata server and object store.
-func New(eng *sim.Engine, cfg model.Config, name string, srv *mds.Server, obj *rados.Cluster) *Client {
+// New creates a client attached to a metadata service and object store.
+// svc may be a single *mds.Server or a routed *mds.Portal.
+func New(eng *sim.Engine, cfg model.Config, name string, svc Service, obj *rados.Cluster) *Client {
 	return &Client{
 		eng:        eng,
 		cfg:        cfg,
 		name:       name,
-		srv:        srv,
+		svc:        svc,
 		obj:        obj,
 		localDisk:  sim.NewPipe(eng, name+".disk", cfg.LocalDiskBandwidth),
 		localFiles: make(map[string][]byte),
 		caps:       make(map[namespace.Ino]bool),
 		shared:     make(map[namespace.Ino]bool),
 		dcache:     make(map[namespace.Ino]map[string]namespace.Ino),
+		paths:      map[namespace.Ino]string{namespace.RootIno: "/"},
 	}
 }
 
@@ -123,14 +143,35 @@ func (c *Client) CreateLatency() *stats.Histogram { return &c.createLatency }
 func (c *Client) LocalDisk() *sim.Pipe { return c.localDisk }
 
 // Mount opens the client's MDS session.
-func (c *Client) Mount() { c.srv.OpenSession(c.name) }
+func (c *Client) Mount() { c.svc.OpenSession(c.name) }
 
 // Unmount closes the session and drops cached state.
 func (c *Client) Unmount() {
-	c.srv.CloseSession(c.name)
+	c.svc.CloseSession(c.name)
 	c.caps = make(map[namespace.Ino]bool)
 	c.shared = make(map[namespace.Ino]bool)
 	c.dcache = make(map[namespace.Ino]map[string]namespace.Ino)
+	c.paths = map[namespace.Ino]string{namespace.RootIno: "/"}
+}
+
+// notePath remembers an inode's path for route hints.
+func (c *Client) notePath(ino namespace.Ino, path string) {
+	if path != "" {
+		c.paths[ino] = path
+	}
+}
+
+// pathOf returns the known path of an inode, "" when unknown.
+func (c *Client) pathOf(ino namespace.Ino) string { return c.paths[ino] }
+
+// childPath joins a known directory path with a child name; unknown
+// parents yield "" (route to rank 0).
+func (c *Client) childPath(dir namespace.Ino, name string) string {
+	base := c.paths[dir]
+	if base == "" {
+		return ""
+	}
+	return gopath.Join(base, name)
 }
 
 // submit sends one RPC, charging client-side overhead, and folds the
@@ -140,7 +181,7 @@ func (c *Client) submit(p *sim.Proc, req *mds.Request) *mds.Reply {
 	p.Sleep(c.cfg.ClientOpOverhead)
 	req.Client = c.name
 	c.stats.RPCs++
-	reply := c.srv.Submit(p, req)
+	reply := c.svc.Call(p, req).(*mds.Reply)
 	c.latency.Observe(sim.Duration(p.Now() - start))
 	if reply.CapGranted {
 		c.caps[req.Parent] = true
@@ -179,7 +220,7 @@ func (c *Client) Create(p *sim.Proc, dir namespace.Ino, name string, mode uint32
 		}
 	} else {
 		c.stats.RemoteLookups++
-		lk := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: dir, Name: name})
+		lk := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: dir, Name: name, Route: c.pathOf(dir)})
 		if lk.Err == nil {
 			return 0, fmt.Errorf("create %q: %w", name, namespace.ErrExist)
 		}
@@ -187,45 +228,52 @@ func (c *Client) Create(p *sim.Proc, dir namespace.Ino, name string, mode uint32
 			return 0, lk.Err
 		}
 	}
-	r := c.submit(p, &mds.Request{Op: mds.OpCreate, Parent: dir, Name: name, Mode: mode})
+	r := c.submit(p, &mds.Request{Op: mds.OpCreate, Parent: dir, Name: name, Mode: mode, Route: c.pathOf(dir)})
 	if r.Err != nil {
 		return 0, r.Err
 	}
 	c.stats.Creates++
 	c.cacheDentry(dir, name, r.Ino)
+	c.notePath(r.Ino, c.childPath(dir, name))
 	return r.Ino, nil
 }
 
 // Mkdir makes a directory via RPC.
 func (c *Client) Mkdir(p *sim.Proc, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
-	r := c.submit(p, &mds.Request{Op: mds.OpMkdir, Parent: dir, Name: name, Mode: mode})
+	r := c.submit(p, &mds.Request{Op: mds.OpMkdir, Parent: dir, Name: name, Mode: mode, Route: c.pathOf(dir)})
 	if r.Err != nil {
 		return 0, r.Err
 	}
 	c.cacheDentry(dir, name, r.Ino)
+	c.notePath(r.Ino, c.childPath(dir, name))
 	return r.Ino, nil
 }
 
 // MkdirAll resolves or creates each directory along path via RPC.
 func (c *Client) MkdirAll(p *sim.Proc, path string, mode uint32) (namespace.Ino, error) {
 	cur := namespace.RootIno
+	curPath := "/"
 	for _, comp := range namespace.SplitPath(path) {
-		lk := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: cur, Name: comp})
+		lk := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: cur, Name: comp, Route: curPath})
 		if lk.Err == nil {
 			if !lk.IsDir {
 				return 0, fmt.Errorf("mkdirall %q: %q: %w", path, comp, namespace.ErrNotDir)
 			}
 			cur = lk.Ino
+			curPath = gopath.Join(curPath, comp)
+			c.notePath(cur, curPath)
 			continue
 		}
 		if !errors.Is(lk.Err, namespace.ErrNotExist) {
 			return 0, lk.Err
 		}
-		mk := c.submit(p, &mds.Request{Op: mds.OpMkdir, Parent: cur, Name: comp, Mode: mode})
+		mk := c.submit(p, &mds.Request{Op: mds.OpMkdir, Parent: cur, Name: comp, Mode: mode, Route: curPath})
 		if mk.Err != nil {
 			return 0, mk.Err
 		}
 		cur = mk.Ino
+		curPath = gopath.Join(curPath, comp)
+		c.notePath(cur, curPath)
 	}
 	return cur, nil
 }
@@ -234,40 +282,47 @@ func (c *Client) MkdirAll(p *sim.Proc, path string, mode uint32) (namespace.Ino,
 // explicit stat(2)-like existence check).
 func (c *Client) Lookup(p *sim.Proc, dir namespace.Ino, name string) (namespace.Ino, error) {
 	c.stats.RemoteLookups++
-	r := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: dir, Name: name})
+	r := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: dir, Name: name, Route: c.pathOf(dir)})
 	if r.Err != nil {
 		return 0, r.Err
+	}
+	if r.IsDir {
+		c.notePath(r.Ino, c.childPath(dir, name))
 	}
 	return r.Ino, nil
 }
 
 // Resolve walks a path on the server.
 func (c *Client) Resolve(p *sim.Proc, path string) (namespace.Ino, error) {
-	r := c.submit(p, &mds.Request{Op: mds.OpResolve, Path: path})
+	r := c.submit(p, &mds.Request{Op: mds.OpResolve, Path: path, Route: path})
 	if r.Err != nil {
 		return 0, r.Err
+	}
+	if r.IsDir {
+		c.notePath(r.Ino, path)
 	}
 	return r.Ino, nil
 }
 
 // ReadDir lists a directory via RPC (the heavy "ls" of §V-B3).
 func (c *Client) ReadDir(p *sim.Proc, dir namespace.Ino) ([]string, error) {
-	r := c.submit(p, &mds.Request{Op: mds.OpReadDir, Parent: dir})
+	r := c.submit(p, &mds.Request{Op: mds.OpReadDir, Parent: dir, Route: c.pathOf(dir)})
 	return r.Names, r.Err
 }
 
 // Unlink removes a file via RPC.
 func (c *Client) Unlink(p *sim.Proc, dir namespace.Ino, name string) error {
-	r := c.submit(p, &mds.Request{Op: mds.OpUnlink, Parent: dir, Name: name})
+	r := c.submit(p, &mds.Request{Op: mds.OpUnlink, Parent: dir, Name: name, Route: c.pathOf(dir)})
 	if r.Err == nil {
 		delete(c.dcache[dir], name)
 	}
 	return r.Err
 }
 
-// Rename moves a dentry via RPC.
+// Rename moves a dentry via RPC. Cross-rank renames are not supported:
+// the request routes by the source parent's subtree.
 func (c *Client) Rename(p *sim.Proc, dir namespace.Ino, name string, newDir namespace.Ino, newName string) error {
-	r := c.submit(p, &mds.Request{Op: mds.OpRename, Parent: dir, Name: name, NewParent: newDir, NewName: newName})
+	r := c.submit(p, &mds.Request{Op: mds.OpRename, Parent: dir, Name: name, NewParent: newDir, NewName: newName, Route: c.pathOf(dir)})
 	if r.Err == nil {
 		delete(c.dcache[dir], name)
 		c.cacheDentry(newDir, newName, 0)
@@ -277,13 +332,13 @@ func (c *Client) Rename(p *sim.Proc, dir namespace.Ino, name string, newDir name
 
 // SetAttr updates attributes via RPC.
 func (c *Client) SetAttr(p *sim.Proc, ino namespace.Ino, mode, uid, gid uint32, size uint64, mtime int64) error {
-	r := c.submit(p, &mds.Request{Op: mds.OpSetAttr, Ino: ino, Mode: mode, UID: uid, GID: gid, Size: size, Mtime: mtime})
+	r := c.submit(p, &mds.Request{Op: mds.OpSetAttr, Ino: ino, Mode: mode, UID: uid, GID: gid, Size: size, Mtime: mtime, Route: c.pathOf(ino)})
 	return r.Err
 }
 
 // Stat fetches attributes via RPC.
 func (c *Client) Stat(p *sim.Proc, ino namespace.Ino) (*mds.Reply, error) {
-	r := c.submit(p, &mds.Request{Op: mds.OpGetAttr, Ino: ino})
+	r := c.submit(p, &mds.Request{Op: mds.OpGetAttr, Ino: ino, Route: c.pathOf(ino)})
 	if r.Err != nil {
 		return nil, r.Err
 	}

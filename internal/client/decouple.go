@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cudele/internal/journal"
+	"cudele/internal/mds"
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
@@ -20,11 +21,11 @@ const ClientJournalPool = "cudele_client_journals"
 // starts an in-memory journal (paper §III). Subsequent Local* operations
 // run entirely client-side via Append Client Journal.
 func (c *Client) Decouple(p *sim.Proc, path string, pol *policy.Policy) error {
-	lo, n, err := c.srv.Decouple(p, path, pol, c.name)
-	if err != nil {
-		return err
+	r := c.svc.Post(p, &mds.DecoupleMsg{Path: path, Policy: pol, Client: c.name}).(*mds.DecoupleReply)
+	if r.Err != nil {
+		return r.Err
 	}
-	return c.AdoptGrant(p, path, lo, n)
+	return c.AdoptGrant(p, path, r.Lo, r.N)
 }
 
 // AdoptGrant attaches a decoupled subtree whose policy and inode grant
@@ -207,12 +208,16 @@ func (c *Client) VolatileApply(p *sim.Proc) (int, error) {
 	if c.dec == nil {
 		return 0, ErrNotDecoupled
 	}
-	n, err := c.srv.VolatileApply(p, c.dec.jrnl.Events(), c.JournalNominalBytes())
-	if err != nil {
-		return n, err
+	r := c.svc.Post(p, &mds.MergeMsg{
+		Events:       c.dec.jrnl.Events(),
+		NominalBytes: c.JournalNominalBytes(),
+		Route:        c.dec.path,
+	}).(*mds.MergeReply)
+	if r.Err != nil {
+		return r.Applied, r.Err
 	}
 	c.dec.jrnl.Reset()
-	return n, nil
+	return r.Applied, nil
 }
 
 // LocalPersist serializes the journal to the client's local disk. The
@@ -438,7 +443,7 @@ func (c *Client) runMechanism(p *sim.Proc, m policy.Mechanism) error {
 		// Workload-time mechanisms; nothing to do at completion time.
 		return nil
 	case policy.MechStream:
-		c.srv.SetStream(true)
+		c.svc.SetStream(true)
 		return nil
 	case policy.MechVolatileApply:
 		_, err := c.VolatileApply(p)

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"cudele/internal/mds"
 	"cudele/internal/sim"
 )
 
@@ -50,7 +51,8 @@ func (c *Client) SyncNow(p *sim.Proc) (pause sim.Duration, synced int, err error
 	visible := sim.NewSignal(c.eng)
 	c.sync.inFlight = drained
 	c.sync.visible = visible
-	srv := c.srv
+	svc := c.svc
+	route := c.dec.path
 	c.eng.Go(c.name+".syncdrain", func(bp *sim.Proc) {
 		if prev != nil {
 			prev.Wait(bp) // drains are ordered
@@ -66,8 +68,8 @@ func (c *Client) SyncNow(p *sim.Proc) (pause sim.Duration, synced int, err error
 		// Partial updates become visible in the global namespace.
 		// The transfer cost was charged above, so the apply ships
 		// zero nominal bytes.
-		_, aerr := srv.VolatileApply(bp, delta, 0)
-		visible.Fire(aerr)
+		r := svc.Post(bp, &mds.MergeMsg{Events: delta, NominalBytes: 0, Route: route}).(*mds.MergeReply)
+		visible.Fire(r.Err)
 	})
 	return pause, len(delta), nil
 }

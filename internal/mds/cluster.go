@@ -1,0 +1,194 @@
+package mds
+
+import (
+	"fmt"
+
+	"cudele/internal/model"
+	"cudele/internal/namespace"
+	"cudele/internal/rados"
+	"cudele/internal/sim"
+	"cudele/internal/transport"
+)
+
+// Cluster is a multi-rank metadata service: N Servers partitioning one
+// global namespace by subtree, behind a shared routing table. The paper
+// evaluates a single MDS and names subtree partitioning as the scaling
+// path (§VI); Cluster is that path. With one rank it degenerates to
+// exactly the single-server system — the routing table is empty, every
+// message lands on rank 0, and no extra virtual time is charged.
+type Cluster struct {
+	eng *sim.Engine
+	cfg model.Config
+	obj *rados.Cluster
+
+	ranks []*Server
+
+	// table is the rank-side authoritative placement map; client
+	// portals hold replicas refreshed by the monitor.
+	table  *transport.Table
+	router *transport.Router
+}
+
+// NewCluster builds n metadata ranks over one object store. n < 1 is
+// treated as 1.
+func NewCluster(eng *sim.Engine, cfg model.Config, obj *rados.Cluster, n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{eng: eng, cfg: cfg, obj: obj, table: transport.NewTable()}
+	eps := make([]transport.Endpoint, n)
+	for i := 0; i < n; i++ {
+		s := NewRank(eng, cfg, obj, i)
+		c.ranks = append(c.ranks, s)
+		eps[i] = s.Endpoint()
+	}
+	c.router = transport.NewRouter("mds", c.table, eps, RouteOf)
+	return c
+}
+
+// Ranks returns the number of metadata ranks.
+func (c *Cluster) Ranks() int { return len(c.ranks) }
+
+// Rank returns the i'th metadata server.
+func (c *Cluster) Rank(i int) *Server { return c.ranks[i] }
+
+// Table returns the cluster's authoritative placement table.
+func (c *Cluster) Table() *transport.Table { return c.table }
+
+// Endpoint returns the cluster-side routed endpoint (used by the
+// monitor, which always sees the authoritative table).
+func (c *Cluster) Endpoint() transport.Endpoint { return c.router }
+
+// SetStream toggles journal streaming on every rank.
+func (c *Cluster) SetStream(on bool) {
+	for _, s := range c.ranks {
+		s.SetStream(on)
+	}
+}
+
+// OpenSession opens the client's session on every rank: a mounted client
+// may touch any subtree, so each rank carries its bookkeeping overhead,
+// keeping per-rank service times comparable to the single-MDS system.
+func (c *Cluster) OpenSession(client string) {
+	for _, s := range c.ranks {
+		s.OpenSession(client)
+	}
+}
+
+// CloseSession closes the client's session on every rank.
+func (c *Cluster) CloseSession(client string) {
+	for _, s := range c.ranks {
+		s.CloseSession(client)
+	}
+}
+
+// Place exports the subtree rooted at path to the given rank and
+// records the placement in the authoritative table. The subtree's
+// directory objects (plus the ancestor chain, so the path resolves) are
+// copied through the same serialized form that recovery uses; the
+// source rank keeps its copy, which becomes stale and unreachable once
+// routing points at the new owner — exactly how CephFS subtree exports
+// hand off authority.
+func (c *Cluster) Place(p *sim.Proc, path string, rank int) error {
+	if rank < 0 || rank >= len(c.ranks) {
+		return fmt.Errorf("mds: place %s: rank %d out of range [0,%d)", path, rank, len(c.ranks))
+	}
+	src := c.ranks[c.table.RankFor(path)]
+	dst := c.ranks[rank]
+	if src != dst {
+		if err := exportSubtree(src.store, dst.store, path); err != nil {
+			return fmt.Errorf("mds: place %s on rank %d: %w", path, rank, err)
+		}
+	}
+	c.table.Place(path, rank)
+	return nil
+}
+
+// exportSubtree copies the directory chain from the root to path, and
+// every directory underneath path, from src to dst via the serialized
+// directory-object form.
+func exportSubtree(src, dst *namespace.Store, path string) error {
+	rootIn, err := src.Resolve(path)
+	if err != nil {
+		return err
+	}
+	install := func(ino namespace.Ino) error {
+		data, err := src.EncodeDir(ino)
+		if err != nil {
+			return err
+		}
+		obj, err := namespace.DecodeDir(data)
+		if err != nil {
+			return err
+		}
+		return dst.InstallDir(obj)
+	}
+	// Ancestor chain, root first.
+	var chain []namespace.Ino
+	for ino := rootIn.Ino; ; {
+		chain = append([]namespace.Ino{ino}, chain...)
+		if ino == namespace.RootIno {
+			break
+		}
+		in, err := src.Get(ino)
+		if err != nil {
+			return err
+		}
+		ino = in.Parent
+	}
+	for _, ino := range chain {
+		if err := install(ino); err != nil {
+			return err
+		}
+	}
+	// The subtree's own directories, parents before children.
+	return src.Walk(rootIn.Ino, func(_ string, in *namespace.Inode) error {
+		if !in.IsDir() || in.Ino == rootIn.Ino {
+			return nil
+		}
+		return install(in.Ino)
+	})
+}
+
+// Portal is one client's view of the metadata cluster: a routed endpoint
+// over a placement-table replica, plus the session fan-out. It
+// implements the client package's Service interface.
+type Portal struct {
+	cl     *Cluster
+	table  *transport.Table
+	router *transport.Router
+}
+
+// Portal builds a fresh client view seeded from the authoritative
+// table. Subscribe the portal's Table to the monitor to keep it synced.
+func (c *Cluster) Portal() *Portal {
+	t := transport.NewTable()
+	t.CopyFrom(c.table)
+	eps := make([]transport.Endpoint, len(c.ranks))
+	for i, s := range c.ranks {
+		eps[i] = s.Endpoint()
+	}
+	return &Portal{cl: c, table: t, router: transport.NewRouter("mds", t, eps, RouteOf)}
+}
+
+// Table returns the portal's placement-table replica.
+func (pt *Portal) Table() *transport.Table { return pt.table }
+
+// Name implements transport.Endpoint.
+func (pt *Portal) Name() string { return pt.router.Name() }
+
+// Call implements transport.Endpoint.
+func (pt *Portal) Call(p *sim.Proc, msg any) any { return pt.router.Call(p, msg) }
+
+// Post implements transport.Endpoint.
+func (pt *Portal) Post(p *sim.Proc, msg any) any { return pt.router.Post(p, msg) }
+
+// OpenSession opens the client's session on every rank.
+func (pt *Portal) OpenSession(client string) { pt.cl.OpenSession(client) }
+
+// CloseSession closes the client's session on every rank.
+func (pt *Portal) CloseSession(client string) { pt.cl.CloseSession(client) }
+
+// SetStream toggles journal streaming cluster-wide (the Stream
+// mechanism is a namespace-level durability setting).
+func (pt *Portal) SetStream(on bool) { pt.cl.SetStream(on) }

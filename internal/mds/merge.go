@@ -21,8 +21,15 @@ const mergeChunk = 256
 //
 // nominalBytes is the journal's transfer footprint (events x ~2.5 KB).
 // The call blocks the client process until the merge completes and
-// returns the number of events applied.
+// returns the number of events applied. It is a convenience wrapper that
+// posts a MergeMsg to the rank's own endpoint.
 func (s *Server) VolatileApply(p *sim.Proc, events []*journal.Event, nominalBytes int64) (int, error) {
+	r := s.ep.Post(p, &MergeMsg{Events: events, NominalBytes: nominalBytes}).(*MergeReply)
+	return r.Applied, r.Err
+}
+
+// volatileApply is the MergeMsg handler body.
+func (s *Server) volatileApply(p *sim.Proc, events []*journal.Event, nominalBytes int64) (int, error) {
 	if s.stopped {
 		return 0, ErrShutdown
 	}

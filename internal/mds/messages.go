@@ -1,0 +1,70 @@
+package mds
+
+import (
+	"cudele/internal/journal"
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+)
+
+// The metadata service speaks messages over a transport.Endpoint. RPCs
+// (*Request) go through Endpoint.Call, which charges wire latency both
+// ways; the control and bulk messages below go through Endpoint.Post and
+// charge their own calibrated costs (a journal merge's network cost is
+// its byte transfer, not an RPC round trip).
+
+// MergeMsg ships a decoupled client's journal for Volatile Apply.
+type MergeMsg struct {
+	Events       []*journal.Event
+	NominalBytes int64
+	// Route is the decoupled subtree's path, used by the routing layer
+	// to find the owning rank.
+	Route string
+}
+
+// MergeReply answers a MergeMsg.
+type MergeReply struct {
+	Applied int
+	Err     error
+}
+
+// DecoupleMsg attaches a policy to a subtree and reserves its inode
+// grant (sent by the monitor on a client's behalf).
+type DecoupleMsg struct {
+	Path   string
+	Policy *policy.Policy
+	Client string
+}
+
+// DecoupleReply answers a DecoupleMsg.
+type DecoupleReply struct {
+	Lo  namespace.Ino
+	N   uint64
+	Err error
+}
+
+// RecoupleMsg clears a subtree's policy and owner registration.
+type RecoupleMsg struct {
+	Path string
+}
+
+// RecoupleReply answers a RecoupleMsg.
+type RecoupleReply struct {
+	Err error
+}
+
+// RouteOf extracts the routing path from a metadata message; it is the
+// key function a transport.Router uses to pick the owning rank. Messages
+// without a route (empty string) belong to rank 0.
+func RouteOf(msg any) string {
+	switch m := msg.(type) {
+	case *Request:
+		return m.Route
+	case *MergeMsg:
+		return m.Route
+	case *DecoupleMsg:
+		return m.Path
+	case *RecoupleMsg:
+		return m.Path
+	}
+	return ""
+}

@@ -1,0 +1,131 @@
+package mds
+
+import (
+	"fmt"
+
+	"cudele/internal/namespace"
+	"cudele/internal/sim"
+)
+
+// opInfo is one row of the op registry: everything the pipeline needs to
+// know about a metadata operation lives here — its wire name, whether it
+// mutates the namespace (journaling, interference checks), whether it is
+// billed at lookup cost, and its handler.
+type opInfo struct {
+	name    string
+	mutates bool
+	lookup  bool // billed at MDSLookupTime instead of MDSOpTime
+	handler func(s *Server, p *sim.Proc, req *Request) *Reply
+}
+
+// opTable is the single source of truth for op metadata. Every Op below
+// opMax must have a name and a handler; TestOpTableComplete enforces it.
+var opTable = [opMax]opInfo{
+	OpLookup:  {name: "lookup", lookup: true, handler: handleLookup},
+	OpCreate:  {name: "create", mutates: true, handler: handleCreate},
+	OpMkdir:   {name: "mkdir", mutates: true, handler: handleCreate},
+	OpGetAttr: {name: "getattr", lookup: true, handler: handleGetAttr},
+	OpSetAttr: {name: "setattr", mutates: true, handler: handleSetAttr},
+	OpReadDir: {name: "readdir", lookup: true, handler: handleReadDir},
+	OpUnlink:  {name: "unlink", mutates: true, handler: handleUnlink},
+	OpRmdir:   {name: "rmdir", mutates: true, handler: handleRmdir},
+	OpRename:  {name: "rename", mutates: true, handler: handleRename},
+	OpResolve: {name: "resolve", lookup: true, handler: handleResolve},
+}
+
+func (o Op) String() string {
+	if o < opMax && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Mutates reports whether the op changes the namespace (and therefore
+// journals, and is subject to the interfere policy).
+func (o Op) Mutates() bool { return o < opMax && opTable[o].mutates }
+
+func handleLookup(s *Server, p *sim.Proc, req *Request) *Reply {
+	in, err := s.store.Lookup(req.Parent, req.Name)
+	if err != nil {
+		return &Reply{Err: err}
+	}
+	return inodeReply(in)
+}
+
+func handleResolve(s *Server, p *sim.Proc, req *Request) *Reply {
+	in, err := s.store.Resolve(req.Path)
+	if err != nil {
+		return &Reply{Err: err}
+	}
+	return inodeReply(in)
+}
+
+func handleGetAttr(s *Server, p *sim.Proc, req *Request) *Reply {
+	in, err := s.store.Get(req.Ino)
+	if err != nil {
+		return &Reply{Err: err}
+	}
+	return inodeReply(in)
+}
+
+func handleReadDir(s *Server, p *sim.Proc, req *Request) *Reply {
+	names, err := s.store.ReadDir(req.Parent)
+	if err != nil {
+		return &Reply{Err: err}
+	}
+	return &Reply{Names: names}
+}
+
+// handleCreate serves both OpCreate and OpMkdir; the two differ only in
+// the inode type inserted.
+func handleCreate(s *Server, p *sim.Proc, req *Request) *Reply {
+	attrs := namespace.CreateAttrs{
+		Mode: req.Mode, UID: req.UID, GID: req.GID,
+		Mtime: int64(p.Now()),
+	}
+	var in *namespace.Inode
+	var err error
+	if req.Op == OpMkdir {
+		in, err = s.store.Mkdir(req.Parent, req.Name, attrs)
+	} else {
+		in, err = s.store.Create(req.Parent, req.Name, attrs)
+	}
+	if err != nil {
+		return &Reply{Err: err}
+	}
+	reply := inodeReply(in)
+	s.updateCaps(p, req.Parent, req.Client, reply)
+	return reply
+}
+
+func handleSetAttr(s *Server, p *sim.Proc, req *Request) *Reply {
+	if err := s.store.SetAttr(req.Ino, req.Mode, req.UID, req.GID, req.Size, req.Mtime); err != nil {
+		return &Reply{Err: err}
+	}
+	return &Reply{Ino: req.Ino}
+}
+
+func handleUnlink(s *Server, p *sim.Proc, req *Request) *Reply {
+	if err := s.store.Unlink(req.Parent, req.Name); err != nil {
+		return &Reply{Err: err}
+	}
+	reply := &Reply{}
+	s.updateCaps(p, req.Parent, req.Client, reply)
+	return reply
+}
+
+func handleRmdir(s *Server, p *sim.Proc, req *Request) *Reply {
+	if err := s.store.Rmdir(req.Parent, req.Name); err != nil {
+		return &Reply{Err: err}
+	}
+	return &Reply{}
+}
+
+func handleRename(s *Server, p *sim.Proc, req *Request) *Reply {
+	if err := s.store.Rename(req.Parent, req.Name, req.NewParent, req.NewName); err != nil {
+		return &Reply{Err: err}
+	}
+	reply := &Reply{}
+	s.updateCaps(p, req.Parent, req.Client, reply)
+	return reply
+}

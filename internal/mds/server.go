@@ -1,13 +1,17 @@
-// Package mds implements the metadata server: the in-memory metadata
+// Package mds implements the metadata service: the in-memory metadata
 // store, the request pipeline, the inode cache and capability protocol,
 // journal streaming with the segment/dispatch tunables, bulk merge of
 // decoupled client journals (Volatile Apply), and recovery from the
 // RADOS-resident metadata store (paper §II, §IV).
 //
-// The server is a simulation process: clients call Submit from their own
-// sim processes; the request is queued, served on the MDS CPU resource
-// (charging calibrated service times), and the reply carries capability
-// state back to the client.
+// A Server is one metadata rank. It is a simulation process: clients
+// send messages to its transport endpoint from their own sim processes;
+// the request is queued, served on the rank's CPU resource (charging
+// calibrated service times), and the reply carries capability state back
+// to the client. Cross-cutting pipeline stages — admission, accounting,
+// journaling, interference checks — are transport interceptors around
+// the table-driven op handlers (ops.go). Cluster composes N ranks behind
+// a routing table (cluster.go).
 package mds
 
 import (
@@ -19,6 +23,7 @@ import (
 	"cudele/internal/policy"
 	"cudele/internal/rados"
 	"cudele/internal/sim"
+	"cudele/internal/transport"
 )
 
 // Op identifies a metadata RPC.
@@ -39,30 +44,15 @@ const (
 	opMax
 )
 
-var opNames = [...]string{
-	OpLookup:  "lookup",
-	OpCreate:  "create",
-	OpMkdir:   "mkdir",
-	OpGetAttr: "getattr",
-	OpSetAttr: "setattr",
-	OpReadDir: "readdir",
-	OpUnlink:  "unlink",
-	OpRmdir:   "rmdir",
-	OpRename:  "rename",
-	OpResolve: "resolve",
-}
-
-func (o Op) String() string {
-	if int(o) < len(opNames) {
-		return opNames[o]
-	}
-	return fmt.Sprintf("Op(%d)", uint8(o))
-}
-
 // Request is one metadata RPC from a client.
 type Request struct {
 	Op     Op
 	Client string
+
+	// Route is the request's path hint for the routing layer: the
+	// parent directory's path when the client knows it, empty otherwise
+	// (empty routes to rank 0).
+	Route string
 
 	Parent namespace.Ino
 	Name   string
@@ -118,12 +108,13 @@ type Metrics struct {
 	MergeJobs  uint64 // client journals merged
 }
 
-// Server is one simulated metadata server daemon.
+// Server is one simulated metadata rank.
 type Server struct {
 	eng   *sim.Engine
 	cfg   model.Config
 	store *namespace.Store
 	obj   *rados.Cluster
+	rank  int
 
 	cpu *sim.Resource // single-threaded request pipeline, like CephFS
 
@@ -142,28 +133,91 @@ type Server struct {
 	metrics Metrics
 
 	stopped bool
+
+	// rpc is the interceptor pipeline around the op handlers; ep is the
+	// rank's wire endpoint (network latency on Call).
+	rpc transport.Handler
+	ep  *transport.Wire
 }
 
-// New creates a metadata server over the given object store. The store
-// starts with just the root directory; use Recover to load state from
-// RADOS.
+// New creates a single metadata rank (rank 0) over the given object
+// store. The store starts with just the root directory; use Recover to
+// load state from RADOS.
 func New(eng *sim.Engine, cfg model.Config, obj *rados.Cluster) *Server {
+	return NewRank(eng, cfg, obj, 0)
+}
+
+// NewRank creates the metadata server for one rank of a multi-rank
+// deployment. Ranks other than 0 allocate server-assigned inode numbers
+// from a disjoint band so partitions of one namespace never collide.
+func NewRank(eng *sim.Engine, cfg model.Config, obj *rados.Cluster, rank int) *Server {
+	cpuName := "mds.cpu"
+	if rank > 0 {
+		cpuName = fmt.Sprintf("mds%d.cpu", rank)
+	}
 	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
 		store:    namespace.NewStore(),
 		obj:      obj,
-		cpu:      sim.NewResource(eng, "mds.cpu", 1),
+		rank:     rank,
+		cpu:      sim.NewResource(eng, cpuName, 1),
 		sessions: make(map[string]bool),
 		caps:     make(map[namespace.Ino]*dirCaps),
 		owners:   make(map[namespace.Ino]string),
 	}
+	if rank > 0 {
+		s.store.SetInoFloor(rankInoFloor(rank))
+	}
 	s.stream = newStreamState(s)
+	s.rpc = transport.Chain(s.dispatchOp,
+		s.admission, s.accounting, s.journaling, s.execution, s.interference)
+	s.ep = transport.NewWire(fmt.Sprintf("mds.%d", rank), cfg.NetLatency, s.handle)
 	return s
 }
 
+// rankInoFloor is the base of rank r's server-assigned inode band. Bands
+// are 2^32 inodes wide, far below the 2^40 client-grant space.
+func rankInoFloor(r int) namespace.Ino {
+	return namespace.Ino(uint64(r) << 32)
+}
+
+// Rank returns the server's rank number.
+func (s *Server) Rank() int { return s.rank }
+
+// Name implements transport.Endpoint.
+func (s *Server) Name() string { return s.ep.Name() }
+
+// Call implements transport.Endpoint: one network hop in, pipeline
+// service, one network hop back.
+func (s *Server) Call(p *sim.Proc, msg any) any { return s.ep.Call(p, msg) }
+
+// Post implements transport.Endpoint: the message handler charges its
+// own calibrated costs (bulk merges, control traffic).
+func (s *Server) Post(p *sim.Proc, msg any) any { return s.ep.Post(p, msg) }
+
+// Endpoint returns the rank's wire endpoint.
+func (s *Server) Endpoint() transport.Endpoint { return s.ep }
+
+// handle is the rank's message dispatcher behind the wire.
+func (s *Server) handle(p *sim.Proc, msg any) any {
+	switch m := msg.(type) {
+	case *Request:
+		return s.rpc(p, m)
+	case *MergeMsg:
+		applied, err := s.volatileApply(p, m.Events, m.NominalBytes)
+		return &MergeReply{Applied: applied, Err: err}
+	case *DecoupleMsg:
+		lo, n, err := s.decouple(p, m.Path, m.Policy, m.Client)
+		return &DecoupleReply{Lo: lo, N: n, Err: err}
+	case *RecoupleMsg:
+		return &RecoupleReply{Err: s.recouple(p, m.Path)}
+	}
+	return &Reply{Err: fmt.Errorf("mds: unknown message %T: %w", msg, namespace.ErrInval)}
+}
+
 // Store exposes the in-memory metadata store. Benchmarks and the monitor
-// read it; clients must go through Submit.
+// read it; clients must go through the endpoint.
 func (s *Server) Store() *namespace.Store { return s.store }
 
 // CPU exposes the MDS CPU resource for utilization reporting.
@@ -208,8 +262,7 @@ func (s *Server) Sessions() int { return len(s.sessions) }
 // +-MDSOpJitter to model cache misses and allocator variance.
 func (s *Server) serviceTime(op Op) sim.Duration {
 	base := s.cfg.MDSOpTime
-	switch op {
-	case OpLookup, OpGetAttr, OpResolve, OpReadDir:
+	if op < opMax && opTable[op].lookup {
 		base = s.cfg.MDSLookupTime
 	}
 	n := len(s.sessions)
@@ -225,125 +278,91 @@ func (s *Server) serviceTime(op Op) sim.Duration {
 
 // Submit sends one RPC to the server from the calling client process: one
 // network hop in, FIFO service on the MDS CPU, one network hop back
-// (paper §II: the RPCs mechanism).
+// (paper §II: the RPCs mechanism). It is a convenience wrapper over the
+// rank's endpoint.
 func (s *Server) Submit(p *sim.Proc, req *Request) *Reply {
-	p.Sleep(s.cfg.NetLatency) // request on the wire
-	if s.stopped {
-		return &Reply{Err: ErrShutdown}
-	}
-	s.metrics.Requests++
-	if int(req.Op) < len(s.metrics.ByOp) {
-		s.metrics.ByOp[req.Op]++
-	}
+	return s.ep.Call(p, req).(*Reply)
+}
 
-	s.cpu.Acquire(p)
-	reply := s.process(p, req)
-	s.cpu.Release()
+// --- pipeline interceptors, outermost first ---
 
-	// Journal the update: encoding and segment bookkeeping steal MDS CPU
-	// (MDSJournalOpTime), and the client additionally waits for the safe
-	// ack (MDSJournalLatency, latency only).
-	if reply.Err == nil && s.stream.enabled && mutates(req.Op) {
+// admission rejects requests once the server is shut down.
+func (s *Server) admission(next transport.Handler) transport.Handler {
+	return func(p *sim.Proc, msg any) any {
+		if s.stopped {
+			return &Reply{Err: ErrShutdown}
+		}
+		return next(p, msg)
+	}
+}
+
+// accounting counts requests by op.
+func (s *Server) accounting(next transport.Handler) transport.Handler {
+	return func(p *sim.Proc, msg any) any {
+		req := msg.(*Request)
+		s.metrics.Requests++
+		if int(req.Op) < len(s.metrics.ByOp) {
+			s.metrics.ByOp[req.Op]++
+		}
+		return next(p, msg)
+	}
+}
+
+// journaling appends successful mutations to the MDS journal after the
+// op completes: encoding and segment bookkeeping steal MDS CPU
+// (MDSJournalOpTime), and the client additionally waits for the safe ack
+// (MDSJournalLatency, latency only).
+func (s *Server) journaling(next transport.Handler) transport.Handler {
+	return func(p *sim.Proc, msg any) any {
+		req := msg.(*Request)
+		reply := next(p, msg).(*Reply)
+		if reply.Err == nil && s.stream.enabled && req.Op.Mutates() {
+			s.cpu.Acquire(p)
+			p.Sleep(s.cfg.MDSJournalOpTime)
+			s.stream.record(p, req)
+			s.cpu.Release()
+			p.Sleep(s.cfg.MDSJournalLatency)
+		}
+		return reply
+	}
+}
+
+// execution holds the rank's CPU for the whole request body — service
+// time, interference check, op handler — like CephFS's single-threaded
+// pipeline.
+func (s *Server) execution(next transport.Handler) transport.Handler {
+	return func(p *sim.Proc, msg any) any {
+		req := msg.(*Request)
 		s.cpu.Acquire(p)
-		p.Sleep(s.cfg.MDSJournalOpTime)
-		s.stream.record(p, req)
+		p.Sleep(s.serviceTime(req.Op))
+		reply := next(p, msg)
 		s.cpu.Release()
-		p.Sleep(s.cfg.MDSJournalLatency)
+		return reply
 	}
-
-	p.Sleep(s.cfg.NetLatency) // reply on the wire
-	return reply
 }
 
-func mutates(op Op) bool {
-	switch op {
-	case OpCreate, OpMkdir, OpSetAttr, OpUnlink, OpRmdir, OpRename:
-		return true
+// interference applies the interfere policy: a mutation into a decoupled
+// subtree owned by a different client may be rejected with -EBUSY (paper
+// §III-C).
+func (s *Server) interference(next transport.Handler) transport.Handler {
+	return func(p *sim.Proc, msg any) any {
+		req := msg.(*Request)
+		if req.Op.Mutates() {
+			if rej := s.checkInterfere(p, req); rej != nil {
+				return rej
+			}
+		}
+		return next(p, msg)
 	}
-	return false
 }
 
-// process runs the request body while the CPU is held.
-func (s *Server) process(p *sim.Proc, req *Request) *Reply {
-	p.Sleep(s.serviceTime(req.Op))
-
-	// Interfere policy: a request into a decoupled subtree owned by a
-	// different client may be rejected with -EBUSY (paper §III-C).
-	if mutates(req.Op) {
-		if rej := s.checkInterfere(p, req); rej != nil {
-			return rej
-		}
+// dispatchOp is the pipeline's terminal stage: the table-driven handler.
+func (s *Server) dispatchOp(p *sim.Proc, msg any) any {
+	req := msg.(*Request)
+	if req.Op >= opMax || opTable[req.Op].handler == nil {
+		return &Reply{Err: fmt.Errorf("mds: %v: %w", req.Op, namespace.ErrInval)}
 	}
-
-	switch req.Op {
-	case OpLookup:
-		in, err := s.store.Lookup(req.Parent, req.Name)
-		if err != nil {
-			return &Reply{Err: err}
-		}
-		return inodeReply(in)
-	case OpResolve:
-		in, err := s.store.Resolve(req.Path)
-		if err != nil {
-			return &Reply{Err: err}
-		}
-		return inodeReply(in)
-	case OpGetAttr:
-		in, err := s.store.Get(req.Ino)
-		if err != nil {
-			return &Reply{Err: err}
-		}
-		return inodeReply(in)
-	case OpReadDir:
-		names, err := s.store.ReadDir(req.Parent)
-		if err != nil {
-			return &Reply{Err: err}
-		}
-		return &Reply{Names: names}
-	case OpCreate, OpMkdir:
-		attrs := namespace.CreateAttrs{
-			Mode: req.Mode, UID: req.UID, GID: req.GID,
-			Mtime: int64(p.Now()),
-		}
-		var in *namespace.Inode
-		var err error
-		if req.Op == OpMkdir {
-			in, err = s.store.Mkdir(req.Parent, req.Name, attrs)
-		} else {
-			in, err = s.store.Create(req.Parent, req.Name, attrs)
-		}
-		if err != nil {
-			return &Reply{Err: err}
-		}
-		reply := inodeReply(in)
-		s.updateCaps(p, req.Parent, req.Client, reply)
-		return reply
-	case OpSetAttr:
-		if err := s.store.SetAttr(req.Ino, req.Mode, req.UID, req.GID, req.Size, req.Mtime); err != nil {
-			return &Reply{Err: err}
-		}
-		return &Reply{Ino: req.Ino}
-	case OpUnlink:
-		if err := s.store.Unlink(req.Parent, req.Name); err != nil {
-			return &Reply{Err: err}
-		}
-		reply := &Reply{}
-		s.updateCaps(p, req.Parent, req.Client, reply)
-		return reply
-	case OpRmdir:
-		if err := s.store.Rmdir(req.Parent, req.Name); err != nil {
-			return &Reply{Err: err}
-		}
-		return &Reply{}
-	case OpRename:
-		if err := s.store.Rename(req.Parent, req.Name, req.NewParent, req.NewName); err != nil {
-			return &Reply{Err: err}
-		}
-		reply := &Reply{}
-		s.updateCaps(p, req.Parent, req.Client, reply)
-		return reply
-	}
-	return &Reply{Err: fmt.Errorf("mds: %v: %w", req.Op, namespace.ErrInval)}
+	return opTable[req.Op].handler(s, p, req)
 }
 
 func inodeReply(in *namespace.Inode) *Reply {
@@ -383,6 +402,12 @@ func (s *Server) checkInterfere(p *sim.Proc, req *Request) *Reply {
 // owner, and reserves an inode range for it. It is invoked via the
 // monitor. The returned lo is the first inode of the grant.
 func (s *Server) Decouple(p *sim.Proc, path string, pol *policy.Policy, client string) (lo namespace.Ino, n uint64, err error) {
+	r := s.ep.Post(p, &DecoupleMsg{Path: path, Policy: pol, Client: client}).(*DecoupleReply)
+	return r.Lo, r.N, r.Err
+}
+
+// decouple is the DecoupleMsg handler body.
+func (s *Server) decouple(p *sim.Proc, path string, pol *policy.Policy, client string) (lo namespace.Ino, n uint64, err error) {
 	s.cpu.Acquire(p)
 	defer s.cpu.Release()
 	p.Sleep(s.serviceTime(OpResolve))
@@ -399,8 +424,8 @@ func (s *Server) Decouple(p *sim.Proc, path string, pol *policy.Policy, client s
 		grant = s.cfg.AllocatedInodesDefault
 	}
 	// Grant a range far from server-assigned numbers, like CephFS
-	// prealloc ranges.
-	lo = namespace.Ino(uint64(1)<<40 + uint64(len(s.owners))<<24)
+	// prealloc ranges. Each rank grants from its own band.
+	lo = namespace.Ino(uint64(1)<<40 + uint64(s.rank)<<34 + uint64(len(s.owners))<<24)
 	if err := s.store.ReserveRange(lo, uint64(grant)); err != nil {
 		return 0, 0, err
 	}
@@ -410,6 +435,11 @@ func (s *Server) Decouple(p *sim.Proc, path string, pol *policy.Policy, client s
 
 // Recouple clears the subtree's policy and owner registration.
 func (s *Server) Recouple(p *sim.Proc, path string) error {
+	return s.ep.Post(p, &RecoupleMsg{Path: path}).(*RecoupleReply).Err
+}
+
+// recouple is the RecoupleMsg handler body.
+func (s *Server) recouple(p *sim.Proc, path string) error {
 	s.cpu.Acquire(p)
 	defer s.cpu.Release()
 	p.Sleep(s.serviceTime(OpResolve))

@@ -14,6 +14,12 @@ import (
 // segments.
 const JournalPool = "cephfs_journal"
 
+// journalObjectName names one streamed journal segment object. Each rank
+// streams into its own object series; rank 0 uses the legacy names.
+func journalObjectName(rank, index int) string {
+	return fmt.Sprintf("mds%d_journal.%08d", rank, index)
+}
+
 // streamState implements the Stream mechanism: the MDS journals every
 // metadata update and streams sealed segments into the object store. The
 // two tunables from the paper (§II-A, Fig 3a) are the segment size
@@ -126,7 +132,7 @@ func (st *streamState) dispatchLoop(p *sim.Proc) {
 		for _, seg := range batch {
 			seg := seg
 			g.Go("mds.segwrite", func(wp *sim.Proc) {
-				name := fmt.Sprintf("mds0_journal.%08d", seg.Index)
+				name := journalObjectName(st.s.rank, seg.Index)
 				nominal := int64(len(seg.Events)) * int64(st.s.cfg.JournalEventBytes)
 				data, err := journal.Encode(seg.Events)
 				if err != nil {
@@ -224,7 +230,7 @@ func (s *Server) Recover(p *sim.Proc) error {
 	// Replay streamed journal segments from the object store.
 	striper := rados.NewStriper(s.obj)
 	for idx := 0; ; idx++ {
-		name := fmt.Sprintf("mds0_journal.%08d", idx)
+		name := journalObjectName(s.rank, idx)
 		data, err := striper.Read(p, JournalPool, name)
 		if err != nil {
 			break // no more segments

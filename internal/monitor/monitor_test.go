@@ -14,10 +14,15 @@ import (
 )
 
 func newTestMonitor() (*sim.Engine, *mds.Server, *Monitor) {
+	eng, cl, m := newTestCluster(1)
+	return eng, cl.Rank(0), m
+}
+
+func newTestCluster(ranks int) (*sim.Engine, *mds.Cluster, *Monitor) {
 	eng := sim.NewEngine(5)
 	obj := rados.New(eng, model.Default())
-	srv := mds.New(eng, model.Default(), obj)
-	return eng, srv, New(eng, srv)
+	cl := mds.NewCluster(eng, model.Default(), obj, ranks)
+	return eng, cl, New(eng, cl)
 }
 
 func run(t *testing.T, eng *sim.Engine, fn func(p *sim.Proc)) {
@@ -158,6 +163,75 @@ func TestLookup(t *testing.T) {
 	if _, ok := m.Lookup("/nope"); ok {
 		t.Fatal("phantom subtree found")
 	}
+}
+
+func TestReRegisterMovesRankAndPropagates(t *testing.T) {
+	// Satellite of the multi-rank refactor: re-registering the same path
+	// with a new mds_rank is ONE cluster-map change — the epoch bumps
+	// exactly once, and the new rank/placement map reaches subscribers
+	// (client portals) and the metadata ranks.
+	eng, cl, m := newTestCluster(2)
+	mkdirs(t, eng, cl.Rank(0), "/d")
+	portal := cl.Portal()
+	m.Subscribe("client.0", portal.Table())
+	run(t, eng, func(p *sim.Proc) {
+		if _, err := m.Register(p, "/d", "consistency: weak\ndurability: none", "c0"); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		if m.Epoch() != 1 {
+			t.Fatalf("epoch after first register = %d", m.Epoch())
+		}
+		e, err := m.Register(p, "/d", "consistency: weak\ndurability: none\nmds_rank: 1", "c0")
+		if err != nil {
+			t.Fatalf("re-register: %v", err)
+		}
+		if m.Epoch() != 2 || e.Epoch != 2 {
+			t.Errorf("epoch after re-register = %d (entry %d), want exactly 2", m.Epoch(), e.Epoch)
+		}
+		if e.Rank != 1 {
+			t.Errorf("entry rank = %d, want 1", e.Rank)
+		}
+		// The authoritative table and the subscribed replica both carry
+		// the new placement at the new epoch.
+		if got := cl.Table().RankFor("/d"); got != 1 {
+			t.Errorf("cluster table routes /d to rank %d", got)
+		}
+		if got := portal.Table().RankFor("/d"); got != 1 {
+			t.Errorf("subscribed portal routes /d to rank %d", got)
+		}
+		if portal.Table().Epoch() != 2 {
+			t.Errorf("portal table epoch = %d, want 2", portal.Table().Epoch())
+		}
+		// The MDS ranks see the handoff: rank 1 owns the subtree's
+		// policy, rank 0 no longer does.
+		in1, err := cl.Rank(1).Store().Resolve("/d")
+		if err != nil {
+			t.Fatalf("subtree not exported to rank 1: %v", err)
+		}
+		if owner, ok := cl.Rank(1).Owner(in1.Ino); !ok || owner != "c0" {
+			t.Errorf("rank 1 owner = %q, %v", owner, ok)
+		}
+		in0, err := cl.Rank(0).Store().Resolve("/d")
+		if err != nil {
+			t.Fatalf("rank 0 lost its (stale) copy: %v", err)
+		}
+		if _, ok := cl.Rank(0).Owner(in0.Ino); ok {
+			t.Error("rank 0 still registered as the subtree's policy owner")
+		}
+	})
+}
+
+func TestRegisterRankOutOfRange(t *testing.T) {
+	eng, cl, m := newTestCluster(1)
+	mkdirs(t, eng, cl.Rank(0), "/d")
+	run(t, eng, func(p *sim.Proc) {
+		if _, err := m.Register(p, "/d", "mds_rank: 3", "c0"); err == nil {
+			t.Error("mds_rank 3 accepted by a 1-rank cluster")
+		}
+		if m.Epoch() != 0 {
+			t.Errorf("failed register bumped epoch to %d", m.Epoch())
+		}
+	})
 }
 
 func TestReRegisterReplacesPolicy(t *testing.T) {

@@ -219,6 +219,15 @@ func (s *Store) AllocIno() Ino {
 	}
 }
 
+// SetInoFloor raises the server-side allocation pointer to at least
+// floor. Metadata ranks partitioning one namespace call this with
+// disjoint bands so their server-assigned numbers never collide.
+func (s *Store) SetInoFloor(floor Ino) {
+	if s.nextIno < floor {
+		s.nextIno = floor
+	}
+}
+
 func (s *Store) inReserved(ino Ino) bool {
 	for _, r := range s.reserved {
 		if ino >= r.lo && ino < r.hi {

@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"sort"
+	"strings"
+
+	"cudele/internal/sim"
+)
+
+// Table maps namespace subtrees to metadata ranks. The monitor owns the
+// authoritative copy; ranks and clients hold replicas that the monitor
+// refreshes on every cluster-map change, stamped with the map epoch.
+// Paths with no placement fall through to rank 0, which is why a
+// single-rank deployment behaves exactly like the unrouted system.
+type Table struct {
+	epoch  uint64
+	places map[string]int
+}
+
+// NewTable returns an empty table: everything routes to rank 0.
+func NewTable() *Table {
+	return &Table{places: make(map[string]int)}
+}
+
+// Epoch returns the cluster-map epoch the table was last synced at.
+func (t *Table) Epoch() uint64 { return t.epoch }
+
+// SetEpoch stamps the table with a cluster-map epoch.
+func (t *Table) SetEpoch(e uint64) { t.epoch = e }
+
+// Place assigns the subtree rooted at path to rank.
+func (t *Table) Place(path string, rank int) {
+	t.places[clean(path)] = rank
+}
+
+// Remove drops the subtree's placement; it routes to rank 0 again (or to
+// its nearest placed ancestor).
+func (t *Table) Remove(path string) {
+	delete(t.places, clean(path))
+}
+
+// RankFor returns the rank owning path: the longest placed prefix wins,
+// with component-boundary matching ("/job1" does not own "/job10").
+// Unplaced paths belong to rank 0.
+func (t *Table) RankFor(path string) int {
+	path = clean(path)
+	best, bestLen := 0, -1
+	for prefix, rank := range t.places {
+		if len(prefix) > bestLen && hasPathPrefix(path, prefix) {
+			best, bestLen = rank, len(prefix)
+		}
+	}
+	return best
+}
+
+// Placements returns a copy of the path→rank map, sorted iteration being
+// the caller's concern.
+func (t *Table) Placements() map[string]int {
+	out := make(map[string]int, len(t.places))
+	for p, r := range t.places {
+		out[p] = r
+	}
+	return out
+}
+
+// Paths returns the placed paths in sorted order, for display.
+func (t *Table) Paths() []string {
+	out := make([]string, 0, len(t.places))
+	for p := range t.places {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CopyFrom replaces the table's contents with src's placements and
+// epoch — the monitor's publish step.
+func (t *Table) CopyFrom(src *Table) {
+	t.places = src.Placements()
+	t.epoch = src.epoch
+}
+
+func clean(p string) string {
+	if p == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	if len(p) > 1 {
+		p = strings.TrimRight(p, "/")
+	}
+	return p
+}
+
+// hasPathPrefix reports whether path is prefix or lives under it.
+func hasPathPrefix(path, prefix string) bool {
+	if prefix == "/" {
+		return true
+	}
+	if !strings.HasPrefix(path, prefix) {
+		return false
+	}
+	return len(path) == len(prefix) || path[len(prefix)] == '/'
+}
+
+// Router is an Endpoint that forwards each message to the rank owning
+// its route key.
+type Router struct {
+	name  string
+	table *Table
+	ranks []Endpoint
+	key   func(msg any) string
+}
+
+// NewRouter builds a router over the given rank endpoints. key extracts
+// the routing path from a message; messages with an empty route go to
+// rank 0.
+func NewRouter(name string, table *Table, ranks []Endpoint, key func(msg any) string) *Router {
+	return &Router{name: name, table: table, ranks: ranks, key: key}
+}
+
+// Name implements Endpoint.
+func (r *Router) Name() string { return r.name }
+
+// Table returns the router's placement table (a replica to subscribe to
+// cluster-map updates).
+func (r *Router) Table() *Table { return r.table }
+
+// pick resolves the owning rank's endpoint for a message.
+func (r *Router) pick(msg any) Endpoint {
+	rank := r.table.RankFor(r.key(msg))
+	if rank < 0 || rank >= len(r.ranks) {
+		rank = 0
+	}
+	return r.ranks[rank]
+}
+
+// Call implements Endpoint.
+func (r *Router) Call(p *sim.Proc, msg any) any { return r.pick(msg).Call(p, msg) }
+
+// Post implements Endpoint.
+func (r *Router) Post(p *sim.Proc, msg any) any { return r.pick(msg).Post(p, msg) }

@@ -1,0 +1,78 @@
+// Package transport is the metadata RPC fabric: a message-based endpoint
+// abstraction over the simulated network, a composable interceptor chain
+// for cross-cutting server concerns (admission, accounting, journaling,
+// interference checks), and a routing layer that maps namespace paths to
+// metadata ranks.
+//
+// Clients never hold a concrete server; they talk to an Endpoint. A
+// single-rank deployment wires the client straight to one server's Wire;
+// a multi-rank deployment interposes a Router that picks the owning rank
+// from a replicated placement Table.
+package transport
+
+import (
+	"cudele/internal/sim"
+)
+
+// Handler processes one message inside the caller's simulation process
+// and returns the reply. Handlers and interceptors charge their own
+// virtual time (CPU, disk, queueing); the wire charges network time.
+type Handler func(p *sim.Proc, msg any) any
+
+// Interceptor wraps a Handler with a cross-cutting concern. The
+// interceptor decides whether to invoke next and may rewrite the reply.
+type Interceptor func(next Handler) Handler
+
+// Chain composes interceptors around a terminal handler. The first
+// interceptor is outermost: Chain(h, a, b) runs a(b(h)).
+func Chain(h Handler, interceptors ...Interceptor) Handler {
+	for i := len(interceptors) - 1; i >= 0; i-- {
+		h = interceptors[i](h)
+	}
+	return h
+}
+
+// Endpoint is where clients send metadata messages.
+type Endpoint interface {
+	// Name identifies the endpoint ("mds.0", "mds").
+	Name() string
+	// Call sends a request and waits for the reply, charging one network
+	// hop each way around the handler (the RPCs mechanism).
+	Call(p *sim.Proc, msg any) any
+	// Post hands a message to the endpoint without charging wire
+	// latency; the handler manages all timing itself. Bulk transfers
+	// (journal merges, decouple control traffic) use Post so their
+	// calibrated cost model stays intact.
+	Post(p *sim.Proc, msg any) any
+}
+
+// Wire is the concrete endpoint for one server: a simulated
+// request/reply link with symmetric latency.
+type Wire struct {
+	name string
+	lat  sim.Duration
+	h    Handler
+}
+
+// NewWire builds an endpoint that charges lat on each direction of a
+// Call and runs h in the calling process.
+func NewWire(name string, lat sim.Duration, h Handler) *Wire {
+	return &Wire{name: name, lat: lat, h: h}
+}
+
+// Name implements Endpoint.
+func (w *Wire) Name() string { return w.name }
+
+// Call implements Endpoint: request on the wire, handler, reply on the
+// wire.
+func (w *Wire) Call(p *sim.Proc, msg any) any {
+	p.Sleep(w.lat)
+	reply := w.h(p, msg)
+	p.Sleep(w.lat)
+	return reply
+}
+
+// Post implements Endpoint: the handler self-charges all costs.
+func (w *Wire) Post(p *sim.Proc, msg any) any {
+	return w.h(p, msg)
+}
