@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench ci
+.PHONY: all build test race vet fmt-check bench bench-seq fuzz-short ci
 
 all: build test
 
@@ -22,7 +22,18 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# bench regenerates every table at a CI-friendly scale, in parallel, and
+# refreshes the machine-readable baselines under results/. The tables are
+# byte-identical to bench-seq (see internal/bench/runner.go).
 bench:
-	$(GO) run ./cmd/cudele-bench -scale 0.05 all
+	$(GO) run ./cmd/cudele-bench -scale 0.05 -json -outdir results all
+
+bench-seq:
+	$(GO) run ./cmd/cudele-bench -scale 0.05 -parallel 1 -json -outdir results all
+
+# fuzz-short runs the journal decoder fuzzer for a bounded burst — long
+# enough to hit mutated corpus inputs, short enough for CI.
+fuzz-short:
+	$(GO) test ./internal/journal -run='^FuzzDecode$$' -fuzz=FuzzDecode -fuzztime=10s
 
 ci: fmt-check vet build test

@@ -2,28 +2,54 @@
 //
 // Usage:
 //
-//	cudele-bench [-scale 1.0] [-seed 1] [-csv] [experiment ...]
+//	cudele-bench [-scale 1.0] [-seed 1] [-parallel 0] [-csv] [-json] [experiment ...]
 //
 // With no arguments (or the id "all") it runs every experiment; see
 // -list for the registry. Scale 1.0 is paper scale (100K creates/client,
 // 1M updates for fig6c); smaller scales preserve the normalized shapes
 // and run much faster.
+//
+// -parallel sets how many of an experiment's independent simulation runs
+// execute concurrently (0 = GOMAXPROCS, 1 = sequential). Every run owns
+// its own engine and seed, so the output is byte-identical for any value.
+//
+// -json additionally writes one BENCH_<id>.json per experiment (into
+// -outdir) with the wall clock and the full table — the machine-readable
+// baseline `make bench` commits under results/.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"cudele/internal/bench"
 )
 
+// benchJSON is the schema of a BENCH_<id>.json baseline file.
+type benchJSON struct {
+	ID               string     `json:"id"`
+	Title            string     `json:"title"`
+	Scale            float64    `json:"scale"`
+	Seed             int64      `json:"seed"`
+	Parallel         int        `json:"parallel"`
+	WallClockSeconds float64    `json:"wall_clock_seconds"`
+	Columns          []string   `json:"columns"`
+	Rows             [][]string `json:"rows"`
+	Notes            []string   `json:"notes,omitempty"`
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper scale)")
 	seed := flag.Int64("seed", 1, "deterministic simulation seed")
+	parallel := flag.Int("parallel", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = sequential)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<id>.json per experiment")
+	outdir := flag.String("outdir", ".", "directory for -json output")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -50,7 +76,7 @@ func main() {
 		}
 		ids = expanded
 	}
-	opts := bench.Options{Scale: *scale, Seed: *seed}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Workers: *parallel}
 
 	exit := 0
 	for _, id := range ids {
@@ -62,6 +88,7 @@ func main() {
 		}
 		start := time.Now()
 		res, err := bench.Run(id, opts)
+		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cudele-bench: %s: %v\n", id, err)
 			exit = 1
@@ -71,8 +98,32 @@ func main() {
 			fmt.Print(res.CSV())
 		} else {
 			fmt.Print(res.Render())
-			fmt.Printf("(%s wall clock)\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%s wall clock)\n\n", wall.Round(time.Millisecond))
+		}
+		if *jsonOut {
+			if err := writeJSON(*outdir, res, opts, wall); err != nil {
+				fmt.Fprintf(os.Stderr, "cudele-bench: %s: %v\n", id, err)
+				exit = 1
+			}
 		}
 	}
 	os.Exit(exit)
+}
+
+func writeJSON(dir string, res *bench.Result, opts bench.Options, wall time.Duration) error {
+	if err := os.MkdirAll(dir, 0755); err != nil {
+		return err
+	}
+	out := benchJSON{
+		ID: res.ID, Title: res.Title,
+		Scale: opts.Scale, Seed: opts.Seed, Parallel: opts.Workers,
+		WallClockSeconds: wall.Seconds(),
+		Columns:          res.Columns, Rows: res.Rows, Notes: res.Notes,
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+res.ID+".json")
+	return os.WriteFile(path, append(data, '\n'), 0644)
 }

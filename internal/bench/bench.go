@@ -19,6 +19,12 @@ import (
 type Options struct {
 	Scale float64
 	Seed  int64
+
+	// Workers caps how many of an experiment's independent runs execute
+	// concurrently (the -parallel flag). 0 means GOMAXPROCS; 1 forces
+	// sequential execution. Every run owns its engine, so rendered
+	// tables are byte-identical for any value.
+	Workers int
 }
 
 // DefaultOptions is paper scale.

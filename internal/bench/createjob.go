@@ -37,7 +37,6 @@ type jobConfig struct {
 type jobResult struct {
 	perClient []float64 // seconds, excluding start jitter
 	total     float64   // seconds until every client finished
-	cluster   *cudele.Cluster
 }
 
 // slowest returns the slowest client's time.
@@ -69,7 +68,7 @@ func runCreateJob(jc jobConfig) (*jobResult, error) {
 	}
 	intruder := cl.NewClient("intruder")
 
-	res := &jobResult{perClient: make([]float64, jc.clients), cluster: cl}
+	res := &jobResult{perClient: make([]float64, jc.clients)}
 	dirs := make([]namespace.Ino, jc.clients)
 	var setupErr error
 
@@ -129,6 +128,9 @@ func runCreateJob(jc jobConfig) (*jobResult, error) {
 	res.total = cl.RunAll()
 	if setupErr != nil {
 		return nil, setupErr
+	}
+	if err := reap(cl); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -75,21 +75,19 @@ func ExtLatency(opts Options) (*Result, error) {
 		for _, c := range clients {
 			merged.Merge(c.CreateLatency())
 		}
-		return merged, nil
+		return merged, reap(cl)
 	}
 
-	isolated, err := run(false, false)
+	regimes := []struct{ interfere, block bool }{
+		{false, false}, {true, false}, {true, true},
+	}
+	hists, err := runGrid(opts, len(regimes), func(i int) (*stats.Histogram, error) {
+		return run(regimes[i].interfere, regimes[i].block)
+	})
 	if err != nil {
 		return nil, err
 	}
-	allowed, err := run(true, false)
-	if err != nil {
-		return nil, err
-	}
-	blocked, err := run(true, true)
-	if err != nil {
-		return nil, err
-	}
+	isolated, allowed, blocked := hists[0], hists[1], hists[2]
 
 	r := &Result{
 		ID:      "ext-latency",

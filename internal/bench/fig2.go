@@ -12,12 +12,30 @@ func init() {
 	register("fig2", "MDS resource utilization while compiling in a CephFS mount (Fig 2)", Fig2)
 }
 
+type fig2PhaseRow struct {
+	name           string
+	ops            int
+	secs           float64
+	cpu, net, disk float64
+}
+
 // Fig2 replays the compile-trace phase mix against one client with
 // journaling on and reports, per phase, the metadata op rate and the
 // utilization of the MDS CPU, the fabric, and the OSD disks. The paper's
 // claim: the create-heavy untar phase has the highest combined resource
-// usage because of consistency/durability demands.
+// usage because of consistency/durability demands. Its single simulation
+// is a 1-run grid so it shares the runner's leak checking.
 func Fig2(opts Options) (*Result, error) {
+	grids, err := runGrid(opts, 1, func(int) ([]fig2PhaseRow, error) {
+		return fig2Run(opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fig2Render(grids[0])
+}
+
+func fig2Run(opts Options) ([]fig2PhaseRow, error) {
 	cfg := cudele.DefaultConfig()
 	// Scale the segment size with the workload so journal segments seal
 	// (and stream to the object store) at a proportional rate.
@@ -26,13 +44,7 @@ func Fig2(opts Options) (*Result, error) {
 	cl.MDS().SetStream(true)
 	c := cl.NewClient("client.0")
 
-	type phaseRow struct {
-		name           string
-		ops            int
-		secs           float64
-		cpu, net, disk float64
-	}
-	var rows []phaseRow
+	var rows []fig2PhaseRow
 	var runErr error
 
 	cl.Run(func(p *cudele.Proc) {
@@ -71,7 +83,7 @@ func Fig2(opts Options) (*Result, error) {
 				disk += osd.Disk.UtilizationSince(diskMarks[i])
 			}
 			disk /= float64(len(cl.Objects().OSDs()))
-			rows = append(rows, phaseRow{
+			rows = append(rows, fig2PhaseRow{
 				name: ph.Name, ops: ops, secs: secs,
 				cpu:  cl.MDS().CPU().UtilizationSince(cpuMark),
 				net:  cl.Objects().Net().UtilizationSince(netMark),
@@ -82,7 +94,10 @@ func Fig2(opts Options) (*Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	return rows, reap(cl)
+}
 
+func fig2Render(rows []fig2PhaseRow) (*Result, error) {
 	r := &Result{
 		ID:      "fig2",
 		Title:   "per-phase MDS load for a Linux-compile-like workload (journal on)",

@@ -23,16 +23,12 @@ var clientCounts = []int{1, 2, 5, 10, 15, 20}
 // Fig3a scales parallel creates under four journal configurations:
 // journaling off and dispatch sizes 1, 10, and 30 segments (plus the
 // paper's "realistic" 40). The y-value is the slowest client's slowdown,
-// normalized to 1 client with journaling off (~654 creates/s).
+// normalized to 1 client with journaling off (~654 creates/s). The grid —
+// the baseline plus clientCounts x configs in row-major order — runs on
+// the worker pool.
 func Fig3a(opts Options) (*Result, error) {
 	perClient := opts.scaled(100_000, 200)
 	segEvents := opts.scaled(1024, 64)
-
-	base, err := runCreateJob(jobConfig{seed: opts.Seed, clients: 1, perClient: perClient})
-	if err != nil {
-		return nil, err
-	}
-	baseline := base.slowest()
 
 	type config struct {
 		label    string
@@ -47,6 +43,35 @@ func Fig3a(opts Options) (*Result, error) {
 		{"40 segments", true, 40},
 	}
 
+	type spec struct {
+		clients int
+		cfg     config
+	}
+	specs := []spec{{clients: 1}} // index 0: 1-client journal-off baseline
+	for _, n := range clientCounts {
+		for _, cfg := range configs {
+			specs = append(specs, spec{clients: n, cfg: cfg})
+		}
+	}
+	times, err := runGrid(opts, len(specs), func(i int) (float64, error) {
+		sp := specs[i]
+		jc := jobConfig{seed: opts.Seed, clients: sp.clients, perClient: perClient}
+		if i > 0 {
+			jc.journal = sp.cfg.journal
+			jc.dispatch = sp.cfg.dispatch
+			jc.segEvents = segEvents
+		}
+		res, err := runCreateJob(jc)
+		if err != nil {
+			return 0, err
+		}
+		return res.slowest(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline := times[0]
+
 	r := &Result{
 		ID:    "fig3a",
 		Title: fmt.Sprintf("slowdown of slowest client, %d creates/client, normalized to 1 client journal-off (%.0f creates/s)", perClient, float64(perClient)/baseline),
@@ -54,18 +79,10 @@ func Fig3a(opts Options) (*Result, error) {
 			"30 segments", "40 segments"},
 	}
 	slow := make(map[string][]float64)
-	for _, n := range clientCounts {
+	for ni, n := range clientCounts {
 		row := []string{fmt.Sprintf("%d", n)}
-		for _, cfg := range configs {
-			res, err := runCreateJob(jobConfig{
-				seed: opts.Seed, clients: n, perClient: perClient,
-				journal: cfg.journal, dispatch: cfg.dispatch,
-				segEvents: segEvents,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s := stats.Slowdown(res.slowest(), baseline)
+		for ci, cfg := range configs {
+			s := stats.Slowdown(times[1+ni*len(configs)+ci], baseline)
 			slow[cfg.label] = append(slow[cfg.label], s)
 			row = append(row, f2x(s))
 		}
@@ -82,45 +99,60 @@ func Fig3a(opts Options) (*Result, error) {
 
 // fig3bConfig is the paper's Fig 3b setup: journal on (dispatch 40),
 // strong consistency, an interferer creating files in every private
-// directory at t=interfereAt.
+// directory at t=interfereAt. The grid is the baseline plus
+// clientCounts x 3 trials x {no-interference, interference} in row-major
+// order.
 func fig3bRuns(opts Options, blockPolicy bool) (noInterf, interf map[int][]float64, baseline float64, err error) {
 	perClient := opts.scaled(100_000, 200)
 	perDir := opts.scaled(1000, 10)
 	segEvents := opts.scaled(1024, 64)
 	interfereAt := 0.15 * float64(perClient) / 549.0
 
-	base, err := runCreateJob(jobConfig{seed: opts.Seed, clients: 1, perClient: perClient, journal: true, dispatch: 40, segEvents: segEvents})
+	type spec struct {
+		clients   int
+		trial     int
+		interfere bool
+	}
+	specs := []spec{{clients: 1}} // index 0: isolated 1-client baseline
+	for _, n := range clientCounts {
+		for trial := 0; trial < 3; trial++ {
+			specs = append(specs, spec{clients: n, trial: trial, interfere: false})
+			specs = append(specs, spec{clients: n, trial: trial, interfere: true})
+		}
+	}
+	times, err := runGrid(opts, len(specs), func(i int) (float64, error) {
+		sp := specs[i]
+		jc := jobConfig{
+			seed: opts.Seed + int64(sp.trial)*101, clients: sp.clients, perClient: perClient,
+			journal: true, dispatch: 40, segEvents: segEvents,
+		}
+		if i > 0 {
+			jc.jitter = time.Second
+		}
+		if sp.interfere {
+			jc.interfereAt = interfereAt
+			jc.interferePerDir = perDir
+			jc.blockPolicy = blockPolicy
+		}
+		res, err := runCreateJob(jc)
+		if err != nil {
+			return 0, err
+		}
+		return res.slowest(), nil
+	})
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	baseline = base.slowest()
+	baseline = times[0]
 
 	noInterf = make(map[int][]float64)
 	interf = make(map[int][]float64)
+	i := 1
 	for _, n := range clientCounts {
 		for trial := 0; trial < 3; trial++ {
-			seed := opts.Seed + int64(trial)*101
-			a, err := runCreateJob(jobConfig{
-				seed: seed, clients: n, perClient: perClient,
-				journal: true, dispatch: 40, segEvents: segEvents,
-				jitter: time.Second,
-			})
-			if err != nil {
-				return nil, nil, 0, err
-			}
-			noInterf[n] = append(noInterf[n], stats.Slowdown(a.slowest(), baseline))
-
-			b, err := runCreateJob(jobConfig{
-				seed: seed, clients: n, perClient: perClient,
-				journal: true, dispatch: 40, segEvents: segEvents,
-				jitter:      time.Second,
-				interfereAt: interfereAt, interferePerDir: perDir,
-				blockPolicy: blockPolicy,
-			})
-			if err != nil {
-				return nil, nil, 0, err
-			}
-			interf[n] = append(interf[n], stats.Slowdown(b.slowest(), baseline))
+			noInterf[n] = append(noInterf[n], stats.Slowdown(times[i], baseline))
+			interf[n] = append(interf[n], stats.Slowdown(times[i+1], baseline))
+			i += 2
 		}
 	}
 	return noInterf, interf, baseline, nil
@@ -157,11 +189,17 @@ func Fig3b(opts Options) (*Result, error) {
 	return r, nil
 }
 
+// fig3cSampled is one traced run's time series.
+type fig3cSampled struct {
+	requests *stats.Series
+	lookups  *stats.Series
+}
+
 // Fig3c traces the cause of the interference slowdown: once a second
 // client touches the directories, capabilities are revoked and clients
 // must send lookup() RPCs to the MDS before every create. The rows are a
 // time series of MDS request and lookup-RPC rates for an interference run
-// and a no-interference run.
+// and a no-interference run (a 2-run grid).
 func Fig3c(opts Options) (*Result, error) {
 	perClient := opts.scaled(100_000, 500)
 	perDir := opts.scaled(1000, 10)
@@ -169,13 +207,7 @@ func Fig3c(opts Options) (*Result, error) {
 	interfereAt := 0.15 * float64(perClient) / 549.0
 	sampleEvery := interfereAt / 4.0
 
-	type sampled struct {
-		t        []float64
-		requests *stats.Series
-		lookups  *stats.Series
-	}
-
-	runTraced := func(interfere bool) (*sampled, error) {
+	runTraced := func(interfere bool) (*fig3cSampled, error) {
 		jc := jobConfig{
 			seed: opts.Seed, clients: nClients, perClient: perClient,
 			journal: true, dispatch: 40,
@@ -190,7 +222,7 @@ func Fig3c(opts Options) (*Result, error) {
 		cl := cudele.NewCluster(cudele.WithSeed(jc.seed), cudele.WithConfig(cfg))
 		cl.MDS().SetStream(true)
 
-		out := &sampled{requests: &stats.Series{}, lookups: &stats.Series{}}
+		out := &fig3cSampled{requests: &stats.Series{}, lookups: &stats.Series{}}
 		done := false
 		eng := cl.Engine()
 
@@ -235,17 +267,19 @@ func Fig3c(opts Options) (*Result, error) {
 			done = true
 		})
 		cl.RunAll()
+		if err := reap(cl); err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
 
-	plain, err := runTraced(false)
+	traces, err := runGrid(opts, 2, func(i int) (*fig3cSampled, error) {
+		return runTraced(i == 1)
+	})
 	if err != nil {
 		return nil, err
 	}
-	noisy, err := runTraced(true)
-	if err != nil {
-		return nil, err
-	}
+	plain, noisy := traces[0], traces[1]
 
 	r := &Result{
 		ID:    "fig3c",

@@ -42,7 +42,10 @@ func withDecoupledJournal(seed int64, n int, fn func(cl *cudele.Cluster, c *cude
 		appendSecs := (p.Now() - start).Seconds()
 		err = fn(cl, c, p, appendSecs)
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	return reap(cl)
 }
 
 // rpcCreateTime runs n RPC creates on a fresh cluster and returns the
@@ -55,59 +58,71 @@ func rpcCreateTime(seed int64, n, segEvents int, journal bool) (float64, error) 
 	return res.slowest(), nil
 }
 
+// fig5Times holds the timings one grid run produces; unset fields stay 0.
+type fig5Times struct {
+	append_, volatile, local, global, nonvol, rpc, rpcJournal float64
+}
+
 // Fig5 measures the time each mechanism needs to process n create events,
 // normalized to Append Client Journal (~11K creates/s), and the
-// real-world compositions on the right of the paper's figure.
+// real-world compositions on the right of the paper's figure. The four
+// independent simulations (decoupled persists, destructive apply, RPC
+// creates with and without journaling) run as a grid.
 func Fig5(opts Options) (*Result, error) {
 	n := opts.scaled(100_000, 500)
-
-	var tAppend, tVolatile, tLocal, tGlobal, tNonvol float64
-
-	// Non-destructive persists first, then the destructive apply.
-	err := withDecoupledJournal(opts.Seed, n, func(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, appendSecs float64) error {
-		tAppend = appendSecs
-		start := p.Now()
-		if err := c.LocalPersist(p); err != nil {
-			return err
-		}
-		tLocal = (p.Now() - start).Seconds()
-		start = p.Now()
-		if err := c.GlobalPersist(p); err != nil {
-			return err
-		}
-		tGlobal = (p.Now() - start).Seconds()
-		start = p.Now()
-		if _, err := c.VolatileApply(p); err != nil {
-			return err
-		}
-		tVolatile = (p.Now() - start).Seconds()
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	err = withDecoupledJournal(opts.Seed, n, func(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, _ float64) error {
-		start := p.Now()
-		if _, err := c.NonvolatileApply(p); err != nil {
-			return err
-		}
-		tNonvol = (p.Now() - start).Seconds()
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
 	segEvents := opts.scaled(1024, 64)
-	tRPC, err := rpcCreateTime(opts.Seed, n, segEvents, false)
+
+	parts, err := runGrid(opts, 4, func(i int) (fig5Times, error) {
+		var t fig5Times
+		switch i {
+		case 0: // non-destructive persists, then volatile apply
+			err := withDecoupledJournal(opts.Seed, n, func(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, appendSecs float64) error {
+				t.append_ = appendSecs
+				start := p.Now()
+				if err := c.LocalPersist(p); err != nil {
+					return err
+				}
+				t.local = (p.Now() - start).Seconds()
+				start = p.Now()
+				if err := c.GlobalPersist(p); err != nil {
+					return err
+				}
+				t.global = (p.Now() - start).Seconds()
+				start = p.Now()
+				if _, err := c.VolatileApply(p); err != nil {
+					return err
+				}
+				t.volatile = (p.Now() - start).Seconds()
+				return nil
+			})
+			return t, err
+		case 1: // destructive nonvolatile apply on its own journal
+			err := withDecoupledJournal(opts.Seed, n, func(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, _ float64) error {
+				start := p.Now()
+				if _, err := c.NonvolatileApply(p); err != nil {
+					return err
+				}
+				t.nonvol = (p.Now() - start).Seconds()
+				return nil
+			})
+			return t, err
+		case 2:
+			var err error
+			t.rpc, err = rpcCreateTime(opts.Seed, n, segEvents, false)
+			return t, err
+		default:
+			var err error
+			t.rpcJournal, err = rpcCreateTime(opts.Seed, n, segEvents, true)
+			return t, err
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	tRPCJournal, err := rpcCreateTime(opts.Seed, n, segEvents, true)
-	if err != nil {
-		return nil, err
-	}
+	tAppend, tLocal, tGlobal, tVolatile := parts[0].append_, parts[0].local, parts[0].global, parts[0].volatile
+	tNonvol := parts[1].nonvol
+	tRPC := parts[2].rpc
+	tRPCJournal := parts[3].rpcJournal
 	tStream := tRPCJournal - tRPC
 
 	r := &Result{

@@ -20,7 +20,7 @@ func init() {
 // create perClient files locally; with merge, each ships its journal to
 // the MDS the moment it finishes (so journals land together, the paper's
 // pessimistic arrival model). It returns the total job seconds.
-func decoupledJob(seed int64, n, perClient int, merge bool, stagger time.Duration) (float64, *cudele.Cluster, error) {
+func decoupledJob(seed int64, n, perClient int, merge bool, stagger time.Duration) (float64, error) {
 	cl := cudele.NewCluster(cudele.WithSeed(seed))
 	cl.MDS().SetStream(true)
 	clients := make([]*cudele.Client, n)
@@ -68,7 +68,10 @@ func decoupledJob(seed int64, n, perClient int, merge bool, stagger time.Duratio
 		}
 	})
 	total := cl.RunAll()
-	return total, cl, jobErr
+	if jobErr != nil {
+		return 0, jobErr
+	}
+	return total, reap(cl)
 }
 
 // Fig6a compares three subtree semantics for the parallel-create
@@ -79,11 +82,35 @@ func Fig6a(opts Options) (*Result, error) {
 	perClient := opts.scaled(100_000, 200)
 	segEvents := opts.scaled(1024, 64)
 
-	base, err := runCreateJob(jobConfig{seed: opts.Seed, clients: 1, perClient: perClient, journal: true, dispatch: 40, segEvents: segEvents})
+	// Grid: index 0 is the 1-client RPC baseline; then per client count the
+	// three semantics (rpcs, create+merge, create) in row-major order.
+	const perRow = 3
+	runs, err := runGrid(opts, 1+perRow*len(clientCounts), func(i int) (float64, error) {
+		if i == 0 {
+			base, err := runCreateJob(jobConfig{seed: opts.Seed, clients: 1, perClient: perClient, journal: true, dispatch: 40, segEvents: segEvents})
+			if err != nil {
+				return 0, err
+			}
+			return base.slowest(), nil
+		}
+		n := clientCounts[(i-1)/perRow]
+		switch (i - 1) % perRow {
+		case 0:
+			rpc, err := runCreateJob(jobConfig{seed: opts.Seed, clients: n, perClient: perClient, journal: true, dispatch: 40, segEvents: segEvents})
+			if err != nil {
+				return 0, err
+			}
+			return rpc.total, nil
+		case 1:
+			return decoupledJob(opts.Seed, n, perClient, true, 0)
+		default:
+			return decoupledJob(opts.Seed, n, perClient, false, 0)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	baseRate := float64(perClient) / base.slowest()
+	baseRate := float64(perClient) / runs[0]
 
 	r := &Result{
 		ID:      "fig6a",
@@ -91,24 +118,11 @@ func Fig6a(opts Options) (*Result, error) {
 		Columns: []string{"clients", "rpcs", "decoupled: create+merge", "decoupled: create"},
 	}
 	var rpcsAt, mergeAt, createAt []float64
-	for _, n := range clientCounts {
-		rpc, err := runCreateJob(jobConfig{seed: opts.Seed, clients: n, perClient: perClient, journal: true, dispatch: 40, segEvents: segEvents})
-		if err != nil {
-			return nil, err
-		}
-		rpcSpeed := float64(n*perClient) / rpc.total / baseRate
-
-		mergeTotal, _, err := decoupledJob(opts.Seed, n, perClient, true, 0)
-		if err != nil {
-			return nil, err
-		}
-		mergeSpeed := float64(n*perClient) / mergeTotal / baseRate
-
-		createTotal, _, err := decoupledJob(opts.Seed, n, perClient, false, 0)
-		if err != nil {
-			return nil, err
-		}
-		createSpeed := float64(n*perClient) / createTotal / baseRate
+	for ni, n := range clientCounts {
+		row := runs[1+ni*perRow : 1+(ni+1)*perRow]
+		rpcSpeed := float64(n*perClient) / row[0] / baseRate
+		mergeSpeed := float64(n*perClient) / row[1] / baseRate
+		createSpeed := float64(n*perClient) / row[2] / baseRate
 
 		rpcsAt = append(rpcsAt, rpcSpeed)
 		mergeAt = append(mergeAt, mergeSpeed)
@@ -183,8 +197,13 @@ func Fig6c(opts Options) (*Result, error) {
 		Title:   fmt.Sprintf("overhead of namespace sync for %d updates (base runtime %.1f s)", n, tBase),
 		Columns: []string{"sync interval (s)", "runtime (s)", "overhead", "pauses", "avg sync (MB)"},
 	}
-	var overheads []float64
-	for _, interval := range intervals {
+	type syncRun struct {
+		total   float64
+		pauses  int
+		shipped int
+	}
+	syncRuns, err := runGrid(opts, len(intervals), func(gi int) (syncRun, error) {
+		interval := intervals[gi]
 		cl := cudele.NewCluster(cudele.WithSeed(opts.Seed))
 		c := cl.NewClient("client.0")
 		var runErr error
@@ -239,15 +258,23 @@ func Fig6c(opts Options) (*Result, error) {
 			pauses, _ = c.SyncStats()
 		})
 		if runErr != nil {
-			return nil, runErr
+			return syncRun{}, runErr
 		}
-		overhead := (total - tBase) / tBase
+		return syncRun{total: total, pauses: pauses, shipped: shipped}, reap(cl)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var overheads []float64
+	for gi, interval := range intervals {
+		sr := syncRuns[gi]
+		overhead := (sr.total - tBase) / tBase
 		overheads = append(overheads, overhead)
 		avgMB := 0.0
-		if pauses > 0 {
-			avgMB = float64(shipped) * 2500 / float64(pauses) / 1e6
+		if sr.pauses > 0 {
+			avgMB = float64(sr.shipped) * 2500 / float64(sr.pauses) / 1e6
 		}
-		r.AddRow(f0(interval), f2(total), pct(overhead), fmt.Sprintf("%d", pauses), f1(avgMB))
+		r.AddRow(f0(interval), f2(sr.total), pct(overhead), fmt.Sprintf("%d", sr.pauses), f1(avgMB))
 	}
 	// Locate the measured optimum.
 	best := 0

@@ -52,7 +52,10 @@ func multiMDSRun(seed int64, ranks, clients, perClient int) (float64, error) {
 		}
 	})
 	total := cl.RunAll()
-	return total, jobErr
+	if jobErr != nil {
+		return 0, jobErr
+	}
+	return total, reap(cl)
 }
 
 // MultiMDS shows the scaling path the paper names in §VI: a single MDS
@@ -70,19 +73,21 @@ func MultiMDS(opts Options) (*Result, error) {
 		Title:   fmt.Sprintf("aggregate RPC create throughput, %d clients x %d creates, subtrees pinned round-robin", clients, perClient),
 		Columns: []string{"mds ranks", "runtime (s)", "creates/s", "speedup"},
 	}
+	totals, err := runGrid(opts, len(multiMDSRanks), func(i int) (float64, error) {
+		return multiMDSRun(opts.Seed, multiMDSRanks[i], clients, perClient)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var base float64
 	var rates []float64
-	for _, ranks := range multiMDSRanks {
-		total, err := multiMDSRun(opts.Seed, ranks, clients, perClient)
-		if err != nil {
-			return nil, err
-		}
-		rate := float64(clients*perClient) / total
+	for ri, ranks := range multiMDSRanks {
+		rate := float64(clients*perClient) / totals[ri]
 		if base == 0 {
 			base = rate
 		}
 		rates = append(rates, rate)
-		r.AddRow(fmt.Sprintf("%d", ranks), f2(total), f0(rate), f2x(rate/base))
+		r.AddRow(fmt.Sprintf("%d", ranks), f2(totals[ri]), f0(rate), f2x(rate/base))
 	}
 	last := len(multiMDSRanks) - 1
 	r.Notef("single-MDS CephFS saturates (paper Fig 3c); subtree partitioning is the stated scaling path (paper §VI)")

@@ -253,7 +253,11 @@ func (c *Client) Mkdir(p *sim.Proc, dir namespace.Ino, name string, mode uint32)
 func (c *Client) MkdirAll(p *sim.Proc, path string, mode uint32) (namespace.Ino, error) {
 	cur := namespace.RootIno
 	curPath := "/"
-	for _, comp := range namespace.SplitPath(path) {
+	for it := namespace.SplitIter(path); ; {
+		comp, ok := it.Next()
+		if !ok {
+			break
+		}
 		lk := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: cur, Name: comp, Route: curPath})
 		if lk.Err == nil {
 			if !lk.IsDir {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math/bits"
 )
 
 // Binary layout.
@@ -38,12 +39,51 @@ func putString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-// AppendEvent encodes ev as one record and appends it to b.
-func AppendEvent(b []byte, ev *Event) ([]byte, error) {
+// uvarintLen returns the encoded size of v in bytes.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// payloadSize returns the exact encoded payload length of ev.
+func payloadSize(ev *Event) int {
+	return 1 +
+		uvarintLen(ev.Seq) +
+		uvarintLen(uint64(len(ev.Client))) + len(ev.Client) +
+		uvarintLen(ev.Ino) +
+		uvarintLen(ev.Parent) +
+		uvarintLen(uint64(len(ev.Name))) + len(ev.Name) +
+		uvarintLen(ev.NewParent) +
+		uvarintLen(uint64(len(ev.NewName))) + len(ev.NewName) +
+		uvarintLen(uint64(ev.Mode)) +
+		uvarintLen(uint64(ev.UID)) +
+		uvarintLen(uint64(ev.GID)) +
+		uvarintLen(ev.Size) +
+		uvarintLen(zigzag(ev.Mtime))
+}
+
+// recordSize returns the exact encoded record length of ev (length
+// prefix + payload + CRC).
+func recordSize(ev *Event) int {
+	n := payloadSize(ev)
+	return uvarintLen(uint64(n)) + n + 4
+}
+
+// Encoder encodes journal records while amortizing the payload staging
+// buffer across events. The zero value is ready to use. An Encoder is not
+// safe for concurrent use; long-lived producers (the MDS stream
+// dispatcher, a decoupled client's journal) keep one per owner so the hot
+// append path stops allocating per event.
+type Encoder struct {
+	scratch []byte
+}
+
+// AppendEvent encodes ev as one record and appends it to b, staging the
+// payload in the encoder's reusable scratch buffer.
+func (e *Encoder) AppendEvent(b []byte, ev *Event) ([]byte, error) {
 	if err := ev.Validate(); err != nil {
 		return b, err
 	}
-	payload := make([]byte, 0, 64+len(ev.Name)+len(ev.NewName)+len(ev.Client))
+	payload := e.scratch[:0]
 	payload = append(payload, byte(ev.Type))
 	payload = putUvarint(payload, ev.Seq)
 	payload = putString(payload, ev.Client)
@@ -57,12 +97,48 @@ func AppendEvent(b []byte, ev *Event) ([]byte, error) {
 	payload = putUvarint(payload, uint64(ev.GID))
 	payload = putUvarint(payload, ev.Size)
 	payload = putUvarint(payload, zigzag(ev.Mtime))
+	e.scratch = payload
 
 	b = putUvarint(b, uint64(len(payload)))
 	b = append(b, payload...)
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
 	return append(b, crc[:]...), nil
+}
+
+// Encode serializes events with the file header, producing a complete
+// journal image suitable for Local/Global Persist or journal-tool export.
+// The output buffer is sized exactly up front, so the whole image costs
+// one allocation regardless of event count.
+func (e *Encoder) Encode(events []*Event) ([]byte, error) {
+	size, maxPayloadLen := MagicLen, 0
+	for _, ev := range events {
+		n := payloadSize(ev)
+		size += uvarintLen(uint64(n)) + n + 4
+		if n > maxPayloadLen {
+			maxPayloadLen = n
+		}
+	}
+	if cap(e.scratch) < maxPayloadLen {
+		e.scratch = make([]byte, 0, maxPayloadLen)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, magic...)
+	var err error
+	for i, ev := range events {
+		out, err = e.AppendEvent(out, ev)
+		if err != nil {
+			return nil, fmt.Errorf("encode event %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// AppendEvent encodes ev as one record and appends it to b. One-shot
+// convenience; hot paths hold an Encoder to reuse its scratch buffer.
+func AppendEvent(b []byte, ev *Event) ([]byte, error) {
+	var e Encoder
+	return e.AppendEvent(b, ev)
 }
 
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
@@ -129,12 +205,13 @@ func (d *Decoder) Next() (*Event, error) {
 		return nil, ErrChecksum
 	}
 
-	pd := &Decoder{buf: payload}
 	if len(payload) < 1 {
 		return nil, ErrTruncated
 	}
-	ev := &Event{Type: EventType(payload[0])}
+	var pd Decoder
+	pd.buf = payload
 	pd.off = 1
+	ev := &Event{Type: EventType(payload[0])}
 	if ev.Seq, err = pd.uvarint(); err != nil {
 		return nil, err
 	}
@@ -182,19 +259,30 @@ func (d *Decoder) Next() (*Event, error) {
 	return ev, nil
 }
 
-// Encode serializes events with the file header, producing a complete
-// journal image suitable for Local/Global Persist or journal-tool export.
-func Encode(events []*Event) ([]byte, error) {
-	out := make([]byte, 0, 32*len(events)+MagicLen)
-	out = append(out, magic...)
-	var err error
-	for i, ev := range events {
-		out, err = AppendEvent(out, ev)
-		if err != nil {
-			return nil, fmt.Errorf("encode event %d: %w", i, err)
+// countRecords pre-scans an encoded record stream, following length
+// prefixes only (no CRC work), so Decode can size its output slice once.
+// A malformed tail just ends the count early; the real decode loop
+// produces the proper error.
+func countRecords(buf []byte) int {
+	n, off := 0, 0
+	for off < len(buf) {
+		plen, k := binary.Uvarint(buf[off:])
+		if k <= 0 || plen > maxPayload {
+			break
 		}
+		off += k + int(plen) + 4
+		if off > len(buf) {
+			break
+		}
+		n++
 	}
-	return out, nil
+	return n
+}
+
+// Encode serializes events with the file header using a one-shot Encoder.
+func Encode(events []*Event) ([]byte, error) {
+	var e Encoder
+	return e.Encode(events)
 }
 
 // Decode parses a complete journal image produced by Encode.
@@ -205,8 +293,12 @@ func Decode(buf []byte) ([]*Event, error) {
 	if string(buf[:MagicLen]) != magic {
 		return nil, ErrBadMagic
 	}
-	d := NewDecoder(buf[MagicLen:])
-	var out []*Event
+	body := buf[MagicLen:]
+	if len(body) == 0 {
+		return nil, nil
+	}
+	d := NewDecoder(body)
+	out := make([]*Event, 0, countRecords(body))
 	for d.More() {
 		ev, err := d.Next()
 		if err != nil {

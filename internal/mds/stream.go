@@ -31,6 +31,11 @@ type streamState struct {
 	jrnl  *journal.Journal
 	queue []*journal.Segment // sealed, awaiting dispatch
 
+	// enc amortizes the payload scratch buffer across every segment this
+	// rank dispatches. Sharing it between segwrite processes is safe:
+	// only one sim process runs at a time and Encode never yields.
+	enc journal.Encoder
+
 	dispatching bool
 	flushedSeg  int // highest segment index safely in the object store
 }
@@ -134,7 +139,7 @@ func (st *streamState) dispatchLoop(p *sim.Proc) {
 			g.Go("mds.segwrite", func(wp *sim.Proc) {
 				name := journalObjectName(st.s.rank, seg.Index)
 				nominal := int64(len(seg.Events)) * int64(st.s.cfg.JournalEventBytes)
-				data, err := journal.Encode(seg.Events)
+				data, err := st.enc.Encode(seg.Events)
 				if err != nil {
 					return
 				}

@@ -12,9 +12,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"time"
 )
 
@@ -28,31 +29,70 @@ type Duration = time.Duration
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are stored by value in the queue
+// so scheduling does not allocate (beyond amortized slice growth): the
+// simulation schedules one event per operation step, making this the
+// hottest allocation site in the whole substrate.
 type event struct {
 	at  Time
 	seq uint64 // tie-break so equal-time events run FIFO
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by time, then FIFO by sequence number. The (at,
+// seq) pair is unique per event, so the pop order is a total order and
+// does not depend on the heap's internal layout.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// eventQueue is a binary min-heap of event values. It replaces
+// container/heap to avoid both the per-event heap allocation and the
+// interface{} boxing on every Push/Pop.
+type eventQueue []event
+
+func (q *eventQueue) push(ev event) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*q = h
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the fn reference
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l].before(&h[smallest]) {
+			smallest = l
+		}
+		if r < n && h[r].before(&h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
 
 // Engine owns the virtual clock and the event queue.
@@ -61,7 +101,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   eventQueue
 	rng     *rand.Rand
 	running bool
 
@@ -70,6 +110,7 @@ type Engine struct {
 	yielded chan struct{}
 
 	procs   int // live process count, for leak detection
+	live    map[*Proc]struct{}
 	stopped bool
 }
 
@@ -79,6 +120,7 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{
 		rng:     rand.New(rand.NewSource(seed)),
 		yielded: make(chan struct{}),
+		live:    make(map[*Proc]struct{}),
 	}
 }
 
@@ -96,7 +138,7 @@ func (e *Engine) Schedule(d Duration, fn func()) {
 		d = 0
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: e.now + Time(d), seq: e.seq, fn: fn})
+	e.queue.push(event{at: e.now + Time(d), seq: e.seq, fn: fn})
 }
 
 // Go spawns a new process executing fn. The process starts when the engine
@@ -108,12 +150,19 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 	}
 	e.procs++
+	e.live[p] = struct{}{}
 	e.Schedule(0, func() {
+		p.started = true
 		go func() {
 			defer func() {
+				r := recover()
 				p.done = true
 				e.procs--
+				delete(e.live, p)
 				e.yielded <- struct{}{}
+				if r != nil && r != errProcKilled {
+					panic(r)
+				}
 			}()
 			fn(p)
 		}()
@@ -133,12 +182,11 @@ func (e *Engine) Run(until Time) Time {
 	e.running = true
 	defer func() { e.running = false }()
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.at > until {
-			// Push back so a later Run can continue.
-			heap.Push(&e.queue, ev)
+		if e.queue[0].at > until {
+			// Leave it queued so a later Run can continue.
 			break
 		}
+		ev := e.queue.pop()
 		if ev.at > e.now {
 			e.now = ev.at
 		}
@@ -151,10 +199,52 @@ func (e *Engine) Run(until Time) Time {
 func (e *Engine) RunAll() Time { return e.Run(Time(1<<62 - 1)) }
 
 // Stop halts the event loop after the current event completes. Blocked
-// processes are abandoned (their goroutines are parked forever), so Stop is
-// intended for ending a simulation for good, typically from within a
-// process right before the caller discards the engine.
+// processes stay parked until Shutdown reaps them, so callers ending a
+// simulation for good should follow Stop (or the final Run) with Shutdown
+// to avoid leaking their goroutines.
 func (e *Engine) Stop() { e.stopped = true }
+
+// errProcKilled unwinds a process goroutine that Shutdown is reaping.
+var errProcKilled = new(int)
+
+// Shutdown stops the engine and reaps every live process so no goroutine
+// outlives the simulation: blocked processes are resumed with a kill
+// signal that unwinds their stacks, and spawned-but-never-started
+// processes are discarded. It must be called from outside the event loop
+// (never from a simulation process) and is the intended way to discard an
+// engine — especially when many engines run back to back, where parked
+// goroutines would otherwise accumulate. It returns the number of
+// processes reaped; a well-formed, fully drained simulation returns 0.
+func (e *Engine) Shutdown() int {
+	if e.running {
+		panic("sim: Engine.Shutdown called from inside Run")
+	}
+	e.stopped = true
+	reaped := 0
+	for len(e.live) > 0 {
+		for p := range e.live {
+			reaped++
+			if !p.started {
+				// Its goroutine was never created; just unregister.
+				p.done = true
+				e.procs--
+				delete(e.live, p)
+				continue
+			}
+			// The process is blocked in Proc.block waiting on resume.
+			// Wake it with the kill flag set; block panics with
+			// errProcKilled, the goroutine's deferred handler swallows
+			// it and signals yielded. If a deferred function blocks
+			// again, the process stays live and is killed again on the
+			// next pass.
+			p.killed = true
+			p.resume <- struct{}{}
+			<-e.yielded
+			break // e.live changed; restart the iteration
+		}
+	}
+	return reaped
+}
 
 // Pending reports the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.queue) }
@@ -164,14 +254,33 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // of processes blocked forever (normally zero).
 func (e *Engine) LiveProcs() int { return e.procs }
 
+// LeakCheck returns nil when no processes are live, and otherwise an
+// error naming the leaked processes. Call it after the simulation drains
+// (and before Shutdown, which reaps the leaks it reports) to assert that
+// no process was abandoned mid-blocking — the check harnesses and the
+// bench worker pool use it so runs cannot mask leaks.
+func (e *Engine) LeakCheck() error {
+	if e.procs == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(e.live))
+	for p := range e.live {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: %d leaked process(es): %s", e.procs, strings.Join(names, ", "))
+}
+
 // Proc is a simulation process: a goroutine that alternates control with
 // the engine. All Proc methods must be called from the process's own
 // goroutine.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	done   bool
+	eng     *Engine
+	name    string
+	resume  chan struct{}
+	started bool
+	done    bool
+	killed  bool
 }
 
 // Name returns the process name given to Engine.Go.
@@ -188,6 +297,9 @@ func (p *Proc) Now() Time { return p.eng.now }
 func (p *Proc) block() {
 	p.eng.yielded <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(errProcKilled)
+	}
 }
 
 // wake resumes a blocked process from engine context (inside an event) and
