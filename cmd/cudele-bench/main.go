@@ -16,12 +16,20 @@
 // -json additionally writes one BENCH_<id>.json per experiment (into
 // -outdir) with the wall clock and the full table — the machine-readable
 // baseline `make bench` commits under results/.
+//
+// -trace FILE records every simulation run as spans on the shared virtual
+// clock and writes one Chrome trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev); each run becomes its own process group. -metrics FILE
+// writes a Prometheus text dump of every daemon's counters, histograms,
+// and device utilizations, one `run` label per simulation. Observation is
+// passive: tables are byte-identical with these flags on or off.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,12 +59,18 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write BENCH_<id>.json per experiment")
 	outdir := flag.String("outdir", ".", "directory for -json output")
 	list := flag.Bool("list", false, "list experiments and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every simulation run to this file")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text dump of every run's daemon metrics to this file")
 	flag.Parse()
 
 	if *list {
 		for _, id := range bench.IDs() {
 			e, _ := bench.Lookup(id)
-			fmt.Printf("%-8s %s\n", id, e.Title)
+			mark := ""
+			if e.Utilization {
+				mark = "  [utilization columns]"
+			}
+			fmt.Printf("%-12s %s%s\n", id, e.Title, mark)
 		}
 		return
 	}
@@ -77,6 +91,9 @@ func main() {
 		ids = expanded
 	}
 	opts := bench.Options{Scale: *scale, Seed: *seed, Workers: *parallel}
+	if *tracePath != "" || *metricsPath != "" {
+		opts.Sink = bench.NewSink()
+	}
 
 	exit := 0
 	for _, id := range ids {
@@ -107,7 +124,32 @@ func main() {
 			}
 		}
 	}
+	if *tracePath != "" {
+		if err := writeSink(*tracePath, opts.Sink.WriteChrome); err != nil {
+			fmt.Fprintf(os.Stderr, "cudele-bench: trace: %v\n", err)
+			exit = 1
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeSink(*metricsPath, opts.Sink.WriteMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "cudele-bench: metrics: %v\n", err)
+			exit = 1
+		}
+	}
 	os.Exit(exit)
+}
+
+// writeSink streams one sink export into path.
+func writeSink(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeJSON(dir string, res *bench.Result, opts bench.Options, wall time.Duration) error {

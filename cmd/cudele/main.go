@@ -25,6 +25,10 @@
 //	time                         print virtual time
 //
 // Lines starting with # are comments.
+//
+// -trace FILE writes a Chrome trace-event JSON (Perfetto-loadable) of
+// the session's spans on simulated time; -metrics FILE writes a
+// Prometheus text dump of every daemon's counters and utilizations.
 package main
 
 import (
@@ -44,6 +48,8 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	ranks := flag.Int("ranks", 1, "metadata ranks")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the session to this file")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text dump of daemon metrics to this file")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -63,6 +69,9 @@ func main() {
 	}
 
 	cl := cudele.NewCluster(cudele.WithSeed(*seed), cudele.WithMDSRanks(*ranks))
+	if *tracePath != "" {
+		cl.EnableTracing()
+	}
 	c := cl.NewClient("client.0")
 	exit := 0
 	cl.Run(func(p *cudele.Proc) {
@@ -73,7 +82,32 @@ func main() {
 			}
 		}
 	})
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, cl.Tracer().WriteChrome); err != nil {
+			fmt.Fprintf(os.Stderr, "cudele: trace: %v\n", err)
+			exit = 1
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeFile(*metricsPath, cl.CollectMetrics().WritePrometheus); err != nil {
+			fmt.Fprintf(os.Stderr, "cudele: metrics: %v\n", err)
+			exit = 1
+		}
+	}
 	os.Exit(exit)
+}
+
+// writeFile streams one export into path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readLines(in io.Reader) ([]string, error) {

@@ -25,6 +25,11 @@ type Options struct {
 	// sequential execution. Every run owns its engine, so rendered
 	// tables are byte-identical for any value.
 	Workers int
+
+	// Sink, when non-nil, collects a trace recorder and metric registry
+	// from every simulation run (the -trace/-metrics flags). Observation
+	// is passive: tables are byte-identical with or without a sink.
+	Sink *Sink
 }
 
 // DefaultOptions is paper scale.
@@ -138,6 +143,10 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(Options) (*Result, error)
+
+	// Utilization marks experiments whose tables include device
+	// utilization columns (surfaced by cudele-bench -list).
+	Utilization bool
 }
 
 var registry = map[string]*Experiment{}
@@ -145,6 +154,10 @@ var registry = map[string]*Experiment{}
 func register(id, title string, run func(Options) (*Result, error)) {
 	registry[id] = &Experiment{ID: id, Title: title, Run: run}
 }
+
+// markUtilization flags a registered experiment as emitting utilization
+// columns.
+func markUtilization(id string) { registry[id].Utilization = true }
 
 // IDs lists registered experiment ids in order.
 func IDs() []string {

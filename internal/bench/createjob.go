@@ -31,6 +31,11 @@ type jobConfig struct {
 	interfereAt     float64 // seconds; 0 disables the interferer
 	interferePerDir int
 	blockPolicy     bool // register each private dir with interfere: block
+
+	// sink/run route this run's trace and metrics to the experiment's
+	// observability sink; a nil sink means observation is off.
+	sink *Sink
+	run  string
 }
 
 // jobResult reports per-client completion times and the total job time.
@@ -60,6 +65,7 @@ func runCreateJob(jc jobConfig) (*jobResult, error) {
 		cfg.SegmentEvents = jc.segEvents
 	}
 	cl := cudele.NewCluster(cudele.WithSeed(jc.seed), cudele.WithConfig(cfg))
+	jc.sink.start(jc.run, cl)
 	cl.MDS().SetStream(jc.journal)
 
 	clients := make([]*cudele.Client, jc.clients)
@@ -129,6 +135,7 @@ func runCreateJob(jc jobConfig) (*jobResult, error) {
 	if setupErr != nil {
 		return nil, setupErr
 	}
+	jc.sink.finish(jc.run, cl)
 	if err := reap(cl); err != nil {
 		return nil, err
 	}

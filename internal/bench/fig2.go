@@ -10,6 +10,7 @@ import (
 
 func init() {
 	register("fig2", "MDS resource utilization while compiling in a CephFS mount (Fig 2)", Fig2)
+	markUtilization("fig2")
 }
 
 type fig2PhaseRow struct {
@@ -41,6 +42,7 @@ func fig2Run(opts Options) ([]fig2PhaseRow, error) {
 	// (and stream to the object store) at a proportional rate.
 	cfg.SegmentEvents = opts.scaled(1024, 64)
 	cl := cudele.NewCluster(cudele.WithSeed(opts.Seed), cudele.WithConfig(cfg))
+	opts.Sink.start("fig2/run000", cl)
 	cl.MDS().SetStream(true)
 	c := cl.NewClient("client.0")
 
@@ -94,6 +96,7 @@ func fig2Run(opts Options) ([]fig2PhaseRow, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	opts.Sink.finish("fig2/run000", cl)
 	return rows, reap(cl)
 }
 

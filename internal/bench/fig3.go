@@ -55,7 +55,8 @@ func Fig3a(opts Options) (*Result, error) {
 	}
 	times, err := runGrid(opts, len(specs), func(i int) (float64, error) {
 		sp := specs[i]
-		jc := jobConfig{seed: opts.Seed, clients: sp.clients, perClient: perClient}
+		jc := jobConfig{seed: opts.Seed, clients: sp.clients, perClient: perClient,
+			sink: opts.Sink, run: fmt.Sprintf("fig3a/run%03d", i)}
 		if i > 0 {
 			jc.journal = sp.cfg.journal
 			jc.dispatch = sp.cfg.dispatch
@@ -120,11 +121,16 @@ func fig3bRuns(opts Options, blockPolicy bool) (noInterf, interf map[int][]float
 			specs = append(specs, spec{clients: n, trial: trial, interfere: true})
 		}
 	}
+	id := "fig3b"
+	if blockPolicy {
+		id = "fig6b"
+	}
 	times, err := runGrid(opts, len(specs), func(i int) (float64, error) {
 		sp := specs[i]
 		jc := jobConfig{
 			seed: opts.Seed + int64(sp.trial)*101, clients: sp.clients, perClient: perClient,
 			journal: true, dispatch: 40, segEvents: segEvents,
+			sink: opts.Sink, run: fmt.Sprintf("%s/run%03d", id, i),
 		}
 		if i > 0 {
 			jc.jitter = time.Second
@@ -207,7 +213,7 @@ func Fig3c(opts Options) (*Result, error) {
 	interfereAt := 0.15 * float64(perClient) / 549.0
 	sampleEvery := interfereAt / 4.0
 
-	runTraced := func(interfere bool) (*fig3cSampled, error) {
+	runTraced := func(run int, interfere bool) (*fig3cSampled, error) {
 		jc := jobConfig{
 			seed: opts.Seed, clients: nClients, perClient: perClient,
 			journal: true, dispatch: 40,
@@ -220,6 +226,8 @@ func Fig3c(opts Options) (*Result, error) {
 		cfg.DispatchSize = jc.dispatch
 		cfg.SegmentEvents = opts.scaled(1024, 64)
 		cl := cudele.NewCluster(cudele.WithSeed(jc.seed), cudele.WithConfig(cfg))
+		runName := fmt.Sprintf("fig3c/run%03d", run)
+		opts.Sink.start(runName, cl)
 		cl.MDS().SetStream(true)
 
 		out := &fig3cSampled{requests: &stats.Series{}, lookups: &stats.Series{}}
@@ -267,6 +275,7 @@ func Fig3c(opts Options) (*Result, error) {
 			done = true
 		})
 		cl.RunAll()
+		opts.Sink.finish(runName, cl)
 		if err := reap(cl); err != nil {
 			return nil, err
 		}
@@ -274,7 +283,7 @@ func Fig3c(opts Options) (*Result, error) {
 	}
 
 	traces, err := runGrid(opts, 2, func(i int) (*fig3cSampled, error) {
-		return runTraced(i == 1)
+		return runTraced(i, i == 1)
 	})
 	if err != nil {
 		return nil, err

@@ -9,16 +9,26 @@ import (
 
 func init() {
 	register("multimds", "RPC create throughput vs metadata ranks (subtree partitioning)", MultiMDS)
+	markUtilization("multimds")
 }
 
 // multiMDSRanks are the cluster sizes the experiment sweeps.
 var multiMDSRanks = []int{1, 2, 4}
 
+// multiMDSOut is one run's measurements: total job seconds plus the mean
+// busy fraction of the metadata ranks' CPUs over the whole run.
+type multiMDSOut struct {
+	total   float64
+	mdsUtil float64
+}
+
 // multiMDSRun drives `clients` RPC clients, each creating perClient files
 // in a private subtree pinned round-robin across `ranks` metadata ranks,
-// and returns the total job seconds.
-func multiMDSRun(seed int64, ranks, clients, perClient int) (float64, error) {
+// and returns the total job seconds and mean MDS CPU utilization.
+func multiMDSRun(sink *Sink, seed int64, ranks, clients, perClient int) (multiMDSOut, error) {
 	cl := cudele.NewCluster(cudele.WithSeed(seed), cudele.WithMDSRanks(ranks))
+	run := fmt.Sprintf("multimds/r%d", ranks)
+	sink.start(run, cl)
 	cs := make([]*cudele.Client, clients)
 	for i := range cs {
 		cs[i] = cl.NewClient(fmt.Sprintf("client.%d", i))
@@ -53,9 +63,18 @@ func multiMDSRun(seed int64, ranks, clients, perClient int) (float64, error) {
 	})
 	total := cl.RunAll()
 	if jobErr != nil {
-		return 0, jobErr
+		return multiMDSOut{}, jobErr
 	}
-	return total, reap(cl)
+	// Mean CPU busy fraction across ranks: with round-robin subtree
+	// placement every rank carries ~1/R of the load, so this column shows
+	// the single rank saturated and the load spreading as ranks are added.
+	util := 0.0
+	for i := 0; i < ranks; i++ {
+		util += cl.Metadata().Rank(i).CPU().Snapshot().Utilization
+	}
+	util /= float64(ranks)
+	sink.finish(run, cl)
+	return multiMDSOut{total: total, mdsUtil: util}, reap(cl)
 }
 
 // MultiMDS shows the scaling path the paper names in §VI: a single MDS
@@ -71,10 +90,10 @@ func MultiMDS(opts Options) (*Result, error) {
 	r := &Result{
 		ID:      "multimds",
 		Title:   fmt.Sprintf("aggregate RPC create throughput, %d clients x %d creates, subtrees pinned round-robin", clients, perClient),
-		Columns: []string{"mds ranks", "runtime (s)", "creates/s", "speedup"},
+		Columns: []string{"mds ranks", "runtime (s)", "creates/s", "speedup", "mean MDS CPU"},
 	}
-	totals, err := runGrid(opts, len(multiMDSRanks), func(i int) (float64, error) {
-		return multiMDSRun(opts.Seed, multiMDSRanks[i], clients, perClient)
+	outs, err := runGrid(opts, len(multiMDSRanks), func(i int) (multiMDSOut, error) {
+		return multiMDSRun(opts.Sink, opts.Seed, multiMDSRanks[i], clients, perClient)
 	})
 	if err != nil {
 		return nil, err
@@ -82,12 +101,13 @@ func MultiMDS(opts Options) (*Result, error) {
 	var base float64
 	var rates []float64
 	for ri, ranks := range multiMDSRanks {
-		rate := float64(clients*perClient) / totals[ri]
+		rate := float64(clients*perClient) / outs[ri].total
 		if base == 0 {
 			base = rate
 		}
 		rates = append(rates, rate)
-		r.AddRow(fmt.Sprintf("%d", ranks), f2(totals[ri]), f0(rate), f2x(rate/base))
+		r.AddRow(fmt.Sprintf("%d", ranks), f2(outs[ri].total), f0(rate), f2x(rate/base),
+			pct(outs[ri].mdsUtil))
 	}
 	last := len(multiMDSRanks) - 1
 	r.Notef("single-MDS CephFS saturates (paper Fig 3c); subtree partitioning is the stated scaling path (paper §VI)")

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeDoc mirrors the Chrome trace-event JSON schema for parsing.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// TestTracingDoesNotPerturb is the tentpole invariant: observation must
+// not change the simulation. The same experiment, same seed, same scale
+// must render a byte-identical table whether or not a sink is attached —
+// tracing charges no virtual time and consumes no randomness. The traced
+// run must also actually observe something: a parseable Chrome trace
+// with spans from at least the transport, journal, and rados subsystems,
+// and a metrics dump that includes MDS CPU utilization.
+func TestTracingDoesNotPerturb(t *testing.T) {
+	opts := Options{Scale: 0.002, Seed: 1, Workers: 2}
+	plain, err := Run("fig3a", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := opts
+	traced.Sink = NewSink()
+	observed, err := Run("fig3a", traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Render() != observed.Render() {
+		t.Fatalf("tracing perturbed the table:\n--- without sink ---\n%s\n--- with sink ---\n%s",
+			plain.Render(), observed.Render())
+	}
+
+	if n := traced.Sink.Runs(); n == 0 {
+		t.Fatal("sink registered no runs")
+	}
+
+	// The trace must be valid Chrome trace-event JSON with spans from at
+	// least three subsystems.
+	var buf bytes.Buffer
+	if err := traced.Sink.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	cats := traced.Sink.Merged().Cats()
+	for _, want := range []string{"transport", "journal", "rados", "client"} {
+		if cats[want] == 0 {
+			t.Errorf("no %q spans recorded (have %v)", want, cats)
+		}
+	}
+
+	// The metrics dump must include the MDS CPU utilization gauge, per
+	// run, in Prometheus text format.
+	var mb bytes.Buffer
+	if err := traced.Sink.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	dump := mb.String()
+	for _, want := range []string{
+		"# TYPE cudele_mds_cpu_utilization gauge",
+		`cudele_mds_cpu_utilization{daemon="mds.0",run="fig3a/run000"}`,
+		"cudele_mds_requests_total",
+		"cudele_rados_writes_total",
+		"cudele_client_rpc_latency_seconds",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}
+
+// TestSinkDeterministicAcrossWorkers pins the export side of the
+// determinism contract: the merged trace and metrics dump are
+// byte-identical whether the grid ran sequentially or on a worker pool,
+// because exports sort runs by name and each run is itself
+// deterministic.
+func TestSinkDeterministicAcrossWorkers(t *testing.T) {
+	exportAt := func(workers int) (string, string) {
+		opts := Options{Scale: 0.002, Seed: 1, Workers: workers, Sink: NewSink()}
+		if _, err := Run("multimds", opts); err != nil {
+			t.Fatal(err)
+		}
+		var tb, mb bytes.Buffer
+		if err := opts.Sink.WriteChrome(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := opts.Sink.WriteMetrics(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.String(), mb.String()
+	}
+	seqTrace, seqMetrics := exportAt(1)
+	parTrace, parMetrics := exportAt(4)
+	if seqTrace != parTrace {
+		t.Error("trace JSON differs between sequential and parallel execution")
+	}
+	if seqMetrics != parMetrics {
+		t.Error("metrics dump differs between sequential and parallel execution")
+	}
+}

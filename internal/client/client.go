@@ -21,6 +21,7 @@ import (
 	"cudele/internal/rados"
 	"cudele/internal/sim"
 	"cudele/internal/stats"
+	"cudele/internal/trace"
 	"cudele/internal/transport"
 )
 
@@ -178,10 +179,16 @@ func (c *Client) childPath(dir namespace.Ino, name string) string {
 // reply's capability bits into local state.
 func (c *Client) submit(p *sim.Proc, req *mds.Request) *mds.Reply {
 	start := p.Now()
+	rec := c.eng.Tracer()
+	span := trace.SpanID(-1)
+	if rec != nil {
+		span = rec.Begin(int64(start), c.name, "client", "rpc."+req.Op.String())
+	}
 	p.Sleep(c.cfg.ClientOpOverhead)
 	req.Client = c.name
 	c.stats.RPCs++
 	reply := c.svc.Call(p, req).(*mds.Reply)
+	rec.End(span, int64(p.Now()))
 	c.latency.Observe(sim.Duration(p.Now() - start))
 	if reply.CapGranted {
 		c.caps[req.Parent] = true

@@ -117,7 +117,9 @@ func (d *decoupled) globalParent(dir namespace.Ino) uint64 {
 // event. Events are not checked against the global namespace — the
 // metadata server will blindly apply them at merge time (paper §III-A).
 func (c *Client) appendEvent(p *sim.Proc, ev *journal.Event) error {
+	span := c.eng.Tracer().Begin(int64(p.Now()), c.name, "journal", "journal.append")
 	p.Sleep(c.cfg.ClientAppendTime)
+	c.eng.Tracer().End(span, int64(p.Now()))
 	ev.Client = c.name
 	if _, err := c.dec.jrnl.Append(ev); err != nil {
 		return err

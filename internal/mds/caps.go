@@ -46,7 +46,10 @@ func (s *Server) updateCaps(p *sim.Proc, dir namespace.Ino, client string, reply
 	default:
 		// False sharing: revoke the holder's cap, mark the directory
 		// shared. Revocation is real MDS work (paper Fig 3c).
+		span := p.Engine().Tracer().Begin(int64(p.Now()),
+			s.ep.Name(), "caps", "cap.revoke")
 		p.Sleep(s.cfg.MDSCapRevokeTime)
+		p.Engine().Tracer().End(span, int64(p.Now()))
 		s.metrics.CapRevokes++
 		dc.holder = ""
 		dc.shared = true

@@ -1,0 +1,48 @@
+package mds
+
+import (
+	"cudele/internal/trace"
+)
+
+// FillMetrics copies the rank's cumulative counters, journal state, and
+// CPU utilization accounting into a metric registry, labeled with the
+// rank's endpoint name. It is a pull-time export: nothing on the request
+// path changes, so collection cannot perturb a simulation.
+func (s *Server) FillMetrics(reg *trace.Registry) {
+	daemon := trace.KV{Key: "daemon", Val: s.ep.Name()}
+
+	reg.Counter("cudele_mds_requests_total", "Metadata RPCs served.", float64(s.metrics.Requests), daemon)
+	for op := Op(0); op < opMax; op++ {
+		if s.metrics.ByOp[op] == 0 {
+			continue
+		}
+		reg.Counter("cudele_mds_requests_by_op_total", "Metadata RPCs served, by operation.",
+			float64(s.metrics.ByOp[op]), daemon, trace.KV{Key: "op", Val: op.String()})
+	}
+	reg.Counter("cudele_mds_cap_revokes_total", "Directory read-caching capabilities revoked.", float64(s.metrics.CapRevokes), daemon)
+	reg.Counter("cudele_mds_rejected_total", "Mutations rejected by interfere-block policies (-EBUSY).", float64(s.metrics.Rejected), daemon)
+	reg.Counter("cudele_mds_journaled_total", "Events appended to the MDS journal.", float64(s.metrics.Journaled), daemon)
+	reg.Counter("cudele_mds_dispatches_total", "Journal segments pushed to the object store.", float64(s.metrics.Dispatches), daemon)
+	reg.Counter("cudele_mds_merged_events_total", "Client journal events merged via Volatile Apply.", float64(s.metrics.Merged), daemon)
+	reg.Counter("cudele_mds_merge_jobs_total", "Client journals merged via Volatile Apply.", float64(s.metrics.MergeJobs), daemon)
+	reg.Counter("cudele_mds_journal_bytes_total", "Nominal journal bytes streamed to the object store.",
+		float64(s.metrics.JournalBytes), daemon)
+
+	reg.Gauge("cudele_mds_journal_events", "Untrimmed events in the MDS journal.", float64(s.stream.jrnl.Len()), daemon)
+	reg.Gauge("cudele_mds_merge_queue_depth", "Client journals queued for Volatile Apply.", float64(s.mergeQueue), daemon)
+	reg.Gauge("cudele_mds_sessions", "Active client sessions.", float64(len(s.sessions)), daemon)
+
+	cpu := s.cpu.Snapshot()
+	reg.Gauge("cudele_mds_cpu_utilization", "Mean busy fraction of the rank's request-pipeline CPU.", cpu.Utilization, daemon)
+	reg.Counter("cudele_mds_cpu_busy_seconds_total", "CPU busy time integral (unit-seconds).", cpu.BusyArea, daemon)
+	reg.Counter("cudele_mds_cpu_acquires_total", "CPU grants requested.", float64(cpu.Acquires), daemon)
+	reg.Counter("cudele_mds_cpu_wait_seconds_total", "Total queueing delay on the CPU.", cpu.WaitTotal.Seconds(), daemon)
+	reg.Gauge("cudele_mds_cpu_queue_depth", "Requests waiting for the CPU at collection time.", float64(cpu.QueueLen), daemon)
+}
+
+// FillMetrics exports every rank's metrics.
+func (c *Cluster) FillMetrics(reg *trace.Registry) {
+	for _, s := range c.ranks {
+		s.FillMetrics(reg)
+	}
+}

@@ -98,14 +98,15 @@ var ErrShutdown = errors.New("mds: server shut down")
 
 // Metrics collects cumulative server counters for the benchmarks.
 type Metrics struct {
-	Requests   uint64
-	ByOp       [opMax]uint64
-	CapRevokes uint64
-	Rejected   uint64 // interfere-block -EBUSY replies
-	Journaled  uint64 // events appended to the MDS journal
-	Dispatches uint64 // journal segments pushed to the object store
-	Merged     uint64 // events merged via Volatile Apply
-	MergeJobs  uint64 // client journals merged
+	Requests     uint64
+	ByOp         [opMax]uint64
+	CapRevokes   uint64
+	Rejected     uint64 // interfere-block -EBUSY replies
+	Journaled    uint64 // events appended to the MDS journal
+	Dispatches   uint64 // journal segments pushed to the object store
+	JournalBytes uint64 // nominal journal bytes streamed to the object store
+	Merged       uint64 // events merged via Volatile Apply
+	MergeJobs    uint64 // client journals merged
 }
 
 // Server is one simulated metadata rank.
@@ -172,8 +173,29 @@ func NewRank(eng *sim.Engine, cfg model.Config, obj *rados.Cluster, rank int) *S
 	s.stream = newStreamState(s)
 	s.rpc = transport.Chain(s.dispatchOp,
 		s.admission, s.accounting, s.journaling, s.execution, s.interference)
-	s.ep = transport.NewWire(fmt.Sprintf("mds.%d", rank), cfg.NetLatency, s.handle)
+	// The tracing interceptor wraps the whole message dispatcher, so
+	// every RPC and Post is spanned on the rank's track without any op
+	// handler knowing about it; with tracing off it is one nil check.
+	name := fmt.Sprintf("mds.%d", rank)
+	s.ep = transport.NewWire(name, cfg.NetLatency,
+		transport.Chain(s.handle, transport.Tracing(name, msgLabel)))
 	return s
+}
+
+// msgLabel names the span for one endpoint message. Only called when
+// tracing is enabled.
+func msgLabel(msg any) string {
+	switch m := msg.(type) {
+	case *Request:
+		return "rpc." + m.Op.String()
+	case *MergeMsg:
+		return "merge"
+	case *DecoupleMsg:
+		return "decouple"
+	case *RecoupleMsg:
+		return "recouple"
+	}
+	return fmt.Sprintf("msg.%T", msg)
 }
 
 // rankInoFloor is the base of rank r's server-assigned inode band. Bands

@@ -8,6 +8,7 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/rados"
 	"cudele/internal/sim"
+	"cudele/internal/trace"
 )
 
 // JournalPool is the RADOS pool holding the MDS's streamed journal
@@ -61,6 +62,9 @@ func (st *streamState) record(p *sim.Proc, req *Request) {
 		return // invalid events are not journaled
 	}
 	st.s.metrics.Journaled++
+	if rec := p.Engine().Tracer(); rec != nil {
+		rec.Instant(int64(p.Now()), st.s.ep.Name(), "journal", "journal.append")
+	}
 	if seg != nil {
 		st.queue = append(st.queue, seg)
 		st.kick()
@@ -143,10 +147,19 @@ func (st *streamState) dispatchLoop(p *sim.Proc) {
 				if err != nil {
 					return
 				}
+				rec := wp.Engine().Tracer()
+				span := trace.SpanID(-1)
+				if rec != nil {
+					span = rec.Begin(int64(wp.Now()),
+						st.s.ep.Name(), "journal", "journal.segwrite",
+						trace.KV{Key: "object", Val: name})
+				}
 				// Charge the paper's 2.5 KB/event footprint; store
 				// the real bytes.
 				striper.WriteBilled(wp, JournalPool, name, data, nominal)
+				rec.End(span, int64(wp.Now()))
 				st.s.metrics.Dispatches++
+				st.s.metrics.JournalBytes += uint64(nominal)
 				if seg.Index > st.flushedSeg {
 					st.flushedSeg = seg.Index
 				}
@@ -233,6 +246,11 @@ func (s *Server) Recover(p *sim.Proc) error {
 	}
 
 	// Replay streamed journal segments from the object store.
+	replay := p.Engine().Tracer().Begin(int64(p.Now()),
+		s.ep.Name(), "journal", "journal.replay")
+	defer func(rec *trace.Recorder) {
+		rec.End(replay, int64(p.Now()))
+	}(p.Engine().Tracer())
 	striper := rados.NewStriper(s.obj)
 	for idx := 0; ; idx++ {
 		name := journalObjectName(s.rank, idx)

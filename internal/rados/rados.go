@@ -20,6 +20,7 @@ import (
 
 	"cudele/internal/model"
 	"cudele/internal/sim"
+	"cudele/internal/trace"
 )
 
 // ErrNotFound is returned when an object (or omap key) does not exist.
@@ -113,18 +114,32 @@ func (c *Cluster) replicas(oid ObjectID) []*OSD {
 // charged sequentially on their respective disks but those disks are
 // independent pipes, so different objects still proceed in parallel.
 func (c *Cluster) chargeWrite(p *sim.Proc, oid ObjectID, n int64) {
+	rec := p.Engine().Tracer()
+	span := trace.SpanID(-1)
+	if rec != nil { // guard so oid.String() never runs when disabled
+		span = rec.Begin(int64(p.Now()), "rados", "rados", "rados.write",
+			trace.KV{Key: "object", Val: oid.String()})
+	}
 	p.Sleep(c.cfg.OSDOpLatency)
 	c.net.Transfer(p, n)
 	for _, osd := range c.replicas(oid) {
 		osd.Disk.Transfer(p, n)
 	}
+	rec.End(span, int64(p.Now()))
 }
 
 // chargeRead blocks p for the cost of reading n bytes from oid's primary.
 func (c *Cluster) chargeRead(p *sim.Proc, oid ObjectID, n int64) {
+	rec := p.Engine().Tracer()
+	span := trace.SpanID(-1)
+	if rec != nil {
+		span = rec.Begin(int64(p.Now()), "rados", "rados", "rados.read",
+			trace.KV{Key: "object", Val: oid.String()})
+	}
 	p.Sleep(c.cfg.OSDOpLatency)
 	c.primary(oid).Disk.Transfer(p, n)
 	c.net.Transfer(p, n)
+	rec.End(span, int64(p.Now()))
 }
 
 func (c *Cluster) get(oid ObjectID) *object {

@@ -17,6 +17,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"cudele/internal/trace"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -112,6 +114,19 @@ type Engine struct {
 	procs   int // live process count, for leak detection
 	live    map[*Proc]struct{}
 	stopped bool
+
+	// tracer is the span recorder every layer records into; nil (the
+	// default) disables tracing with zero overhead. It lives on the
+	// engine because the engine is the one object all simulated
+	// components already share.
+	tracer *trace.Recorder
+
+	// resources registers every Resource (and Pipe) created on this
+	// engine so Run can finalize their busy-time integrals when the
+	// event loop stops — without it, accounting is only updated on
+	// state changes and a resource still held (or long idle) at the end
+	// of a run reports a stale busyArea to raw snapshot readers.
+	resources []*Resource
 }
 
 // NewEngine returns an engine whose clock starts at 0 and whose random
@@ -130,6 +145,15 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source. It must only be
 // used from simulation processes (never concurrently).
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Tracer returns the engine's span recorder; nil means tracing is
+// disabled (a nil *trace.Recorder accepts and drops every call).
+func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
+
+// SetTracer installs a span recorder. Pass nil to disable tracing.
+// Recording charges no virtual time and consumes no randomness, so a
+// traced engine executes the exact same schedule as an untraced one.
+func (e *Engine) SetTracer(r *trace.Recorder) { e.tracer = r }
 
 // Schedule arranges for fn to run at time e.Now()+d. Scheduling with d <= 0
 // runs fn as soon as the current process yields.
@@ -192,7 +216,17 @@ func (e *Engine) Run(until Time) Time {
 		}
 		ev.fn()
 	}
+	e.finalizeAccounting()
 	return e.now
+}
+
+// finalizeAccounting folds the interval since each resource's last state
+// change into its busy-time integral, so utilization accounting is
+// complete through e.now whenever the event loop is not running.
+func (e *Engine) finalizeAccounting() {
+	for _, r := range e.resources {
+		r.account()
+	}
 }
 
 // RunAll drives the event loop until no events remain.

@@ -66,12 +66,14 @@ func NewResource(e *Engine, name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
 	}
-	return &Resource{
+	r := &Resource{
 		eng:       e,
 		name:      name,
 		capacity:  capacity,
 		waitStart: make(map[*Proc]Time),
 	}
+	e.resources = append(e.resources, r)
+	return r
 }
 
 // Name returns the resource name.
@@ -181,6 +183,43 @@ func (r *Resource) UtilizationMark() ResourceMark {
 // Acquires returns the total number of Acquire/TryAcquire grants requested.
 func (r *Resource) Acquires() uint64 { return r.acquires }
 
+// ResourceSnapshot is a copy of a resource's utilization accounting at a
+// point in virtual time, the public export surface for the busy-time
+// integral the resource has always tracked internally.
+type ResourceSnapshot struct {
+	Name     string
+	Capacity int
+	InUse    int
+	QueueLen int
+
+	Acquires    uint64
+	BusyArea    float64 // integral of in-use units over time, unit·seconds
+	WaitTotal   Duration
+	Utilization float64 // mean busy fraction since simulation start
+	At          Time    // when the snapshot was taken
+}
+
+// Snapshot finalizes the busy-time integral through the current virtual
+// time and returns a copy of the accounting state. Calling it at
+// end-of-run is always accurate: the integral is brought up to date here
+// (and again by the engine whenever its event loop stops), so the final
+// interval between the last state change and the end of the run is never
+// undercounted.
+func (r *Resource) Snapshot() ResourceSnapshot {
+	r.account()
+	return ResourceSnapshot{
+		Name:        r.name,
+		Capacity:    r.capacity,
+		InUse:       r.inUse,
+		QueueLen:    len(r.queue),
+		Acquires:    r.acquires,
+		BusyArea:    r.busyArea,
+		WaitTotal:   r.waitTotal,
+		Utilization: r.Utilization(),
+		At:          r.eng.now,
+	}
+}
+
 // MeanWait returns the mean queueing delay of completed Acquire calls that
 // had to wait.
 func (r *Resource) MeanWait() Duration {
@@ -229,6 +268,9 @@ func (pp *Pipe) Utilization() float64 { return pp.res.Utilization() }
 
 // UtilizationMark snapshots pipe accounting for windowed measurement.
 func (pp *Pipe) UtilizationMark() ResourceMark { return pp.res.UtilizationMark() }
+
+// Snapshot returns the pipe's finalized utilization accounting.
+func (pp *Pipe) Snapshot() ResourceSnapshot { return pp.res.Snapshot() }
 
 // UtilizationSince returns busy fraction since mark.
 func (pp *Pipe) UtilizationSince(m ResourceMark) float64 { return pp.res.UtilizationSince(m) }

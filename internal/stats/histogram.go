@@ -59,6 +59,9 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
 // Mean returns the mean sample.
 func (h *Histogram) Mean() time.Duration {
 	if h.total == 0 {
@@ -90,6 +93,12 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, c := range h.counts {
 		seen += c
 		if seen >= target {
+			if i == len(h.counts)-1 {
+				// The top bucket absorbs samples clamped from beyond its
+				// nominal edge, so that edge is not an upper bound; the
+				// true max is the only honest answer.
+				return h.max
+			}
 			upper := bucketUpper(i)
 			if upper > h.max && h.max > 0 {
 				return h.max

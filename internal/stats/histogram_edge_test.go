@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramZeroSamples pins every accessor on a fresh histogram:
+// all must return zero values without dividing by the zero count.
+func TestHistogramZeroSamples(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("zero-sample accessors: count=%d sum=%v mean=%v max=%v",
+			h.Count(), h.Sum(), h.Mean(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) = %v on empty histogram", q, got)
+		}
+	}
+}
+
+// TestHistogramSubMicrosecond checks durations below the histogram's
+// 1 µs resolution: they land in bucket 0, count toward the total, and
+// keep the exact sum (the sum is tracked outside the buckets).
+func TestHistogramSubMicrosecond(t *testing.T) {
+	var h Histogram
+	h.Observe(1 * time.Nanosecond)
+	h.Observe(999 * time.Nanosecond)
+	h.Observe(0)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1000*time.Nanosecond {
+		t.Fatalf("sum = %v, want exactly 1µs", h.Sum())
+	}
+	// All three sit in the first bucket, so the p100 upper bound is the
+	// first bucket edge clamped to the observed max.
+	if got := h.Quantile(1); got != 999*time.Nanosecond {
+		t.Fatalf("Quantile(1) = %v, want max 999ns", got)
+	}
+}
+
+// TestHistogramTopBucketSaturation checks a sample beyond the last
+// bucket's range (~12.7 days): it must clamp into the top bucket rather
+// than index out of bounds, and quantiles must report the true max
+// rather than the (smaller) bucket edge.
+func TestHistogramTopBucketSaturation(t *testing.T) {
+	var h Histogram
+	huge := 365 * 24 * time.Hour
+	h.Observe(huge)
+	h.Observe(huge * 2)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != huge*2 {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if got := h.Quantile(0.99); got != huge*2 {
+		t.Fatalf("Quantile(0.99) = %v, want clamped max %v", got, huge*2)
+	}
+}
+
+// TestHistogramQuantileExtremes pins the boundary quantiles on a
+// populated histogram: Quantile(0) behaves like the smallest recorded
+// bucket's upper edge (never zero when samples exist) and Quantile(1)
+// never exceeds the true max. Out-of-range q values clamp instead of
+// panicking.
+func TestHistogramQuantileExtremes(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{10 * time.Microsecond, 100 * time.Microsecond, time.Millisecond} {
+		h.Observe(d)
+	}
+	q0 := h.Quantile(0)
+	if q0 <= 0 {
+		t.Fatalf("Quantile(0) = %v, want positive first-bucket bound", q0)
+	}
+	if q0 > 100*time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want within the smallest sample's bucket", q0)
+	}
+	if got := h.Quantile(1); got > h.Max() {
+		t.Fatalf("Quantile(1) = %v exceeds max %v", got, h.Max())
+	}
+	if got := h.Quantile(-3); got != q0 {
+		t.Fatalf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", got, q0)
+	}
+	if got := h.Quantile(7); got != h.Quantile(1) {
+		t.Fatalf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, h.Quantile(1))
+	}
+}

@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"cudele/internal/sim"
+	"cudele/internal/trace"
+)
+
+// TestChainEmpty pins the degenerate compositions: no interceptors
+// returns the handler itself, and a nil interceptor slice behaves the
+// same (Chain is variadic, so both arise in practice when a server's
+// interceptor pipeline is configuration-dependent).
+func TestChainEmpty(t *testing.T) {
+	h := Handler(func(p *sim.Proc, msg any) any { return msg.(int) * 2 })
+	if out := Chain(h)(nil, 21); out != 42 {
+		t.Fatalf("empty chain reply = %v, want 42", out)
+	}
+	var none []Interceptor
+	if out := Chain(h, none...)(nil, 21); out != 42 {
+		t.Fatalf("nil-slice chain reply = %v, want 42", out)
+	}
+}
+
+// TestTracingDisabledPassthrough checks the Tracing interceptor with no
+// recorder on the engine: the handler runs normally, the label function
+// is never invoked, and nothing is recorded.
+func TestTracingDisabledPassthrough(t *testing.T) {
+	eng := sim.NewEngine(1)
+	labeled := false
+	h := Chain(
+		func(p *sim.Proc, msg any) any { return "ok" },
+		Tracing("mds.0", func(msg any) string { labeled = true; return "x" }),
+	)
+	var out any
+	eng.Go("caller", func(p *sim.Proc) { out = h(p, 7) })
+	eng.RunAll()
+	if out != "ok" {
+		t.Fatalf("reply = %v", out)
+	}
+	if labeled {
+		t.Fatal("label function invoked with tracing disabled")
+	}
+	if eng.Tracer().Len() != 0 {
+		t.Fatalf("disabled tracer recorded %d events", eng.Tracer().Len())
+	}
+	eng.Shutdown()
+}
+
+// TestTracingRecordsSpan checks the enabled path: one span per message
+// on the named track, in the transport category, covering exactly the
+// handler's virtual-time window.
+func TestTracingRecordsSpan(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := trace.New()
+	eng.SetTracer(rec)
+	work := sim.Duration(250 * time.Microsecond)
+	h := Chain(
+		func(p *sim.Proc, msg any) any { p.Sleep(work); return msg },
+		Tracing("mds.3", func(msg any) string { return "rpc.create" }),
+	)
+	eng.Go("caller", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		h(p, 1)
+		h(p, 2)
+	})
+	eng.RunAll()
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	s := spans[0]
+	if s.Proc != "mds.3" || s.Cat != "transport" || s.Name != "rpc.create" {
+		t.Fatalf("span identity = %+v", s)
+	}
+	if s.Begin != int64(time.Millisecond) || s.End != s.Begin+int64(work) {
+		t.Fatalf("span window = [%d, %d], want [%d, %d]",
+			s.Begin, s.End, int64(time.Millisecond), int64(time.Millisecond)+int64(work))
+	}
+	if spans[1].Begin != s.End {
+		t.Fatalf("second span begins at %d, want %d", spans[1].Begin, s.End)
+	}
+	eng.Shutdown()
+}

@@ -32,6 +32,27 @@ func Chain(h Handler, interceptors ...Interceptor) Handler {
 	return h
 }
 
+// Tracing returns an interceptor that records one span per message on
+// the engine's trace recorder, on the track named proc (the endpoint,
+// e.g. "mds.0"). label names the span from the message and is only
+// invoked when tracing is enabled, so the disabled path costs one nil
+// check and allocates nothing. Placed outermost around an endpoint's
+// dispatcher it spans every RPC and Post without touching op handlers.
+func Tracing(proc string, label func(msg any) string) Interceptor {
+	return func(next Handler) Handler {
+		return func(p *sim.Proc, msg any) any {
+			rec := p.Engine().Tracer()
+			if rec == nil {
+				return next(p, msg)
+			}
+			id := rec.Begin(int64(p.Now()), proc, "transport", label(msg))
+			reply := next(p, msg)
+			rec.End(id, int64(p.Now()))
+			return reply
+		}
+	}
+}
+
 // Endpoint is where clients send metadata messages.
 type Endpoint interface {
 	// Name identifies the endpoint ("mds.0", "mds").

@@ -1,0 +1,52 @@
+package cudele
+
+import (
+	"sort"
+
+	"cudele/internal/trace"
+)
+
+// Recorder collects spans and instants on simulated time; see
+// internal/trace.
+type Recorder = trace.Recorder
+
+// Registry is a metric registry exportable in Prometheus text format;
+// see internal/trace.
+type Registry = trace.Registry
+
+// EnableTracing attaches a trace recorder to the cluster's engine and
+// returns it. Every RPC, journal operation, RADOS round trip, and
+// capability revocation records a span on the shared virtual clock.
+// Tracing never charges virtual time and never consumes randomness, so
+// a traced run produces byte-identical results to an untraced one.
+// Call before Run; call at most once per cluster.
+func (cl *Cluster) EnableTracing() *Recorder {
+	rec := trace.New()
+	cl.eng.SetTracer(rec)
+	return rec
+}
+
+// Tracer returns the cluster's trace recorder, nil when tracing is off.
+func (cl *Cluster) Tracer() *Recorder { return cl.eng.Tracer() }
+
+// CollectMetrics gathers every daemon's counters, histograms, and
+// device-utilization accounting into a fresh registry: all MDS ranks,
+// the object store (per-OSD disks, fabric), the monitor, and every
+// client in name order. Collection is pull-time — run it after the
+// simulation (or between runs); it reads existing counters and cannot
+// perturb virtual time.
+func (cl *Cluster) CollectMetrics() *Registry {
+	reg := trace.NewRegistry()
+	cl.meta.FillMetrics(reg)
+	cl.objects.FillMetrics(reg)
+	cl.mon.FillMetrics(reg)
+	names := make([]string, 0, len(cl.clients))
+	for name := range cl.clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cl.clients[name].FillMetrics(reg)
+	}
+	return reg
+}
