@@ -53,6 +53,13 @@ type Stats struct {
 	RPCs          uint64 // total RPCs sent
 	Appends       uint64 // journal events appended locally
 	Rejected      uint64 // -EBUSY replies from blocked subtrees
+
+	// PeakTransferBytes is the largest single buffer a durability
+	// mechanism has put on the wire or disk at once: the whole journal's
+	// nominal footprint on the one-shot paths, one chunk's on the
+	// streamed paths. The merge pipeline's memory-boundedness claim is
+	// read off this counter.
+	PeakTransferBytes uint64
 }
 
 // Client is one storage client (application node).
@@ -129,6 +136,13 @@ func New(eng *sim.Engine, cfg model.Config, name string, svc Service, obj *rados
 
 // Name returns the client's session name.
 func (c *Client) Name() string { return c.name }
+
+// noteTransfer records one transfer buffer's size for the peak stat.
+func (c *Client) noteTransfer(bytes int64) {
+	if bytes > 0 && uint64(bytes) > c.stats.PeakTransferBytes {
+		c.stats.PeakTransferBytes = uint64(bytes)
+	}
+}
 
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() Stats { return c.stats }

@@ -10,6 +10,7 @@ import (
 	"cudele/internal/policy"
 	"cudele/internal/rados"
 	"cudele/internal/sim"
+	"cudele/internal/transport"
 )
 
 // ClientJournalPool is the RADOS pool that Global Persist pushes client
@@ -206,12 +207,23 @@ func (c *Client) LocalReadDir(dir namespace.Ino) ([]string, error) {
 // VolatileApply ships the client journal to the MDS and replays it onto
 // the in-memory metadata store. On success the journal is cleared (the
 // updates now live in the global namespace).
+//
+// With MergeChunkEvents 0 (the calibrated default) the journal goes as
+// one message and merges as one job — the paper's all-at-once arrival
+// model. A positive chunk size streams it instead: chunks flow through
+// the MDS merge scheduler under windowed flow control, and peak transfer
+// memory is one chunk, not the journal.
 func (c *Client) VolatileApply(p *sim.Proc) (int, error) {
 	if c.dec == nil {
 		return 0, ErrNotDecoupled
 	}
+	chunk := c.cfg.MergeChunkEvents
+	if chunk > 0 && c.dec.jrnl.Len() > 0 {
+		return c.volatileApplyChunked(p, chunk)
+	}
+	c.noteTransfer(c.JournalNominalBytes())
 	r := c.svc.Post(p, &mds.MergeMsg{
-		Events:       c.dec.jrnl.Events(),
+		Source:       c.dec.jrnl.InlineCursor(),
 		NominalBytes: c.JournalNominalBytes(),
 		Route:        c.dec.path,
 	}).(*mds.MergeReply)
@@ -222,19 +234,88 @@ func (c *Client) VolatileApply(p *sim.Proc) (int, error) {
 	return r.Applied, nil
 }
 
+// volatileApplyChunked is the streamed merge: open (with admission
+// backpressure), send windowed chunks, wait for the drain.
+func (c *Client) volatileApplyChunked(p *sim.Proc, chunk int) (int, error) {
+	evBytes := int64(c.cfg.JournalEventBytes)
+	open := transport.SendWindowed(p, c.svc, &mds.MergeOpenMsg{
+		Client:      c.name,
+		Route:       c.dec.path,
+		TotalEvents: c.dec.jrnl.Len(),
+		TotalBytes:  c.JournalNominalBytes(),
+	}, c.cfg.MergeRetryDelay).(*mds.MergeOpenReply)
+	if open.Err != nil {
+		return 0, open.Err
+	}
+	cur := c.dec.jrnl.Cursor()
+	for seq := 0; ; seq++ {
+		evs := cur.Next(chunk)
+		if evs == nil {
+			break
+		}
+		bytes := int64(len(evs)) * evBytes
+		c.noteTransfer(bytes)
+		r := transport.SendWindowed(p, c.svc, &mds.MergeChunkMsg{
+			StreamInfo: transport.StreamInfo{
+				ID: open.ID, Seq: seq,
+				Items: len(evs), Bytes: bytes,
+				Last: cur.Remaining() == 0,
+			},
+			Route:  c.dec.path,
+			Events: evs,
+		}, c.cfg.MergeRetryDelay).(*mds.MergeChunkReply)
+		if r.Err != nil {
+			return 0, r.Err
+		}
+	}
+	w := c.svc.Post(p, &mds.MergeWaitMsg{ID: open.ID, Route: c.dec.path}).(*mds.MergeReply)
+	if w.Err != nil {
+		return w.Applied, w.Err
+	}
+	c.dec.jrnl.Reset()
+	return w.Applied, nil
+}
+
 // LocalPersist serializes the journal to the client's local disk. The
 // transfer cost is the disk's write bandwidth over the journal's nominal
-// footprint (paper §III-A).
+// footprint (paper §III-A). With MergeChunkEvents > 0 the image is
+// encoded and billed chunk by chunk through a journal cursor, so the
+// write buffer held at any instant is one chunk.
 func (c *Client) LocalPersist(p *sim.Proc) error {
 	if c.dec == nil {
 		return ErrNotDecoupled
 	}
-	data, err := c.dec.jrnl.Export()
-	if err != nil {
-		return err
+	chunk := c.cfg.MergeChunkEvents
+	if chunk <= 0 {
+		data, err := c.dec.jrnl.Export()
+		if err != nil {
+			return err
+		}
+		c.noteTransfer(c.JournalNominalBytes())
+		c.localDisk.Transfer(p, c.JournalNominalBytes())
+		c.localFiles["journal"] = data
+		return nil
 	}
-	c.localDisk.Transfer(p, c.JournalNominalBytes())
-	c.localFiles["journal"] = data
+	evBytes := int64(c.cfg.JournalEventBytes)
+	var enc journal.Encoder
+	file := journal.AppendHeader(c.localFiles["journal"][:0])
+	cur := c.dec.jrnl.InlineCursor()
+	for {
+		evs := cur.Next(chunk)
+		if evs == nil {
+			break
+		}
+		mark := len(file)
+		for _, ev := range evs {
+			var err error
+			if file, err = enc.AppendEvent(file, ev); err != nil {
+				return err
+			}
+		}
+		c.noteTransfer(int64(len(file) - mark))
+		c.localDisk.Transfer(p, int64(len(evs))*evBytes)
+	}
+	c.localFiles["journal"] = file
 	return nil
 }
 
@@ -268,28 +349,88 @@ func (c *Client) RecoverLocal(p *sim.Proc) (int, error) {
 
 // GlobalPersist pushes the serialized journal into the object store,
 // striped in parallel to exploit the cluster's collective bandwidth
-// (paper §V-A).
+// (paper §V-A). With MergeChunkEvents > 0 the journal is encoded and
+// written as a sequence of chunk objects instead of one image, so the
+// in-flight buffer is one chunk; FetchGlobalJournal reads either layout.
 func (c *Client) GlobalPersist(p *sim.Proc) error {
 	if c.dec == nil {
 		return ErrNotDecoupled
 	}
-	data, err := c.dec.jrnl.Export()
-	if err != nil {
-		return err
-	}
 	striper := rados.NewStriper(c.obj)
-	striper.WriteBilled(p, ClientJournalPool, c.name, data, c.JournalNominalBytes())
-	return nil
+	chunk := c.cfg.MergeChunkEvents
+	if chunk <= 0 {
+		data, err := c.dec.jrnl.Export()
+		if err != nil {
+			return err
+		}
+		c.noteTransfer(c.JournalNominalBytes())
+		striper.WriteBilled(p, ClientJournalPool, c.name, data, c.JournalNominalBytes())
+		return nil
+	}
+	evBytes := int64(c.cfg.JournalEventBytes)
+	var enc journal.Encoder
+	cur := c.dec.jrnl.Cursor()
+	for idx := 0; ; idx++ {
+		evs := cur.Next(chunk)
+		if evs == nil && idx > 0 {
+			return nil
+		}
+		var buf []byte
+		if idx == 0 {
+			// The first chunk carries the image header, so the
+			// concatenated chunks decode as one journal file. A chunk is
+			// written even for an empty journal, so the name exists.
+			buf = journal.AppendHeader(nil)
+		}
+		for _, ev := range evs {
+			var err error
+			if buf, err = enc.AppendEvent(buf, ev); err != nil {
+				return err
+			}
+		}
+		c.noteTransfer(int64(len(buf)))
+		striper.WriteBilled(p, ClientJournalPool, journalChunkName(c.name, idx),
+			buf, int64(len(evs))*evBytes)
+		if evs == nil {
+			return nil
+		}
+	}
 }
 
-// FetchGlobalJournal reads back a journal persisted by GlobalPersist.
+// journalChunkName is the logical object name of one chunk of a chunked
+// Global Persist.
+func journalChunkName(owner string, idx int) string {
+	return fmt.Sprintf("%s/c%06d", owner, idx)
+}
+
+// FetchGlobalJournal reads back a journal persisted by GlobalPersist,
+// whichever layout it used: the single striped image, or the chunk
+// sequence a streaming persist wrote.
 func (c *Client) FetchGlobalJournal(p *sim.Proc, owner string) ([]*journal.Event, error) {
 	striper := rados.NewStriper(c.obj)
 	data, err := striper.Read(p, ClientJournalPool, owner)
-	if err != nil {
+	if err == nil {
+		return journal.Decode(data)
+	}
+	if !errors.Is(err, rados.ErrNotFound) {
 		return nil, err
 	}
-	return journal.Decode(data)
+	// Chunked layout: concatenate chunk objects until the first gap.
+	var image []byte
+	for idx := 0; ; idx++ {
+		part, rerr := striper.Read(p, ClientJournalPool, journalChunkName(owner, idx))
+		if rerr != nil {
+			if !errors.Is(rerr, rados.ErrNotFound) {
+				return nil, rerr
+			}
+			if idx == 0 {
+				return nil, err // neither layout exists
+			}
+			break
+		}
+		image = append(image, part...)
+	}
+	return journal.Decode(image)
 }
 
 // NonvolatileApply replays the client journal onto the metadata store in
@@ -317,43 +458,20 @@ func (c *Client) NonvolatileApply(p *sim.Proc) (int, error) {
 		}
 	}
 
+	// Iterate the journal through a bounded-memory cursor: the batch size
+	// only bounds the gather buffer — every per-event cost below is
+	// charged identically regardless of where batches fall.
+	batch := c.cfg.MergeChunkEvents
+	if batch <= 0 {
+		batch = 256
+	}
 	applied := 0
 	touched := map[namespace.Ino]bool{namespace.RootIno: true}
-	for _, ev := range c.dec.jrnl.Events() {
-		dirIno := namespace.Ino(ev.Parent)
-		dirOID := rados.ObjectID{Pool: namespace.ObjectPool, Name: namespace.DirObjectName(dirIno)}
-
-		// Make sure the affected directory is materialized in the
-		// shadow store (first touch loads the ancestor chain).
-		if _, err := shadow.Get(dirIno); err != nil {
-			if data, rerr := c.obj.Read(p, dirOID); rerr == nil {
-				if obj, derr := namespace.DecodeDir(data); derr == nil {
-					if cerr := c.loadChain(p, shadow, obj); cerr != nil {
-						return applied, cerr
-					}
-				}
-			}
+	cur := c.dec.jrnl.InlineCursor()
+	for evs := cur.Next(batch); evs != nil; evs = cur.Next(batch) {
+		if err := c.nonvolatileBatch(p, shadow, evs, rootOID, touched, &applied); err != nil {
+			return applied, err
 		}
-
-		// Pull both objects that may be affected — every update, as
-		// the journal tool does (paper §V-A): the experiment
-		// directory and the root.
-		c.obj.OmapGet(p, dirOID, ev.Name)
-		c.obj.OmapGet(p, rootOID, "rstat")
-
-		if err := shadow.ApplyEvent(ev); err != nil {
-			return applied, fmt.Errorf("nonvolatile apply: %w", err)
-		}
-		applied++
-		touched[dirIno] = true
-		if ev.Type == journal.EvMkdir {
-			touched[namespace.Ino(ev.Ino)] = true
-		}
-
-		// Push both back (the updated dentry and the root's recursive
-		// stats).
-		c.obj.OmapSet(p, dirOID, map[string][]byte{ev.Name: encodeDentry(shadow, dirIno, ev.Name)})
-		c.obj.OmapSet(p, rootOID, map[string][]byte{"rstat": rstat(shadow)})
 	}
 
 	// Materialize the final directory objects for recovery.
@@ -374,6 +492,49 @@ func (c *Client) NonvolatileApply(p *sim.Proc) (int, error) {
 	return applied, nil
 }
 
+// nonvolatileBatch replays one cursor run of journal events with the
+// per-update pull/apply/push round trips of Nonvolatile Apply.
+func (c *Client) nonvolatileBatch(p *sim.Proc, shadow *namespace.Store, evs []*journal.Event,
+	rootOID rados.ObjectID, touched map[namespace.Ino]bool, applied *int) error {
+	for _, ev := range evs {
+		dirIno := namespace.Ino(ev.Parent)
+		dirOID := rados.ObjectID{Pool: namespace.ObjectPool, Name: namespace.DirObjectName(dirIno)}
+
+		// Make sure the affected directory is materialized in the
+		// shadow store (first touch loads the ancestor chain).
+		if _, err := shadow.Get(dirIno); err != nil {
+			if data, rerr := c.obj.Read(p, dirOID); rerr == nil {
+				if obj, derr := namespace.DecodeDir(data); derr == nil {
+					if cerr := c.loadChain(p, shadow, obj); cerr != nil {
+						return cerr
+					}
+				}
+			}
+		}
+
+		// Pull both objects that may be affected — every update, as
+		// the journal tool does (paper §V-A): the experiment
+		// directory and the root.
+		c.obj.OmapGet(p, dirOID, ev.Name)
+		c.obj.OmapGet(p, rootOID, "rstat")
+
+		if err := shadow.ApplyEvent(ev); err != nil {
+			return fmt.Errorf("nonvolatile apply: %w", err)
+		}
+		*applied++
+		touched[dirIno] = true
+		if ev.Type == journal.EvMkdir {
+			touched[namespace.Ino(ev.Ino)] = true
+		}
+
+		// Push both back (the updated dentry and the root's recursive
+		// stats).
+		c.obj.OmapSet(p, dirOID, map[string][]byte{ev.Name: encodeDentry(shadow, dirIno, ev.Name)})
+		c.obj.OmapSet(p, rootOID, map[string][]byte{"rstat": rstat(shadow)})
+	}
+	return nil
+}
+
 // encodeDentry renders one dentry's omap value for the push-back.
 func encodeDentry(s *namespace.Store, dir namespace.Ino, name string) []byte {
 	in, err := s.Lookup(dir, name)
@@ -388,32 +549,58 @@ func rstat(s *namespace.Store) []byte {
 	return []byte(fmt.Sprintf("inodes=%d version=%d", s.Len(), s.Version()))
 }
 
+// maxChainDepth bounds the ancestor walk of loadChain. A real namespace
+// never approaches it; corrupt directory objects whose Parent pointers
+// form an absurdly long — or infinite — chain must not hang the client.
+const maxChainDepth = 4096
+
 // loadChain installs obj into the shadow store, first loading any missing
-// ancestors from the object store.
+// ancestors from the object store. The walk is iterative: ancestors are
+// collected leaf-to-root, then installed root-first, so chain depth costs
+// no stack. Cycles in Parent pointers (corrupt objects) and chains past
+// maxChainDepth are reported as errors rather than looping forever.
 func (c *Client) loadChain(p *sim.Proc, shadow *namespace.Store, obj *namespace.DirObject) error {
-	if _, err := shadow.Get(obj.Parent); err != nil && obj.Ino != namespace.RootIno {
-		parentOID := rados.ObjectID{Pool: namespace.ObjectPool, Name: namespace.DirObjectName(obj.Parent)}
+	chain := []*namespace.DirObject{obj}
+	seen := map[namespace.Ino]bool{obj.Ino: true}
+	for cur := obj; cur.Ino != namespace.RootIno; cur = chain[len(chain)-1] {
+		if _, err := shadow.Get(cur.Parent); err == nil {
+			break // ancestor already materialized
+		}
+		if seen[cur.Parent] {
+			return fmt.Errorf("nonvolatile apply: ancestor cycle at %d: %w", cur.Parent, namespace.ErrInval)
+		}
+		if len(chain) >= maxChainDepth {
+			return fmt.Errorf("nonvolatile apply: ancestor chain deeper than %d at %d: %w",
+				maxChainDepth, cur.Ino, namespace.ErrInval)
+		}
+		parentOID := rados.ObjectID{Pool: namespace.ObjectPool, Name: namespace.DirObjectName(cur.Parent)}
 		data, rerr := c.obj.Read(p, parentOID)
 		if rerr != nil {
-			return fmt.Errorf("nonvolatile apply: missing ancestor %d: %w", obj.Parent, rerr)
+			return fmt.Errorf("nonvolatile apply: missing ancestor %d: %w", cur.Parent, rerr)
 		}
 		pobj, derr := namespace.DecodeDir(data)
 		if derr != nil {
 			return derr
 		}
-		if err := c.loadChain(p, shadow, pobj); err != nil {
+		seen[pobj.Ino] = true
+		chain = append(chain, pobj)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := shadow.InstallDir(chain[i]); err != nil {
 			return err
 		}
 	}
-	return shadow.InstallDir(obj)
+	return nil
 }
 
 // RunComposition executes a policy composition: steps in sequence,
 // mechanisms within a step in parallel (paper §III-B). RPCs and Append
 // Client Journal are workload-time mechanisms, not completion-time ones,
-// so they are no-ops here; Stream is an MDS-side setting toggled by the
-// composition.
+// so they are no-ops here; Stream is an MDS-side setting owned by the
+// composition — set on iff the composition contains it, so a previous
+// streaming composition cannot leak journaling into this one.
 func (c *Client) RunComposition(p *sim.Proc, comp policy.Composition) error {
+	c.svc.SetStream(comp.Contains(policy.MechStream))
 	for _, step := range comp {
 		if len(step.Parallel) == 1 {
 			if err := c.runMechanism(p, step.Parallel[0]); err != nil {
@@ -445,7 +632,8 @@ func (c *Client) runMechanism(p *sim.Proc, m policy.Mechanism) error {
 		// Workload-time mechanisms; nothing to do at completion time.
 		return nil
 	case policy.MechStream:
-		c.svc.SetStream(true)
+		// Stream state is set for the whole composition by
+		// RunComposition before any step runs.
 		return nil
 	case policy.MechVolatileApply:
 		_, err := c.VolatileApply(p)

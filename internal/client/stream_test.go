@@ -1,0 +1,324 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cudele/internal/journal"
+	"cudele/internal/mds"
+	"cudele/internal/model"
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/rados"
+	"cudele/internal/sim"
+)
+
+// newClusterCfg is newCluster with a caller-supplied cost model, for
+// exercising the opt-in chunked merge pipeline (MergeChunkEvents > 0).
+func newClusterCfg(cfg model.Config) *cluster {
+	eng := sim.NewEngine(23)
+	obj := rados.New(eng, cfg)
+	srv := mds.New(eng, cfg, obj)
+	return &cluster{eng: eng, obj: obj, srv: srv}
+}
+
+func (cl *cluster) clientCfg(name string, cfg model.Config) *Client {
+	c := New(cl.eng, cfg, name, cl.srv, cl.obj)
+	c.Mount()
+	return c
+}
+
+// chunkedConfig is the default model with the streamed merge pipeline
+// switched on at the given chunk size.
+func chunkedConfig(chunk int) model.Config {
+	cfg := model.Default()
+	cfg.MergeChunkEvents = chunk
+	return cfg
+}
+
+// decoupledWorkload builds the same decoupled journal on any client: a
+// subdirectory plus files both at the subtree root and one level down.
+func decoupledWorkload(t *testing.T, p *sim.Proc, c *Client, files int) {
+	t.Helper()
+	c.MkdirAll(p, "/job", 0755)
+	if err := c.Decouple(p, "/job", decouplePolicy(policy.ConsWeak, policy.DurNone, 10000)); err != nil {
+		t.Fatalf("decouple: %v", err)
+	}
+	root, _ := c.DecoupledRoot()
+	sub, err := c.LocalMkdir(p, root, "sub", 0755)
+	if err != nil {
+		t.Fatalf("local mkdir: %v", err)
+	}
+	for i := 0; i < files; i++ {
+		if _, err := c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644); err != nil {
+			t.Fatalf("local create %d: %v", i, err)
+		}
+	}
+	if _, err := c.LocalCreate(p, sub, "deep", 0644); err != nil {
+		t.Fatalf("local create deep: %v", err)
+	}
+}
+
+func TestRunCompositionStreamReset(t *testing.T) {
+	// Stream is owned by the composition: a streaming composition turns
+	// it on, and the next composition without the mechanism must turn it
+	// back off rather than inherit it.
+	cl := newCluster()
+	c := cl.client("c0")
+	cl.run(t, func(p *sim.Proc) {
+		comp, _ := policy.ParseComposition("rpcs+stream")
+		if err := c.RunComposition(p, comp); err != nil {
+			t.Errorf("streaming composition: %v", err)
+			return
+		}
+		if !cl.srv.StreamEnabled() {
+			t.Error("stream not enabled by streaming composition")
+		}
+		comp, _ = policy.ParseComposition("rpcs")
+		if err := c.RunComposition(p, comp); err != nil {
+			t.Errorf("rpcs composition: %v", err)
+			return
+		}
+		if cl.srv.StreamEnabled() {
+			t.Error("stream leaked past its composition")
+		}
+	})
+}
+
+func TestVolatileApplyChunkedMatchesOneShot(t *testing.T) {
+	// The streamed merge is a transport change, not a semantic one: the
+	// chunked pipeline must produce the same namespace and applied count
+	// as the one-shot path, while holding only one chunk in flight.
+	const files = 120
+	const chunk = 48
+
+	oneshot := newCluster()
+	a := oneshot.client("c0")
+	var appliedA int
+	oneshot.run(t, func(p *sim.Proc) {
+		decoupledWorkload(t, p, a, files)
+		n, err := a.VolatileApply(p)
+		if err != nil {
+			t.Errorf("one-shot apply: %v", err)
+		}
+		appliedA = n
+	})
+
+	streamed := newClusterCfg(chunkedConfig(chunk))
+	b := streamed.clientCfg("c0", chunkedConfig(chunk))
+	var appliedB int
+	streamed.run(t, func(p *sim.Proc) {
+		decoupledWorkload(t, p, b, files)
+		n, err := b.VolatileApply(p)
+		if err != nil {
+			t.Errorf("chunked apply: %v", err)
+		}
+		appliedB = n
+	})
+
+	if appliedA != appliedB || appliedB != files+2 {
+		t.Fatalf("applied: one-shot %d, chunked %d, want %d", appliedA, appliedB, files+2)
+	}
+	if !namespace.Equal(oneshot.srv.Store(), streamed.srv.Store()) {
+		t.Fatal("chunked merge namespace differs from one-shot")
+	}
+	j, _ := b.Journal()
+	if j.Len() != 0 {
+		t.Fatalf("journal not cleared after chunked merge: %d", j.Len())
+	}
+
+	// Peak transfer memory: the whole journal one-shot, one chunk
+	// streamed.
+	evBytes := uint64(model.Default().JournalEventBytes)
+	if want := uint64(files+2) * evBytes; a.Stats().PeakTransferBytes != want {
+		t.Errorf("one-shot peak transfer = %d, want %d", a.Stats().PeakTransferBytes, want)
+	}
+	if want := uint64(chunk) * evBytes; b.Stats().PeakTransferBytes != want {
+		t.Errorf("chunked peak transfer = %d, want %d", b.Stats().PeakTransferBytes, want)
+	}
+}
+
+func TestLocalPersistChunkedMatchesOneShot(t *testing.T) {
+	// Chunked Local Persist writes the identical journal image, one
+	// chunk's encoding at a time.
+	const files = 25
+	const chunk = 10
+
+	oneshot := newCluster()
+	a := oneshot.client("c0")
+	oneshot.run(t, func(p *sim.Proc) {
+		decoupledWorkload(t, p, a, files)
+		if err := a.LocalPersist(p); err != nil {
+			t.Errorf("one-shot persist: %v", err)
+		}
+	})
+
+	streamed := newClusterCfg(chunkedConfig(chunk))
+	b := streamed.clientCfg("c0", chunkedConfig(chunk))
+	streamed.run(t, func(p *sim.Proc) {
+		decoupledWorkload(t, p, b, files)
+		if err := b.LocalPersist(p); err != nil {
+			t.Errorf("chunked persist: %v", err)
+			return
+		}
+		// The chunked image is a valid journal file: a recovering client
+		// reads the same events back.
+		j, _ := b.Journal()
+		j.Reset()
+		if n, err := b.RecoverLocal(p); err != nil || n != files+2 {
+			t.Errorf("recover from chunked image = %d, %v", n, err)
+		}
+	})
+
+	fa, _ := a.LocalJournalFile()
+	fb, _ := b.LocalJournalFile()
+	if !bytes.Equal(fa, fb) {
+		t.Fatalf("chunked journal image differs from one-shot: %d vs %d bytes", len(fb), len(fa))
+	}
+	evBytes := uint64(model.Default().JournalEventBytes)
+	if got, limit := b.Stats().PeakTransferBytes, uint64(chunk)*evBytes; got > limit {
+		t.Errorf("chunked persist peak transfer = %d, want <= %d", got, limit)
+	}
+}
+
+func TestGlobalPersistChunkedFetch(t *testing.T) {
+	// Chunked Global Persist writes a chunk-object sequence; any client
+	// fetches it back as the same event stream.
+	const files = 20
+	const chunk = 7
+	cfg := chunkedConfig(chunk)
+	cl := newClusterCfg(cfg)
+	c := cl.clientCfg("c0", cfg)
+	other := cl.clientCfg("c1", cfg)
+	cl.run(t, func(p *sim.Proc) {
+		decoupledWorkload(t, p, c, files)
+		if err := c.GlobalPersist(p); err != nil {
+			t.Errorf("global persist: %v", err)
+			return
+		}
+		events, err := other.FetchGlobalJournal(p, "c0")
+		if err != nil {
+			t.Errorf("fetch: %v", err)
+			return
+		}
+		j, _ := c.Journal()
+		if !reflect.DeepEqual(events, j.Events()) {
+			t.Errorf("fetched events differ: got %d, journal %d", len(events), j.Len())
+		}
+	})
+	evBytes := uint64(cfg.JournalEventBytes)
+	if got, limit := c.Stats().PeakTransferBytes, uint64(chunk)*evBytes; got > limit {
+		t.Errorf("chunked persist peak transfer = %d, want <= %d", got, limit)
+	}
+}
+
+func TestGlobalPersistChunkedEmptyJournal(t *testing.T) {
+	cfg := chunkedConfig(8)
+	cl := newClusterCfg(cfg)
+	c := cl.clientCfg("c0", cfg)
+	other := cl.clientCfg("c1", cfg)
+	cl.run(t, func(p *sim.Proc) {
+		c.MkdirAll(p, "/job", 0755)
+		c.Decouple(p, "/job", decouplePolicy(policy.ConsInvisible, policy.DurGlobal, 100))
+		if err := c.GlobalPersist(p); err != nil {
+			t.Errorf("empty persist: %v", err)
+			return
+		}
+		events, err := other.FetchGlobalJournal(p, "c0")
+		if err != nil || len(events) != 0 {
+			t.Errorf("empty fetch = %d events, %v", len(events), err)
+		}
+	})
+}
+
+func TestNonvolatileApplyDeepAncestorChain(t *testing.T) {
+	// A subtree decoupled 32 directories down: the first journal event
+	// forces loadChain to pull the whole ancestor chain from the object
+	// store, iteratively, before the update applies.
+	const depth = 32
+	parts := make([]string, depth)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("d%d", i)
+	}
+	deep := "/" + strings.Join(parts, "/")
+
+	cl := newCluster()
+	c := cl.client("c0")
+	cl.run(t, func(p *sim.Proc) {
+		if _, err := c.MkdirAll(p, deep, 0755); err != nil {
+			t.Errorf("mkdirall: %v", err)
+			return
+		}
+		if err := cl.srv.SaveStore(p); err != nil {
+			t.Errorf("save store: %v", err)
+			return
+		}
+		c.Decouple(p, deep, decouplePolicy(policy.ConsWeak, policy.DurGlobal, 100))
+		root, _ := c.DecoupledRoot()
+		for i := 0; i < 3; i++ {
+			c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644)
+		}
+		if n, err := c.NonvolatileApply(p); err != nil || n != 3 {
+			t.Errorf("nonvolatile apply = %d, %v", n, err)
+			return
+		}
+		if err := cl.srv.Recover(p); err != nil {
+			t.Errorf("recover: %v", err)
+			return
+		}
+		if _, err := cl.srv.Store().Resolve(deep + "/f2"); err != nil {
+			t.Errorf("deep file missing after recovery: %v", err)
+		}
+	})
+}
+
+func TestNonvolatileApplyAncestorCycle(t *testing.T) {
+	// Corrupt directory objects whose Parent pointers form a cycle must
+	// fail the merge with an error, not hang the client. Two legitimate
+	// stores forge the halves: in one, b is a's parent; in the other, a
+	// is b's.
+	const (
+		aIno = namespace.Ino(1 << 50)
+		bIno = namespace.Ino(1<<50 + 1)
+	)
+	forge := func(top, bottom namespace.Ino, topName, bottomName string) []byte {
+		s := namespace.NewStore()
+		if _, err := s.Mkdir(namespace.RootIno, topName, namespace.CreateAttrs{Ino: top, Mode: 0755}); err != nil {
+			t.Fatalf("forge mkdir: %v", err)
+		}
+		if _, err := s.Mkdir(top, bottomName, namespace.CreateAttrs{Ino: bottom, Mode: 0755}); err != nil {
+			t.Fatalf("forge mkdir: %v", err)
+		}
+		data, err := s.EncodeDir(bottom)
+		if err != nil {
+			t.Fatalf("forge encode: %v", err)
+		}
+		return data
+	}
+	aData := forge(bIno, aIno, "b", "a") // a's object says Parent == b
+	bData := forge(aIno, bIno, "a", "b") // b's object says Parent == a
+
+	cl := newCluster()
+	c := cl.client("c0")
+	cl.run(t, func(p *sim.Proc) {
+		cl.obj.Write(p, rados.ObjectID{Pool: namespace.ObjectPool,
+			Name: namespace.DirObjectName(aIno)}, aData)
+		cl.obj.Write(p, rados.ObjectID{Pool: namespace.ObjectPool,
+			Name: namespace.DirObjectName(bIno)}, bData)
+
+		c.MkdirAll(p, "/job", 0755)
+		c.Decouple(p, "/job", decouplePolicy(policy.ConsWeak, policy.DurGlobal, 100))
+		j, _ := c.Journal()
+		j.Append(&journal.Event{Type: journal.EvCreate, Client: "c0",
+			Parent: uint64(aIno), Name: "x", Ino: uint64(aIno) + 100, Mode: 0644})
+
+		n, err := c.NonvolatileApply(p)
+		if !errors.Is(err, namespace.ErrInval) {
+			t.Errorf("apply over cycle = %d, %v; want ErrInval", n, err)
+		}
+	})
+}

@@ -141,6 +141,15 @@ func AppendEvent(b []byte, ev *Event) ([]byte, error) {
 	return e.AppendEvent(b, ev)
 }
 
+// AppendHeader appends the journal file header to b. Chunked exporters
+// use it to start an image they then grow record by record; the result
+// decodes identically to a one-shot Encode of the same events.
+func AppendHeader(b []byte) []byte { return append(b, magic...) }
+
+// RecordSize returns the exact encoded record length of ev, for sizing
+// chunk buffers without encoding twice.
+func RecordSize(ev *Event) int { return recordSize(ev) }
+
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 

@@ -1,0 +1,116 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fillJournal appends n create events into a journal with the given
+// segment size.
+func fillJournal(t *testing.T, n, segSize int) *Journal {
+	t.Helper()
+	j := New(segSize)
+	for i := 0; i < n; i++ {
+		ev := &Event{Type: EvCreate, Ino: uint64(100 + i), Parent: 1, Name: fmt.Sprintf("f%d", i)}
+		if _, err := j.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return j
+}
+
+// TestCursorMatchesEvents pins the cursor contract: for any run size,
+// concatenating the runs reproduces Events() exactly, and run lengths are
+// min(max, remaining) regardless of where segments seal.
+func TestCursorMatchesEvents(t *testing.T) {
+	for _, tc := range []struct{ n, segSize, run int }{
+		{0, 8, 3},
+		{1, 8, 3},
+		{10, 4, 3},   // runs cross segment boundaries
+		{10, 3, 10},  // one run spans every segment
+		{7, 8, 2},    // journal smaller than a segment
+		{256, 10, 7}, // many boundary crossings
+		{20, 5, 5},   // runs aligned with segments
+	} {
+		j := fillJournal(t, tc.n, tc.segSize)
+		want := j.Events()
+		cur := j.Cursor()
+		if got := cur.Remaining(); got != tc.n {
+			t.Errorf("n=%d seg=%d: Remaining = %d", tc.n, tc.segSize, got)
+		}
+		var got []*Event
+		for {
+			run := cur.Next(tc.run)
+			if run == nil {
+				break
+			}
+			wantLen := tc.run
+			if left := tc.n - len(got); left < wantLen {
+				wantLen = left
+			}
+			if len(run) != wantLen {
+				t.Errorf("n=%d seg=%d run=%d: run length %d, want %d",
+					tc.n, tc.segSize, tc.run, len(run), wantLen)
+			}
+			got = append(got, run...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d seg=%d run=%d: got %d events, want %d",
+				tc.n, tc.segSize, tc.run, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d seg=%d run=%d: event %d differs", tc.n, tc.segSize, tc.run, i)
+			}
+		}
+		if cur.Remaining() != 0 {
+			t.Errorf("exhausted cursor Remaining = %d", cur.Remaining())
+		}
+	}
+}
+
+// TestInlineCursorReusesBuffer checks that the inline cursor's gather
+// buffer is recycled across boundary-crossing runs (the zero-alloc merge
+// path) while still yielding the right events.
+func TestInlineCursorReusesBuffer(t *testing.T) {
+	j := fillJournal(t, 30, 4)
+	want := j.Events()
+	cur := j.InlineCursor()
+	var got []*Event
+	for {
+		run := cur.Next(7)
+		if run == nil {
+			break
+		}
+		got = append(got, run...) // copy out before the buffer is reused
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// TestExportMatchesEncode pins that the cursor-based Export produces the
+// byte-identical image of encoding the flat event slice, across segment
+// shapes.
+func TestExportMatchesEncode(t *testing.T) {
+	for _, tc := range []struct{ n, segSize int }{{0, 8}, {5, 8}, {64, 10}, {300, 7}} {
+		j := fillJournal(t, tc.n, tc.segSize)
+		want, err := Encode(j.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := j.Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("n=%d seg=%d: Export differs from Encode(Events())", tc.n, tc.segSize)
+		}
+	}
+}

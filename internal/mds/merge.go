@@ -12,6 +12,37 @@ import (
 // while keeping simulation overhead low.
 const mergeChunk = 256
 
+// eventSource is where a merge pulls its events from: either a
+// journal.Cursor (bounded-memory iteration over a live journal) or a
+// flat slice that arrived in the message. Runs are exactly
+// min(max, Remaining()) long either way, so the merge's chunked CPU
+// schedule is independent of the source.
+type eventSource interface {
+	Remaining() int
+	Next(max int) []*journal.Event
+}
+
+// sliceSource adapts a flat event slice to the eventSource contract.
+type sliceSource struct {
+	evs []*journal.Event
+	off int
+}
+
+func (s *sliceSource) Remaining() int { return len(s.evs) - s.off }
+
+func (s *sliceSource) Next(max int) []*journal.Event {
+	if s.off >= len(s.evs) {
+		return nil
+	}
+	end := s.off + max
+	if end > len(s.evs) {
+		end = len(s.evs)
+	}
+	out := s.evs[s.off:end]
+	s.off = end
+	return out
+}
+
 // VolatileApply is the merge mechanism (paper §III-A): the client's
 // in-memory journal is shipped to the MDS (memory-to-memory over the
 // network) and blindly replayed onto the in-memory metadata store. No
@@ -28,8 +59,13 @@ func (s *Server) VolatileApply(p *sim.Proc, events []*journal.Event, nominalByte
 	return r.Applied, r.Err
 }
 
-// volatileApply is the MergeMsg handler body.
-func (s *Server) volatileApply(p *sim.Proc, events []*journal.Event, nominalBytes int64) (int, error) {
+// volatileApply is the MergeMsg handler body: the one-shot merge path.
+// The whole journal crosses the fabric in a single transfer and the job
+// stays active — inflating every concurrent merge's per-event cost —
+// until its last event applies. This is the arrival model the paper's
+// Fig 6a was calibrated against; the streamed path (scheduler.go) is the
+// opt-in alternative.
+func (s *Server) volatileApply(p *sim.Proc, src eventSource, nominalBytes int64) (int, error) {
 	if s.stopped {
 		return 0, ErrShutdown
 	}
@@ -48,18 +84,13 @@ func (s *Server) volatileApply(p *sim.Proc, events []*journal.Event, nominalByte
 	s.metrics.MergeJobs++
 
 	applied := 0
-	for off := 0; off < len(events); off += mergeChunk {
-		end := off + mergeChunk
-		if end > len(events) {
-			end = len(events)
-		}
-		chunk := events[off:end]
+	for src.Remaining() > 0 {
+		chunk := src.Next(mergeChunk)
 
 		// Apply cost grows with the number of journals waiting to
 		// merge: 20 journals landing at once congest the MDS
 		// (paper Fig 6a).
-		per := sim.Duration(float64(s.cfg.MDSApplyTime) *
-			(1 + float64(s.mergeQueue-1)*s.cfg.MDSMergeCongestion))
+		per := s.mergeApplyCost()
 
 		s.cpu.Acquire(p)
 		p.Sleep(per * sim.Duration(len(chunk)))
@@ -76,5 +107,15 @@ func (s *Server) volatileApply(p *sim.Proc, events []*journal.Event, nominalByte
 	return applied, nil
 }
 
-// MergeQueue reports the number of in-flight Volatile Apply jobs.
+// mergeApplyCost is the per-event Volatile Apply CPU cost at the current
+// merge concurrency. One-shot and streamed merges share it — and share
+// mergeQueue — so mixing arrival models keeps the congestion economics
+// consistent.
+func (s *Server) mergeApplyCost() sim.Duration {
+	return sim.Duration(float64(s.cfg.MDSApplyTime) *
+		(1 + float64(s.mergeQueue-1)*s.cfg.MDSMergeCongestion))
+}
+
+// MergeQueue reports the number of in-flight Volatile Apply jobs,
+// one-shot and streamed combined.
 func (s *Server) MergeQueue() int { return s.mergeQueue }

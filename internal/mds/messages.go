@@ -4,6 +4,7 @@ import (
 	"cudele/internal/journal"
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
+	"cudele/internal/transport"
 )
 
 // The metadata service speaks messages over a transport.Endpoint. RPCs
@@ -12,19 +13,72 @@ import (
 // charge their own calibrated costs (a journal merge's network cost is
 // its byte transfer, not an RPC round trip).
 
-// MergeMsg ships a decoupled client's journal for Volatile Apply.
+// MergeMsg ships a decoupled client's journal for Volatile Apply in one
+// message (the calibrated all-at-once arrival model). Exactly one of
+// Events and Source carries the journal: Source lets the sender hand
+// over a bounded-memory cursor instead of a flat event copy, since the
+// handler runs synchronously in the sender's process.
 type MergeMsg struct {
 	Events       []*journal.Event
+	Source       *journal.Cursor
 	NominalBytes int64
 	// Route is the decoupled subtree's path, used by the routing layer
 	// to find the owning rank.
 	Route string
 }
 
-// MergeReply answers a MergeMsg.
+// MergeReply answers a MergeMsg or a MergeWaitMsg.
 type MergeReply struct {
 	Applied int
 	Err     error
+}
+
+// MergeOpenMsg opens a streamed (chunked) merge: the scheduler admits
+// the job — or answers with backpressure when MergeAdmitMax jobs are
+// already merging — and assigns the stream id the chunks will carry.
+type MergeOpenMsg struct {
+	Client      string
+	Route       string
+	TotalEvents int
+	TotalBytes  int64
+}
+
+// MergeOpenReply answers a MergeOpenMsg.
+type MergeOpenReply struct {
+	ID           uint64 // stream id for subsequent MergeChunkMsg
+	Window       int    // chunks the MDS will buffer before backpressure
+	Backpressure bool   // admission queue full; retry after a delay
+	QueueDepth   int    // merge jobs admitted at reply time
+	Err          error
+}
+
+// Backpressured implements transport.Flow.
+func (r *MergeOpenReply) Backpressured() bool { return r.Backpressure }
+
+// MergeChunkMsg ships one chunk of a streamed merge. It embeds
+// transport.StreamInfo, so interceptors (tracing) see it as a generic
+// stream chunk.
+type MergeChunkMsg struct {
+	transport.StreamInfo
+	Route  string
+	Events []*journal.Event
+}
+
+// MergeChunkReply answers a MergeChunkMsg.
+type MergeChunkReply struct {
+	Backpressure bool // window full; chunk not accepted, retry it
+	Window       int  // buffered chunks after this one
+	Err          error
+}
+
+// Backpressured implements transport.Flow.
+func (r *MergeChunkReply) Backpressured() bool { return r.Backpressure }
+
+// MergeWaitMsg blocks until a streamed merge has applied its final chunk
+// and reports the merge result as a MergeReply.
+type MergeWaitMsg struct {
+	ID    uint64
+	Route string
 }
 
 // DecoupleMsg attaches a policy to a subtree and reserves its inode
@@ -60,6 +114,12 @@ func RouteOf(msg any) string {
 	case *Request:
 		return m.Route
 	case *MergeMsg:
+		return m.Route
+	case *MergeOpenMsg:
+		return m.Route
+	case *MergeChunkMsg:
+		return m.Route
+	case *MergeWaitMsg:
 		return m.Route
 	case *DecoupleMsg:
 		return m.Path

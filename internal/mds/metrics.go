@@ -28,8 +28,17 @@ func (s *Server) FillMetrics(reg *trace.Registry) {
 	reg.Counter("cudele_mds_journal_bytes_total", "Nominal journal bytes streamed to the object store.",
 		float64(s.metrics.JournalBytes), daemon)
 
+	reg.Counter("cudele_mds_merge_chunks_total", "Streamed merge chunks accepted into flow-control windows.", float64(s.metrics.MergeChunks), daemon)
+	reg.Counter("cudele_mds_merge_backpressure_total", "Merge opens and chunks answered with backpressure.", float64(s.metrics.MergeBackpressure), daemon)
+
 	reg.Gauge("cudele_mds_journal_events", "Untrimmed events in the MDS journal.", float64(s.stream.jrnl.Len()), daemon)
 	reg.Gauge("cudele_mds_merge_queue_depth", "Client journals queued for Volatile Apply.", float64(s.mergeQueue), daemon)
+	reg.Gauge("cudele_mds_merge_active_jobs", "Streamed merges admitted by the scheduler at collection time.", float64(len(s.merge.jobs)), daemon)
+	reg.Gauge("cudele_mds_merge_peak_jobs", "Most streamed merges ever admitted at once.", float64(s.merge.peakJobs), daemon)
+	if spread, jobs := s.MergeFairness(); jobs > 0 {
+		reg.Gauge("cudele_mds_merge_chunk_wait_spread_seconds",
+			"Spread of per-job max chunk waits across completed streamed merges.", spread.Seconds(), daemon)
+	}
 	reg.Gauge("cudele_mds_sessions", "Active client sessions.", float64(len(s.sessions)), daemon)
 
 	cpu := s.cpu.Snapshot()

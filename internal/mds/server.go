@@ -107,6 +107,9 @@ type Metrics struct {
 	JournalBytes uint64 // nominal journal bytes streamed to the object store
 	Merged       uint64 // events merged via Volatile Apply
 	MergeJobs    uint64 // client journals merged
+	// Streamed-merge pipeline counters (scheduler.go).
+	MergeChunks       uint64 // chunks accepted into merge windows
+	MergeBackpressure uint64 // opens/chunks answered with backpressure
 }
 
 // Server is one simulated metadata rank.
@@ -128,6 +131,8 @@ type Server struct {
 	owners map[namespace.Ino]string
 
 	stream *streamState
+
+	merge *mergeSched // streamed (chunked) Volatile Apply scheduler
 
 	mergeQueue int // client journals queued for Volatile Apply
 
@@ -171,6 +176,7 @@ func NewRank(eng *sim.Engine, cfg model.Config, obj *rados.Cluster, rank int) *S
 		s.store.SetInoFloor(rankInoFloor(rank))
 	}
 	s.stream = newStreamState(s)
+	s.merge = newMergeSched(s)
 	s.rpc = transport.Chain(s.dispatchOp,
 		s.admission, s.accounting, s.journaling, s.execution, s.interference)
 	// The tracing interceptor wraps the whole message dispatcher, so
@@ -190,6 +196,12 @@ func msgLabel(msg any) string {
 		return "rpc." + m.Op.String()
 	case *MergeMsg:
 		return "merge"
+	case *MergeOpenMsg:
+		return "merge.open"
+	case *MergeChunkMsg:
+		return "merge.chunk"
+	case *MergeWaitMsg:
+		return "merge.wait"
 	case *DecoupleMsg:
 		return "decouple"
 	case *RecoupleMsg:
@@ -227,8 +239,18 @@ func (s *Server) handle(p *sim.Proc, msg any) any {
 	case *Request:
 		return s.rpc(p, m)
 	case *MergeMsg:
-		applied, err := s.volatileApply(p, m.Events, m.NominalBytes)
+		var src eventSource = &sliceSource{evs: m.Events}
+		if m.Events == nil && m.Source != nil {
+			src = m.Source
+		}
+		applied, err := s.volatileApply(p, src, m.NominalBytes)
 		return &MergeReply{Applied: applied, Err: err}
+	case *MergeOpenMsg:
+		return s.mergeOpen(p, m)
+	case *MergeChunkMsg:
+		return s.mergeChunk(p, m)
+	case *MergeWaitMsg:
+		return s.mergeWait(p, m)
 	case *DecoupleMsg:
 		lo, n, err := s.decouple(p, m.Path, m.Policy, m.Client)
 		return &DecoupleReply{Lo: lo, N: n, Err: err}

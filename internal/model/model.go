@@ -141,6 +141,34 @@ type Config struct {
 	// NumOSDs is the number of object storage daemons.
 	NumOSDs int
 
+	// --- Merge pipeline (streaming journal transfer) ---
+
+	// MergeChunkEvents is the number of journal events per streamed merge
+	// chunk. 0 disables chunking: the client ships the whole journal as
+	// one message and the MDS merges it in a single job, which is the
+	// calibrated behavior the paper's figures were fit against. Positive
+	// values route VolatileApply (and the persist mechanisms' transfers)
+	// through the chunked stream pipeline, bounding peak client transfer
+	// memory at roughly MergeChunkEvents * JournalEventBytes.
+	MergeChunkEvents int
+
+	// MergeWindowChunks is the flow-control window of a streamed merge:
+	// how many chunks the MDS will buffer per merge job before answering
+	// with backpressure. 0 means the default window (4). Only meaningful
+	// when MergeChunkEvents > 0.
+	MergeWindowChunks int
+
+	// MergeAdmitMax bounds how many merge jobs the scheduler admits
+	// concurrently; arrivals beyond it get a backpressure reply and retry.
+	// 0 means unbounded admission (the seed's all-at-once model, where
+	// every queued journal inflates every other's per-event apply cost via
+	// MDSMergeCongestion). Only meaningful when MergeChunkEvents > 0.
+	MergeAdmitMax int
+
+	// MergeRetryDelay is how long a client sleeps before re-sending a
+	// merge open or chunk that was answered with backpressure.
+	MergeRetryDelay time.Duration
+
 	// --- Namespace sync (Fig 6c) ---
 
 	// ForkBase is the fixed pause to fork the client for a namespace
@@ -213,6 +241,14 @@ func Default() Config {
 		Replicas:           3,
 		NumOSDs:            3,
 
+		// Chunked merge streaming is opt-in: MergeChunkEvents 0 keeps the
+		// calibrated one-shot path; the retry delay only applies once a
+		// backpressure reply has been received.
+		MergeChunkEvents:  0,
+		MergeWindowChunks: 4,
+		MergeAdmitMax:     0,
+		MergeRetryDelay:   2 * time.Millisecond,
+
 		ForkBase:           80 * time.Millisecond,
 		ForkCopyBandwidth:  8e9,
 		SyncDrainBandwidth: 300e6,
@@ -246,6 +282,11 @@ func (c Config) Validate() error {
 		{c.AllocatedInodesDefault > 0, "AllocatedInodesDefault"},
 		{c.ForkCopyBandwidth > 0, "ForkCopyBandwidth"},
 		{c.SyncDrainBandwidth > 0, "SyncDrainBandwidth"},
+		// Zero disables chunking/admission bounding; negatives are nonsense.
+		{c.MergeChunkEvents >= 0, "MergeChunkEvents"},
+		{c.MergeWindowChunks >= 0, "MergeWindowChunks"},
+		{c.MergeAdmitMax >= 0, "MergeAdmitMax"},
+		{c.MergeRetryDelay >= 0, "MergeRetryDelay"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {
