@@ -265,6 +265,11 @@ func (c *Client) volatileApplyChunked(p *sim.Proc, chunk int) (int, error) {
 			Events: evs,
 		}, c.cfg.MergeRetryDelay).(*mds.MergeChunkReply)
 		if r.Err != nil {
+			// Abandoning the stream without telling the MDS would leave
+			// the admitted job parked in the scheduler forever, holding
+			// its admission slot and inflating the merge queue for the
+			// rest of the run.
+			c.svc.Post(p, &mds.MergeAbortMsg{ID: open.ID, Route: c.dec.path})
 			return 0, r.Err
 		}
 	}
@@ -296,9 +301,12 @@ func (c *Client) LocalPersist(p *sim.Proc) error {
 		c.localFiles["journal"] = data
 		return nil
 	}
+	// Encode into a fresh buffer and install it only once the whole encode
+	// has succeeded: reusing the previous image's backing array would
+	// corrupt the stored recovery image if an event fails mid-encode.
 	evBytes := int64(c.cfg.JournalEventBytes)
 	var enc journal.Encoder
-	file := journal.AppendHeader(c.localFiles["journal"][:0])
+	file := journal.AppendHeader(nil)
 	cur := c.dec.jrnl.InlineCursor()
 	for {
 		evs := cur.Next(chunk)
@@ -370,10 +378,12 @@ func (c *Client) GlobalPersist(p *sim.Proc) error {
 	evBytes := int64(c.cfg.JournalEventBytes)
 	var enc journal.Encoder
 	cur := c.dec.jrnl.Cursor()
+	last := 0
 	for idx := 0; ; idx++ {
 		evs := cur.Next(chunk)
 		if evs == nil && idx > 0 {
-			return nil
+			last = idx - 1
+			break
 		}
 		var buf []byte
 		if idx == 0 {
@@ -392,9 +402,33 @@ func (c *Client) GlobalPersist(p *sim.Proc) error {
 		striper.WriteBilled(p, ClientJournalPool, journalChunkName(c.name, idx),
 			buf, int64(len(evs))*evBytes)
 		if evs == nil {
-			return nil
+			last = idx
+			break
 		}
 	}
+	return c.removeStalePersist(p, striper, last)
+}
+
+// removeStalePersist deletes what an earlier, larger Global Persist left
+// behind beyond the chunks just written: FetchGlobalJournal reassembles
+// chunk objects up to the first gap and prefers the single-image layout
+// outright, so a stale chunk tail would be appended to the recovered
+// image (decoding as phantom events) and a stale single image would
+// shadow the fresh chunks entirely. Probing a name that does not exist
+// is free, so a persist with nothing stale charges no extra time.
+func (c *Client) removeStalePersist(p *sim.Proc, striper *rados.Striper, last int) error {
+	for idx := last + 1; ; idx++ {
+		if err := striper.Remove(p, ClientJournalPool, journalChunkName(c.name, idx)); err != nil {
+			if errors.Is(err, rados.ErrNotFound) {
+				break // first gap: nothing stale beyond it
+			}
+			return err
+		}
+	}
+	if err := striper.Remove(p, ClientJournalPool, c.name); err != nil && !errors.Is(err, rados.ErrNotFound) {
+		return err
+	}
+	return nil
 }
 
 // journalChunkName is the logical object name of one chunk of a chunked

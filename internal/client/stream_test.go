@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"cudele/internal/journal"
 	"cudele/internal/mds"
@@ -233,6 +234,245 @@ func TestGlobalPersistChunkedEmptyJournal(t *testing.T) {
 			t.Errorf("empty fetch = %d events, %v", len(events), err)
 		}
 	})
+}
+
+func TestGlobalPersistChunkedShrinkNoStaleTail(t *testing.T) {
+	// A chunked persist of a short journal after a longer one (the
+	// global_persist -> apply -> new-work cycle) overwrites only the first
+	// chunks; the stale tail of the earlier persist must be deleted, or
+	// FetchGlobalJournal appends it to the image and decodes phantom
+	// events.
+	const chunk = 7
+	cfg := chunkedConfig(chunk)
+	cl := newClusterCfg(cfg)
+	c := cl.clientCfg("c0", cfg)
+	other := cl.clientCfg("c1", cfg)
+	cl.run(t, func(p *sim.Proc) {
+		decoupledWorkload(t, p, c, 20) // 22 events: four chunk objects
+		if err := c.GlobalPersist(p); err != nil {
+			t.Errorf("first persist: %v", err)
+			return
+		}
+		// The journal drains (as Volatile Apply would) and a little new
+		// work arrives: the second persist writes one chunk object.
+		j, _ := c.Journal()
+		j.Reset()
+		root, _ := c.DecoupledRoot()
+		for i := 0; i < 3; i++ {
+			if _, err := c.LocalCreate(p, root, fmt.Sprintf("late%d", i), 0644); err != nil {
+				t.Fatalf("late create %d: %v", i, err)
+			}
+		}
+		if err := c.GlobalPersist(p); err != nil {
+			t.Errorf("second persist: %v", err)
+			return
+		}
+		events, err := other.FetchGlobalJournal(p, "c0")
+		if err != nil {
+			t.Errorf("fetch: %v", err)
+			return
+		}
+		if !reflect.DeepEqual(events, j.Events()) {
+			t.Errorf("fetched %d events, want the %d from the second persist only", len(events), j.Len())
+		}
+	})
+}
+
+func TestGlobalPersistLayoutChangeNoStaleImage(t *testing.T) {
+	// The same owner may persist under either layout over time (tunable
+	// change across restarts). Whichever persist ran last must win the
+	// fetch: a chunked persist deletes the stale single image it would
+	// otherwise be shadowed by, and a one-shot persist overwrites the
+	// image the fetch prefers.
+	oneshotCfg := model.Default()
+	chunked := chunkedConfig(5)
+
+	for _, dir := range []struct {
+		name          string
+		first, second model.Config
+	}{
+		{"oneshot-then-chunked", oneshotCfg, chunked},
+		{"chunked-then-oneshot", chunked, oneshotCfg},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			cl := newClusterCfg(chunked)
+			a := cl.clientCfg("c0", dir.first)
+			b := cl.clientCfg("c0", dir.second)
+			reader := cl.clientCfg("c1", chunked)
+			cl.run(t, func(p *sim.Proc) {
+				decoupledWorkload(t, p, a, 12)
+				if err := a.GlobalPersist(p); err != nil {
+					t.Errorf("first persist: %v", err)
+					return
+				}
+				decoupledWorkload(t, p, b, 4)
+				if err := b.GlobalPersist(p); err != nil {
+					t.Errorf("second persist: %v", err)
+					return
+				}
+				events, err := reader.FetchGlobalJournal(p, "c0")
+				if err != nil {
+					t.Errorf("fetch: %v", err)
+					return
+				}
+				j, _ := b.Journal()
+				if !reflect.DeepEqual(events, j.Events()) {
+					t.Errorf("fetched %d events, want the last persist's %d", len(events), j.Len())
+				}
+			})
+		})
+	}
+}
+
+func TestLocalPersistChunkedErrorKeepsOldImage(t *testing.T) {
+	// A chunked Local Persist that fails mid-encode must leave the
+	// previously stored recovery image untouched, not half-overwritten.
+	cfg := chunkedConfig(4)
+	cl := newClusterCfg(cfg)
+	c := cl.clientCfg("c0", cfg)
+	cl.run(t, func(p *sim.Proc) {
+		decoupledWorkload(t, p, c, 6) // 8 events
+		if err := c.LocalPersist(p); err != nil {
+			t.Fatalf("first persist: %v", err)
+		}
+		file, _ := c.LocalJournalFile()
+		good := append([]byte(nil), file...)
+
+		// Corrupt the newest journal event in place so the re-encode
+		// fails partway through the image.
+		j, _ := c.Journal()
+		evs := j.Events()
+		evs[len(evs)-1].Name = ""
+		if err := c.LocalPersist(p); !errors.Is(err, journal.ErrBadEvent) {
+			t.Fatalf("corrupt persist = %v, want ErrBadEvent", err)
+		}
+
+		file, ok := c.LocalJournalFile()
+		if !ok || !bytes.Equal(file, good) {
+			t.Fatalf("stored image changed on failed persist: %d bytes, want %d unchanged", len(file), len(good))
+		}
+		// The old image still recovers in full.
+		j.Reset()
+		if n, err := c.RecoverLocal(p); err != nil || n != 8 {
+			t.Fatalf("recover from preserved image = %d, %v; want 8", n, err)
+		}
+	})
+}
+
+func TestVolatileApplyChunkedAbortOnShutdown(t *testing.T) {
+	// An error mid-stream (here: MDS shutdown) must abort the admitted
+	// merge job, not abandon it: an orphaned job would park the scheduler
+	// forever and pin the merge queue's congestion pricing for the rest
+	// of the run.
+	cfg := chunkedConfig(8)
+	cl := newClusterCfg(cfg)
+	c := cl.clientCfg("c0", cfg)
+	var applyErr error
+	cl.run(t, func(p *sim.Proc) {
+		decoupledWorkload(t, p, c, 100) // 102 events: 13 chunks
+		g := sim.NewGroup(cl.eng)
+		g.Go("apply", func(sp *sim.Proc) {
+			_, applyErr = c.VolatileApply(sp)
+		})
+		g.Go("kill", func(sp *sim.Proc) {
+			for cl.srv.Metrics().MergeChunks < 3 {
+				sp.Sleep(sim.Duration(100 * time.Microsecond))
+			}
+			cl.srv.Shutdown()
+		})
+		g.Wait(p)
+	})
+	if !errors.Is(applyErr, mds.ErrShutdown) {
+		t.Fatalf("apply against dying MDS = %v, want ErrShutdown", applyErr)
+	}
+	if got := cl.srv.MergeQueue(); got != 0 {
+		t.Errorf("merge queue after aborted merge = %d, want 0", got)
+	}
+}
+
+func TestConcurrentVolatileApplyDeterministicAndFair(t *testing.T) {
+	// Two decoupled clients merge into the same rank at the same time.
+	// The streamed scheduler must interleave them into one correct
+	// namespace, deterministically, and keep the max-chunk-wait spread
+	// between the (unequal) jobs within a few chunk services — the
+	// fairness the round-robin scheduler exists to provide.
+	const chunk = 16
+	const filesA, filesB = 64, 96
+
+	seed := func(p *sim.Proc, c *Client, path string, files int) error {
+		if _, err := c.MkdirAll(p, path, 0755); err != nil {
+			return err
+		}
+		if err := c.Decouple(p, path, decouplePolicy(policy.ConsWeak, policy.DurNone, 10000)); err != nil {
+			return err
+		}
+		root, _ := c.DecoupledRoot()
+		for i := 0; i < files; i++ {
+			if _, err := c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	runOnce := func(t *testing.T) *cluster {
+		t.Helper()
+		cfg := chunkedConfig(chunk)
+		cl := newClusterCfg(cfg)
+		a := cl.clientCfg("c0", cfg)
+		b := cl.clientCfg("c1", cfg)
+		var nA, nB int
+		var errA, errB error
+		cl.run(t, func(p *sim.Proc) {
+			if err := seed(p, a, "/jobA", filesA); err != nil {
+				t.Errorf("seed a: %v", err)
+				return
+			}
+			if err := seed(p, b, "/jobB", filesB); err != nil {
+				t.Errorf("seed b: %v", err)
+				return
+			}
+			g := sim.NewGroup(cl.eng)
+			g.Go("merge.a", func(sp *sim.Proc) { nA, errA = a.VolatileApply(sp) })
+			g.Go("merge.b", func(sp *sim.Proc) { nB, errB = b.VolatileApply(sp) })
+			g.Wait(p)
+		})
+		if errA != nil || nA != filesA {
+			t.Fatalf("merge a = %d, %v; want %d", nA, errA, filesA)
+		}
+		if errB != nil || nB != filesB {
+			t.Fatalf("merge b = %d, %v; want %d", nB, errB, filesB)
+		}
+		for _, name := range []string{fmt.Sprintf("/jobA/f%d", filesA-1), fmt.Sprintf("/jobB/f%d", filesB-1)} {
+			if _, err := cl.srv.Store().Resolve(name); err != nil {
+				t.Errorf("%s missing after concurrent merge: %v", name, err)
+			}
+		}
+		return cl
+	}
+
+	one := runOnce(t)
+	two := runOnce(t)
+	if !namespace.Equal(one.srv.Store(), two.srv.Store()) {
+		t.Error("concurrent merge namespace differs between identical runs")
+	}
+
+	spread, jobs := one.srv.MergeFairness()
+	if jobs != 2 {
+		t.Fatalf("fairness jobs = %d, want 2", jobs)
+	}
+	// The second open serializes behind the first on the rank's CPU, so
+	// the earlier job's chunks can buffer for up to one MDSMergeSetup
+	// before the scheduler gets the CPU back; past that, round-robin
+	// interleaving must keep the unequal jobs within a couple of chunk
+	// services of each other.
+	limit := sim.Duration(chunkedConfig(chunk).MDSMergeSetup) + sim.Duration(30*time.Millisecond)
+	if spread > limit {
+		t.Errorf("max chunk-wait spread = %v, want <= %v", spread, limit)
+	}
+	if one.srv.MergeQueue() != 0 {
+		t.Errorf("merge queue not drained: %d", one.srv.MergeQueue())
+	}
 }
 
 func TestNonvolatileApplyDeepAncestorChain(t *testing.T) {

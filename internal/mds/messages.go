@@ -81,6 +81,19 @@ type MergeWaitMsg struct {
 	Route string
 }
 
+// MergeAbortMsg abandons a streamed merge after a client-side error, so
+// the scheduler can retire the job and release its admission slot
+// instead of parking on it forever.
+type MergeAbortMsg struct {
+	ID    uint64
+	Route string
+}
+
+// MergeAbortReply answers a MergeAbortMsg.
+type MergeAbortReply struct {
+	Err error
+}
+
 // DecoupleMsg attaches a policy to a subtree and reserves its inode
 // grant (sent by the monitor on a client's behalf).
 type DecoupleMsg struct {
@@ -120,6 +133,8 @@ func RouteOf(msg any) string {
 	case *MergeChunkMsg:
 		return m.Route
 	case *MergeWaitMsg:
+		return m.Route
+	case *MergeAbortMsg:
 		return m.Route
 	case *DecoupleMsg:
 		return m.Path

@@ -1,6 +1,7 @@
 package mds
 
 import (
+	"errors"
 	"fmt"
 
 	"cudele/internal/namespace"
@@ -27,6 +28,7 @@ type mergeJob struct {
 	applied int
 	err     error
 	last    bool // final chunk has been received
+	aborted bool // client abandoned the stream; discard and retire
 	done    *sim.Signal
 	maxWait sim.Duration // longest any of this job's chunks sat buffered
 }
@@ -136,7 +138,17 @@ func (s *Server) mergeChunk(p *sim.Proc, m *MergeChunkMsg) *MergeChunkReply {
 	if m.Bytes > 0 {
 		s.obj.Net().Transfer(p, m.Bytes)
 	}
-	job.win.TryPush(p.Now(), m)
+	// The wire yield above may have let the stream abort or another
+	// sender fill the window: re-verify rather than assume the pre-check
+	// still holds. The chunk crossed the wire either way, so these
+	// rejections are not free like the pre-check one.
+	if job.aborted {
+		return &MergeChunkReply{Err: ErrMergeAborted}
+	}
+	if !job.win.TryPush(p.Now(), m) {
+		s.metrics.MergeBackpressure++
+		return &MergeChunkReply{Backpressure: true, Window: job.win.Len()}
+	}
 	s.metrics.MergeChunks++
 	s.merge.kick()
 	return &MergeChunkReply{Window: job.win.Len()}
@@ -156,6 +168,34 @@ func (s *Server) mergeWait(p *sim.Proc, m *MergeWaitMsg) *MergeReply {
 	job.done.Wait(p)
 	delete(ms.finished, m.ID)
 	return &MergeReply{Applied: job.applied, Err: job.err}
+}
+
+// ErrMergeAborted marks a streamed merge its client abandoned mid-stream.
+var ErrMergeAborted = errors.New("mds: merge aborted by client")
+
+// mergeAbort is the MergeAbortMsg handler: the client hit an error and is
+// abandoning the stream. The job is flagged; the scheduler proc discards
+// its buffered chunks and retires it, releasing the admission slot and
+// the merge-queue congestion share. It works on a stopped server too —
+// that is exactly when clients abort.
+func (s *Server) mergeAbort(p *sim.Proc, m *MergeAbortMsg) *MergeAbortReply {
+	p.Sleep(s.cfg.NetLatency)
+	ms := s.merge
+	if job := ms.find(m.ID); job != nil {
+		job.aborted = true
+		if job.err == nil {
+			job.err = ErrMergeAborted
+		}
+		ms.ensureRunning()
+		return &MergeAbortReply{}
+	}
+	if _, ok := ms.finished[m.ID]; ok {
+		// The merge drained before the abort arrived. The client is not
+		// going to send a MergeWaitMsg, so drop the completion record.
+		delete(ms.finished, m.ID)
+		return &MergeAbortReply{}
+	}
+	return &MergeAbortReply{Err: fmt.Errorf("mds: merge stream %d: %w", m.ID, namespace.ErrInval)}
 }
 
 // ensureRunning spawns the scheduler proc if it is not alive, or wakes
@@ -199,6 +239,7 @@ func (ms *mergeSched) pick() *mergeJob {
 func (ms *mergeSched) run(p *sim.Proc) {
 	s := ms.s
 	for {
+		ms.retireAborted(p)
 		job := ms.pick()
 		if job == nil {
 			if len(ms.jobs) == 0 {
@@ -242,8 +283,26 @@ func (ms *mergeSched) run(p *sim.Proc) {
 	}
 }
 
+// retireAborted discards and finishes jobs whose client abandoned the
+// stream, so their admission slots free up and the proc never parks on
+// chunks that will not come.
+func (ms *mergeSched) retireAborted(p *sim.Proc) {
+	for i := 0; i < len(ms.jobs); {
+		job := ms.jobs[i]
+		if !job.aborted {
+			i++
+			continue
+		}
+		for job.win.Len() > 0 {
+			job.win.Pop(p.Now())
+		}
+		ms.finish(job) // removes jobs[i]; re-examine the same index
+	}
+}
+
 // finish retires a drained job: release its admission slot, record its
-// fairness sample, and release the waiting client.
+// fairness sample, and release the waiting client. Aborted jobs are no
+// fairness sample and get no completion record — their client is gone.
 func (ms *mergeSched) finish(job *mergeJob) {
 	for i, j := range ms.jobs {
 		if j == job {
@@ -252,9 +311,12 @@ func (ms *mergeSched) finish(job *mergeJob) {
 		}
 	}
 	ms.s.mergeQueue--
+	job.done.Fire(nil)
+	if job.aborted {
+		return
+	}
 	ms.waits = append(ms.waits, job.maxWait)
 	ms.finished[job.id] = job
-	job.done.Fire(nil)
 }
 
 // MergeFairness reports the spread between the largest and smallest

@@ -185,6 +185,128 @@ func TestMergeStreamRoundRobinFairness(t *testing.T) {
 	}
 }
 
+func TestMergeStreamWindowRaceBackpressure(t *testing.T) {
+	// Two senders race chunks into a window of one. Both pass the free
+	// pre-check while the window is empty, then yield on the wire; only
+	// one buffer slot exists, so exactly one chunk may be accepted — the
+	// loser must get a backpressure reply, not a silent drop that the
+	// reply reports as acceptance.
+	cfg := model.Default()
+	cfg.MergeWindowChunks = 1
+	eng, s := newTestServerCfg(cfg)
+	run(t, eng, func(p *sim.Proc) {
+		open := s.mergeOpen(p, &MergeOpenMsg{Client: "a"})
+		if open.Err != nil || open.Backpressure {
+			t.Fatalf("open = %+v", open)
+		}
+		evs := streamEvents("a", 1<<41, 2)
+		var msgs [2]*MergeChunkMsg
+		var replies [2]*MergeChunkReply
+		for i := range msgs {
+			// Bytes 0 keeps both chunks off the shared fabric so they
+			// finish their wire yield at the same instant.
+			msgs[i] = &MergeChunkMsg{
+				StreamInfo: transport.StreamInfo{ID: open.ID, Seq: i, Items: 1},
+				Events:     evs[i : i+1],
+			}
+		}
+		g := sim.NewGroup(eng)
+		for i := range msgs {
+			i := i
+			g.Go(fmt.Sprintf("send%d", i), func(sp *sim.Proc) {
+				replies[i] = s.mergeChunk(sp, msgs[i])
+			})
+		}
+		g.Wait(p)
+		bounced := -1
+		for i, r := range replies {
+			if r.Err != nil {
+				t.Fatalf("chunk %d err = %v", i, r.Err)
+			}
+			if r.Backpressure {
+				if bounced != -1 {
+					t.Fatalf("both chunks backpressured")
+				}
+				bounced = i
+			}
+		}
+		if bounced == -1 {
+			t.Fatalf("no chunk backpressured; one was silently dropped")
+		}
+		// The loser retries until the window drains; nothing was lost.
+		for {
+			r := s.mergeChunk(p, msgs[bounced])
+			if r.Err != nil {
+				t.Fatalf("retry err = %v", r.Err)
+			}
+			if !r.Backpressure {
+				break
+			}
+			p.Sleep(sim.Duration(time.Millisecond))
+		}
+		last := chunkOf(open.ID, 2, streamEvents("a", 1<<42, 1), true)
+		for {
+			r := s.mergeChunk(p, last)
+			if r.Err != nil {
+				t.Fatalf("last chunk err = %v", r.Err)
+			}
+			if !r.Backpressure {
+				break
+			}
+			p.Sleep(sim.Duration(time.Millisecond))
+		}
+		if w := s.mergeWait(p, &MergeWaitMsg{ID: open.ID}); w.Err != nil || w.Applied != 3 {
+			t.Fatalf("wait = %+v, want 3 applied", w)
+		}
+	})
+}
+
+func TestMergeStreamAbortReleasesAdmission(t *testing.T) {
+	// A client that aborts mid-stream must not park the scheduler or pin
+	// its admission slot and merge-queue share for the rest of the run.
+	cfg := model.Default()
+	cfg.MergeAdmitMax = 1
+	eng, s := newTestServerCfg(cfg)
+	run(t, eng, func(p *sim.Proc) {
+		open := s.mergeOpen(p, &MergeOpenMsg{Client: "a"})
+		if open.Err != nil || open.Backpressure {
+			t.Fatalf("open = %+v", open)
+		}
+		// A buffered chunk that will never be followed by the last one.
+		if r := s.mergeChunk(p, chunkOf(open.ID, 0, streamEvents("a", 1<<41, 4), false)); r.Err != nil || r.Backpressure {
+			t.Fatalf("chunk = %+v", r)
+		}
+		if r := s.mergeAbort(p, &MergeAbortMsg{ID: open.ID}); r.Err != nil {
+			t.Fatalf("abort = %v", r.Err)
+		}
+		p.Sleep(sim.Duration(10 * time.Millisecond)) // let the scheduler retire the job
+		if got := s.MergeQueue(); got != 0 {
+			t.Errorf("merge queue after abort = %d, want 0", got)
+		}
+		// The admission slot is free again and the stream id is gone.
+		open2 := s.mergeOpen(p, &MergeOpenMsg{Client: "b"})
+		if open2.Err != nil || open2.Backpressure {
+			t.Fatalf("open after abort = %+v", open2)
+		}
+		if r := s.mergeChunk(p, chunkOf(open2.ID, 0, streamEvents("b", 1<<42, 2), true)); r.Err != nil || r.Backpressure {
+			t.Fatalf("chunk after abort = %+v", r)
+		}
+		if w := s.mergeWait(p, &MergeWaitMsg{ID: open2.ID}); w.Err != nil || w.Applied != 2 {
+			t.Fatalf("wait after abort = %+v", w)
+		}
+		if w := s.mergeWait(p, &MergeWaitMsg{ID: open.ID}); !errors.Is(w.Err, namespace.ErrInval) {
+			t.Errorf("wait on aborted stream = %v, want ErrInval", w.Err)
+		}
+		if r := s.mergeAbort(p, &MergeAbortMsg{ID: open.ID}); !errors.Is(r.Err, namespace.ErrInval) {
+			t.Errorf("double abort = %v, want ErrInval", r.Err)
+		}
+	})
+	// The aborted job is not a fairness sample; only the completed merge is.
+	if _, jobs := s.MergeFairness(); jobs != 1 {
+		t.Errorf("fairness jobs = %d, want 1", jobs)
+	}
+}
+
 func TestMergeStreamUnknownID(t *testing.T) {
 	eng, s := newTestServerCfg(model.Default())
 	run(t, eng, func(p *sim.Proc) {

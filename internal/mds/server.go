@@ -202,6 +202,8 @@ func msgLabel(msg any) string {
 		return "merge.chunk"
 	case *MergeWaitMsg:
 		return "merge.wait"
+	case *MergeAbortMsg:
+		return "merge.abort"
 	case *DecoupleMsg:
 		return "decouple"
 	case *RecoupleMsg:
@@ -251,6 +253,8 @@ func (s *Server) handle(p *sim.Proc, msg any) any {
 		return s.mergeChunk(p, m)
 	case *MergeWaitMsg:
 		return s.mergeWait(p, m)
+	case *MergeAbortMsg:
+		return s.mergeAbort(p, m)
 	case *DecoupleMsg:
 		lo, n, err := s.decouple(p, m.Path, m.Policy, m.Client)
 		return &DecoupleReply{Lo: lo, N: n, Err: err}
