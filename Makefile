@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-seq fuzz-short ci
+.PHONY: all build test race vet fmt-check bench bench-seq fuzz-short chaos ci
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# test is the tier-1 gate: vet runs first so an unsound change fails
+# before any suite does.
+test: vet
 	$(GO) test ./...
 
 race:
@@ -31,9 +33,17 @@ bench:
 bench-seq:
 	$(GO) run ./cmd/cudele-bench -scale 0.05 -parallel 1 -json -outdir results all
 
-# fuzz-short runs the journal decoder fuzzer for a bounded burst — long
-# enough to hit mutated corpus inputs, short enough for CI.
+# fuzz-short runs the journal fuzzers for a bounded burst — long enough
+# to hit mutated corpus inputs, short enough for CI.
 fuzz-short:
 	$(GO) test ./internal/journal -run='^FuzzDecode$$' -fuzz=FuzzDecode -fuzztime=10s
+	$(GO) test ./internal/journal -run='^FuzzCursorExport$$' -fuzz=FuzzCursorExport -fuzztime=10s
+
+# chaos runs the seeded fault-injection harness — 64 consecutive seeds
+# cover every cell of the consistency x durability matrix several times —
+# with the race detector on. A failing seed prints its fault plan and
+# reproduces exactly with: go run ./cmd/cudele-bench -chaos-replay SEED
+chaos:
+	$(GO) run -race ./cmd/cudele-bench -chaos 64 -seed 1
 
 ci: fmt-check vet build test

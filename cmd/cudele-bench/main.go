@@ -23,6 +23,13 @@
 // writes a Prometheus text dump of every daemon's counters, histograms,
 // and device utilizations, one `run` label per simulation. Observation is
 // passive: tables are byte-identical with these flags on or off.
+//
+// -chaos N runs N seeded fault-injection schedules (starting at -seed,
+// cycling through all nine consistency x durability cells) against the
+// policy-contract checker instead of the experiments, and exits non-zero
+// if any schedule violates its contract. A failing seed reproduces
+// exactly with -chaos-replay SEED, which runs that one schedule and
+// prints its fault plan.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"cudele/internal/bench"
+	"cudele/internal/chaos"
 )
 
 // benchJSON is the schema of a BENCH_<id>.json baseline file.
@@ -61,7 +69,16 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every simulation run to this file")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text dump of every run's daemon metrics to this file")
+	chaosN := flag.Int("chaos", 0, "run N fault-injection schedules (seeds -seed..-seed+N-1) instead of experiments")
+	chaosReplay := flag.Int64("chaos-replay", 0, "replay one fault-injection schedule by seed and print its plan")
 	flag.Parse()
+
+	if *chaosReplay != 0 {
+		os.Exit(runChaos(chaos.Seeds(*chaosReplay, 1), 1, true))
+	}
+	if *chaosN > 0 {
+		os.Exit(runChaos(chaos.Seeds(*seed, *chaosN), *parallel, false))
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {
@@ -137,6 +154,22 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// runChaos executes the fault-injection schedules and reports verdicts.
+// With verbose set (replay mode) the plan prints even on success, so a
+// passing replay still shows what was exercised.
+func runChaos(seeds []int64, workers int, verbose bool) int {
+	results := chaos.RunMany(seeds, workers)
+	if verbose {
+		for _, r := range results {
+			fmt.Printf("%s\n\n", r.PlanText)
+		}
+	}
+	if failed := chaos.Report(os.Stdout, results); failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // writeSink streams one sink export into path.

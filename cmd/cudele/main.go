@@ -45,16 +45,44 @@ import (
 	"cudele/internal/namespace"
 )
 
+// options is the parsed command line.
+type options struct {
+	seed        int64
+	ranks       int
+	tracePath   string
+	metricsPath string
+	scripts     []string
+}
+
+// parseFlags parses argv (without the program name) into options.
+func parseFlags(argv []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("cudele", flag.ContinueOnError)
+	fs.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&o.ranks, "ranks", 1, "metadata ranks")
+	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the session to this file")
+	fs.StringVar(&o.metricsPath, "metrics", "", "write a Prometheus text dump of daemon metrics to this file")
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
+	if o.ranks < 1 {
+		return nil, fmt.Errorf("-ranks must be at least 1, got %d", o.ranks)
+	}
+	o.scripts = fs.Args()
+	return o, nil
+}
+
 func main() {
-	seed := flag.Int64("seed", 1, "simulation seed")
-	ranks := flag.Int("ranks", 1, "metadata ranks")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the session to this file")
-	metricsPath := flag.String("metrics", "", "write a Prometheus text dump of daemon metrics to this file")
-	flag.Parse()
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	seed, ranks := &opts.seed, &opts.ranks
+	tracePath, metricsPath := &opts.tracePath, &opts.metricsPath
 
 	var in io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	if len(opts.scripts) > 0 {
+		f, err := os.Open(opts.scripts[0])
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cudele: %v\n", err)
 			os.Exit(1)

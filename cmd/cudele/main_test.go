@@ -1,11 +1,96 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 
 	"cudele"
 )
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	os.Stdout = old
+	return out
+}
+
+// TestGoldenSession replays testdata/session.txt against a fresh cluster
+// and compares the full transcript byte-for-byte with the committed
+// golden file. The simulation is deterministic, so any drift in inode
+// numbering, policy compilation, merge counts, or virtual time shows up
+// here first.
+func TestGoldenSession(t *testing.T) {
+	script, err := os.Open("testdata/session.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer script.Close()
+	lines, err := readLines(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/session.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureStdout(t, func() {
+		cl := cudele.NewCluster()
+		c := cl.NewClient("client.0")
+		cl.Run(func(p *cudele.Proc) {
+			for _, line := range lines {
+				if err := execute(cl, c, p, line); err != nil {
+					t.Errorf("execute %q: %v", line, err)
+				}
+			}
+		})
+	})
+	if got != string(want) {
+		t.Errorf("session transcript drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestParseFlags smoke-tests the command line surface.
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil || o.seed != 1 || o.ranks != 1 || len(o.scripts) != 0 {
+		t.Fatalf("defaults = %+v, %v", o, err)
+	}
+	o, err = parseFlags([]string{"-seed", "7", "-ranks", "2", "-trace", "t.json", "-metrics", "m.prom", "script.txt"})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if o.seed != 7 || o.ranks != 2 || o.tracePath != "t.json" ||
+		o.metricsPath != "m.prom" || len(o.scripts) != 1 || o.scripts[0] != "script.txt" {
+		t.Fatalf("parsed = %+v", o)
+	}
+	for _, bad := range [][]string{
+		{"-seed", "many"}, // non-integer seed
+		{"-ranks", "0"},   // no ranks at all
+		{"-bogus"},        // unknown flag
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) accepted", bad)
+		}
+	}
+}
 
 func TestPoliciesText(t *testing.T) {
 	text, err := policiesText([]string{"consistency=weak", "durability=local", "inodes=500", "interfere=block"})

@@ -1,10 +1,60 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 )
+
+// TestGoldenSession runs the full tool workflow — demo, inspect, dump,
+// roundtrip, erase, inspect, dump — and compares the combined stdout
+// byte-for-byte against the committed golden transcript. The demo
+// journal is fixed, so any change to the binary format, the inspect
+// summary, or the dump rendering shows up here.
+func TestGoldenSession(t *testing.T) {
+	want, err := os.ReadFile("testdata/session.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "demo.journal")
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	for _, step := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"demo", func() error { return demo(path) }},
+		{"inspect", func() error { return inspect(path) }},
+		{"dump", func() error { return dump(path) }},
+		{"roundtrip", func() error { return roundtrip(path) }},
+		{"erase", func() error { return erase(path, "2", "3") }},
+		{"inspect", func() error { return inspect(path) }},
+		{"dump", func() error { return dump(path) }},
+	} {
+		if err := step.fn(); err != nil {
+			os.Stdout = old
+			t.Fatalf("%s: %v", step.name, err)
+		}
+	}
+	w.Close()
+	got := <-done
+	os.Stdout = old
+	if got != string(want) {
+		t.Errorf("transcript drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
 
 func TestDemoInspectDumpEraseRoundtrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "demo.journal")

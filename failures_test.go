@@ -1,182 +1,300 @@
 package cudele_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
 	"cudele"
-	"cudele/internal/namespace"
+	"cudele/internal/client"
+	"cudele/internal/policy"
+	"cudele/internal/rados"
 )
 
-// These tests exercise the failure semantics that define the durability
-// spectrum (paper §II-A): "none" loses updates on any failure, "local"
-// survives if the client node recovers, "global" survives anything.
-
-// crashClient simulates a client node crash: the mounted session ends and
-// all volatile state (the in-memory journal) is gone. The client-local
-// disk survives, as it would on a real node.
-func crashClient(c *cudele.Client) {
-	c.Unmount()
-	if j, err := c.Journal(); err == nil {
-		j.Reset()
+// TestFailureMatrix exercises every cell of the paper's consistency x
+// durability matrix (Table I) under three failure scenarios, asserting
+// the contract each policy makes:
+//
+//	DurNone    may lose everything on any failure; nothing may leak
+//	DurLocal   acked local persists survive a client crash + restart
+//	DurGlobal  acked global persists (or journal flushes) survive any crash
+//	ConsInvisible / ConsWeak   updates never visible before a merge
+//	ConsStrong                 acked updates visible immediately
+//
+// The randomized version of this matrix — with torn writes, transport
+// faults, and crash schedules — lives in internal/chaos; these are the
+// deterministic, human-readable anchors.
+func TestFailureMatrix(t *testing.T) {
+	consistencies := []policy.Consistency{
+		cudele.ConsInvisible, cudele.ConsWeak, cudele.ConsStrong,
+	}
+	durabilities := []policy.Durability{
+		cudele.DurNone, cudele.DurLocal, cudele.DurGlobal,
+	}
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T, cons policy.Consistency, dur policy.Durability)
+	}{
+		{"client-crash", matrixClientCrash},
+		{"mds-crash", matrixMDSCrash},
+		{"crash-during-global-persist", matrixCrashDuringGlobalPersist},
+	}
+	for _, cons := range consistencies {
+		for _, dur := range durabilities {
+			for _, sc := range scenarios {
+				sc := sc
+				cons, dur := cons, dur
+				t.Run(fmt.Sprintf("%v-%v/%s", cons, dur, sc.name), func(t *testing.T) {
+					sc.run(t, cons, dur)
+				})
+			}
+		}
 	}
 }
 
-func TestDurabilityNoneLosesUpdatesOnCrash(t *testing.T) {
-	cl := cudele.NewCluster()
-	c := cl.NewClient("c0")
-	cl.Run(func(p *cudele.Proc) {
-		c.MkdirAll(p, "/job", 0755)
-		cl.DecouplePolicy(p, c, "/job", &cudele.Policy{
-			Consistency: cudele.ConsInvisible, Durability: cudele.DurNone,
-			AllocatedInodes: 100,
-		})
-		root, _ := c.DecoupledRoot()
-		for i := 0; i < 20; i++ {
-			c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644)
+const matrixFiles = 20
+
+// setupDecoupled builds a cluster with /job decoupled under the given
+// policy, 20 files created into the client journal, and asserts the
+// consistency half of the contract: nothing is visible before a merge.
+func setupDecoupled(t *testing.T, p *cudele.Proc, cl *cudele.Cluster, c *cudele.Client,
+	cons policy.Consistency, dur policy.Durability) (*cudele.Entry, *cudele.Policy) {
+	t.Helper()
+	if _, err := c.MkdirAll(p, "/job", 0755); err != nil {
+		t.Fatalf("mkdir /job: %v", err)
+	}
+	if err := cl.MDS().SaveStore(p); err != nil {
+		t.Fatalf("save store: %v", err)
+	}
+	pol := &cudele.Policy{Consistency: cons, Durability: dur, AllocatedInodes: 100}
+	entry, err := cl.DecouplePolicy(p, c, "/job", pol)
+	if err != nil {
+		t.Fatalf("decouple: %v", err)
+	}
+	root, _ := c.DecoupledRoot()
+	for i := 0; i < matrixFiles; i++ {
+		if _, err := c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644); err != nil {
+			t.Fatalf("local create f%d: %v", i, err)
 		}
-		crashClient(c)
-		// Nothing to recover from: the computation must be redone
-		// (the paper's checkpoint-restart disaster scenario).
-		if _, err := c.RecoverLocal(p); err == nil {
-			t.Error("recovered a journal that was never persisted")
-		}
-		if _, err := cl.MDS().Store().Resolve("/job/f0"); err == nil {
-			t.Error("updates leaked into the global namespace")
-		}
-	})
+	}
+	if _, err := cl.MDS().Store().Resolve("/job/f0"); err == nil {
+		t.Fatal("decoupled update visible before merge")
+	}
+	return entry, pol
 }
 
-func TestDurabilityLocalSurvivesClientRecovery(t *testing.T) {
+// assertAllVisible checks every created file resolves in the MDS store.
+func assertAllVisible(t *testing.T, cl *cudele.Cluster, why string) {
+	t.Helper()
+	for i := 0; i < matrixFiles; i++ {
+		if _, err := cl.MDS().Store().Resolve(fmt.Sprintf("/job/f%d", i)); err != nil {
+			t.Fatalf("f%d lost %s: %v", i, why, err)
+		}
+	}
+}
+
+// matrixClientCrash: the client node crashes after its acks. What
+// survives is exactly what the durability level promised.
+func matrixClientCrash(t *testing.T, cons policy.Consistency, dur policy.Durability) {
 	cl := cudele.NewCluster()
 	c := cl.NewClient("c0")
-	cl.Run(func(p *cudele.Proc) {
-		c.MkdirAll(p, "/job", 0755)
-		cl.DecouplePolicy(p, c, "/job", &cudele.Policy{
-			Consistency: cudele.ConsWeak, Durability: cudele.DurLocal,
-			AllocatedInodes: 100,
-		})
-		root, _ := c.DecoupledRoot()
-		for i := 0; i < 20; i++ {
-			c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644)
-		}
-		if err := c.LocalPersist(p); err != nil {
-			t.Fatalf("persist: %v", err)
-		}
-		crashClient(c)
-
-		// The node comes back: remount, reload the journal from local
-		// disk, and merge.
-		c.Mount()
-		n, err := c.RecoverLocal(p)
-		if err != nil || n != 20 {
-			t.Fatalf("recover = %d, %v", n, err)
-		}
-		if _, err := c.VolatileApply(p); err != nil {
-			t.Fatalf("merge after recovery: %v", err)
-		}
-		for i := 0; i < 20; i++ {
-			if _, err := cl.MDS().Store().Resolve(fmt.Sprintf("/job/f%d", i)); err != nil {
-				t.Fatalf("f%d lost despite local durability: %v", i, err)
+	if cons == cudele.ConsStrong {
+		// Strong updates are at the MDS when acked: a client crash
+		// loses nothing regardless of durability level.
+		cl.Run(func(p *cudele.Proc) {
+			dir, _ := c.MkdirAll(p, "/job", 0755)
+			for i := 0; i < matrixFiles; i++ {
+				if _, err := c.Create(p, dir, fmt.Sprintf("f%d", i), 0644); err != nil {
+					t.Fatalf("create f%d: %v", i, err)
+				}
 			}
-		}
-	})
-}
-
-func TestDurabilityGlobalSurvivesClientStayingDown(t *testing.T) {
-	// With global durability, even a client that never comes back loses
-	// nothing: any other node can fetch the journal from the object
-	// store and merge it.
-	cl := cudele.NewCluster()
-	c := cl.NewClient("c0")
+			assertAllVisible(t, cl, "before the crash (strong = immediately visible)")
+			c.Crash()
+			if err := c.Restart(p); err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			assertAllVisible(t, cl, "after a client crash")
+		})
+		return
+	}
 	rescuer := cl.NewClient("rescue")
 	cl.Run(func(p *cudele.Proc) {
-		c.MkdirAll(p, "/job", 0755)
-		cl.DecouplePolicy(p, c, "/job", &cudele.Policy{
-			Consistency: cudele.ConsInvisible, Durability: cudele.DurGlobal,
-			AllocatedInodes: 100,
-		})
-		root, _ := c.DecoupledRoot()
-		for i := 0; i < 20; i++ {
-			c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644)
-		}
-		if err := c.GlobalPersist(p); err != nil {
-			t.Fatalf("global persist: %v", err)
-		}
-		crashClient(c) // stays down forever
-
-		events, err := rescuer.FetchGlobalJournal(p, "c0")
-		if err != nil || len(events) != 20 {
-			t.Fatalf("fetch = %d events, %v", len(events), err)
-		}
-		if _, err := cl.MDS().VolatileApply(p, events, int64(len(events))*2500); err != nil {
-			t.Fatalf("rescue merge: %v", err)
-		}
-		for i := 0; i < 20; i++ {
-			if _, err := cl.MDS().Store().Resolve(fmt.Sprintf("/job/f%d", i)); err != nil {
-				t.Fatalf("f%d lost despite global durability: %v", i, err)
+		setupDecoupled(t, p, cl, c, cons, dur)
+		switch dur {
+		case cudele.DurNone:
+			// Never persisted: the crash destroys the journal, recovery
+			// has nothing to load, and nothing may have leaked.
+			c.Crash()
+			if err := c.Restart(p); err != nil {
+				t.Fatalf("restart: %v", err)
 			}
+			if _, err := c.RecoverLocal(p); err == nil {
+				t.Error("recovered a journal that was never persisted")
+			}
+			if _, err := cl.MDS().Store().Resolve("/job/f0"); err == nil {
+				t.Error("lost updates leaked into the global namespace")
+			}
+		case cudele.DurLocal:
+			// Acked local persist: the node's disk survives its crash,
+			// so recover + merge restores everything.
+			if err := c.LocalPersist(p); err != nil {
+				t.Fatalf("local persist: %v", err)
+			}
+			c.Crash()
+			if err := c.Restart(p); err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			n, err := c.RecoverLocal(p)
+			if err != nil || n != matrixFiles {
+				t.Fatalf("recover = %d, %v; want %d", n, err, matrixFiles)
+			}
+			if _, err := c.VolatileApply(p); err != nil {
+				t.Fatalf("merge after recovery: %v", err)
+			}
+			assertAllVisible(t, cl, "despite local durability")
+		case cudele.DurGlobal:
+			// Acked global persist: even a client that never comes back
+			// loses nothing — any node can fetch and merge.
+			if err := c.GlobalPersist(p); err != nil {
+				t.Fatalf("global persist: %v", err)
+			}
+			c.Crash() // stays down forever
+			events, err := rescuer.FetchGlobalJournal(p, "c0")
+			if err != nil || len(events) != matrixFiles {
+				t.Fatalf("fetch = %d events, %v; want %d", len(events), err, matrixFiles)
+			}
+			if _, err := cl.MDS().VolatileApply(p, events, int64(len(events))*2500); err != nil {
+				t.Fatalf("rescue merge: %v", err)
+			}
+			assertAllVisible(t, cl, "despite global durability")
 		}
 	})
 }
 
-func TestMDSCrashRecoveryWithStream(t *testing.T) {
-	// Stream gives the POSIX subtree global durability: after an MDS
-	// crash, flushed directory objects plus streamed journal segments
-	// reconstruct everything.
+// matrixMDSCrash: the metadata server crashes and restarts.
+func matrixMDSCrash(t *testing.T, cons policy.Consistency, dur policy.Durability) {
 	cl := cudele.NewCluster()
-	cl.MDS().SetStream(true)
+	if cons == cudele.ConsStrong && dur == cudele.DurGlobal {
+		// Strong + global = RPCs + Stream (Table I): journaled updates
+		// survive the MDS crash once flushed.
+		cl.MDS().SetStream(true)
+	}
 	c := cl.NewClient("c0")
-	var before *namespace.Store
+	if cons == cudele.ConsStrong {
+		cl.Run(func(p *cudele.Proc) {
+			dir, _ := c.MkdirAll(p, "/job", 0755)
+			if err := cl.MDS().SaveStore(p); err != nil {
+				t.Fatalf("save store: %v", err)
+			}
+			for i := 0; i < matrixFiles; i++ {
+				if _, err := c.Create(p, dir, fmt.Sprintf("f%d", i), 0644); err != nil {
+					t.Fatalf("create f%d: %v", i, err)
+				}
+			}
+			if dur == cudele.DurGlobal {
+				cl.MDS().FlushJournal(p)
+			}
+			cl.MDS().Crash()
+			if err := cl.MDS().Restart(p); err != nil {
+				t.Fatalf("mds restart: %v", err)
+			}
+			c.Unmount()
+			c.Mount()
+			if dur == cudele.DurGlobal {
+				assertAllVisible(t, cl, "after an MDS crash despite a journal flush")
+			} else {
+				// Without the stream, updates past the last store flush
+				// are volatile MDS state: the crash loses them.
+				if _, err := cl.MDS().Store().Resolve("/job"); err != nil {
+					t.Fatalf("saved directory lost: %v", err)
+				}
+				if _, err := cl.MDS().Store().Resolve("/job/f0"); err == nil {
+					t.Error("unflushed strong update survived an MDS crash without a journal")
+				}
+			}
+		})
+		return
+	}
 	cl.Run(func(p *cudele.Proc) {
-		dir, _ := c.MkdirAll(p, "/posix/data", 0755)
-		for i := 0; i < 50; i++ {
-			c.Create(p, dir, fmt.Sprintf("f%d", i), 0644)
+		entry, pol := setupDecoupled(t, p, cl, c, cons, dur)
+		// The unmerged journal lives on the client, so an MDS crash
+		// cannot touch it — at any durability level. After the MDS
+		// recovers and the registration is replayed, the merge lands.
+		cl.MDS().Crash()
+		if err := cl.MDS().Restart(p); err != nil {
+			t.Fatalf("mds restart: %v", err)
 		}
-		cl.MDS().SaveStore(p)
-		// More updates after the flush live only in the stream.
-		for i := 50; i < 80; i++ {
-			c.Create(p, dir, fmt.Sprintf("f%d", i), 0644)
+		lo, _, err := cl.MDS().Decouple(p, "/job", pol, "c0")
+		if err != nil {
+			t.Fatalf("re-register: %v", err)
 		}
-		cl.MDS().FlushJournal(p)
-		before = cl.MDS().Store()
-
-		// Crash + restart: the in-memory store is rebuilt from RADOS.
-		if err := cl.MDS().Recover(p); err != nil {
-			t.Fatalf("recover: %v", err)
+		if lo != entry.GrantLo {
+			t.Fatalf("re-registration moved the grant: %d != %d", lo, entry.GrantLo)
 		}
+		c.Unmount()
+		c.Mount()
+		n, err := c.VolatileApply(p)
+		if err != nil || n != matrixFiles {
+			t.Fatalf("merge after MDS recovery = %d, %v; want %d", n, err, matrixFiles)
+		}
+		assertAllVisible(t, cl, "after an MDS crash (journal was client-held)")
 	})
-	if cl.MDS().Store() == before {
-		t.Fatal("recover did not rebuild the store")
-	}
-	for i := 0; i < 80; i++ {
-		if _, err := cl.MDS().Store().Resolve(fmt.Sprintf("/posix/data/f%d", i)); err != nil {
-			t.Fatalf("f%d missing after MDS recovery: %v", i, err)
-		}
-	}
 }
 
-func TestMDSCrashWithoutStreamLosesTail(t *testing.T) {
-	// The control: with Stream off, updates after the last flush are
-	// lost on an MDS crash — exactly what "durability: none" means for
-	// the strong-consistency column.
-	cl := cudele.NewCluster()
-	c := cl.NewClient("c0")
-	cl.Run(func(p *cudele.Proc) {
-		dir, _ := c.MkdirAll(p, "/posix", 0755)
-		c.Create(p, dir, "flushed", 0644)
-		cl.MDS().SaveStore(p)
-		c.Create(p, dir, "volatile", 0644)
-		if err := cl.MDS().Recover(p); err != nil {
-			t.Fatalf("recover: %v", err)
-		}
-		if _, err := cl.MDS().Store().Resolve("/posix/flushed"); err != nil {
-			t.Errorf("flushed file lost: %v", err)
-		}
-		if _, err := cl.MDS().Store().Resolve("/posix/volatile"); err == nil {
-			t.Error("unflushed update survived an MDS crash with no journal")
-		}
-	})
+// matrixCrashDuringGlobalPersist: the object store fails (cleanly, then
+// torn) in the middle of a Global Persist. The failed persist must
+// surface an error — the ack is the durability point — and a retry on a
+// fault-free store completes the contract.
+func matrixCrashDuringGlobalPersist(t *testing.T, cons policy.Consistency, dur policy.Durability) {
+	if dur != cudele.DurGlobal {
+		t.Skipf("global persist is not part of the %v composition", dur)
+	}
+	if cons == cudele.ConsStrong {
+		t.Skip("strong cells persist via the MDS journal stream, not Global Persist")
+	}
+	for _, mode := range []struct {
+		name string
+		arm  func(inj *rados.FaultInjector)
+	}{
+		{"clean-error", func(inj *rados.FaultInjector) { inj.WriteErrorProb = 1 }},
+		{"torn-write", func(inj *rados.FaultInjector) { inj.TornWriteProb = 1 }},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			cl := cudele.NewCluster()
+			c := cl.NewClient("c0")
+			rescuer := cl.NewClient("rescue")
+			cl.Run(func(p *cudele.Proc) {
+				setupDecoupled(t, p, cl, c, cons, dur)
+				inj := rados.NewFaultInjector(7)
+				inj.MaxFaults = 1
+				inj.Match = func(oid rados.ObjectID) bool {
+					return oid.Pool == client.ClientJournalPool
+				}
+				mode.arm(inj)
+				cl.Objects().SetFaults(inj)
+				err := c.GlobalPersist(p)
+				if !errors.Is(err, rados.ErrIO) {
+					t.Fatalf("persist into a failing store = %v; want an injected I/O error", err)
+				}
+				// No ack, no durability claim — but a retry once the
+				// store heals (MaxFaults exhausted) must succeed and
+				// fully overwrite any torn leftovers.
+				if err := c.GlobalPersist(p); err != nil {
+					t.Fatalf("persist retry: %v", err)
+				}
+				c.Crash() // stays down forever
+				events, err := rescuer.FetchGlobalJournal(p, "c0")
+				if err != nil || len(events) != matrixFiles {
+					t.Fatalf("fetch = %d events, %v; want %d", len(events), err, matrixFiles)
+				}
+				if _, err := cl.MDS().VolatileApply(p, events, int64(len(events))*2500); err != nil {
+					t.Fatalf("rescue merge: %v", err)
+				}
+				assertAllVisible(t, cl, "despite a failed persist attempt")
+			})
+		})
+	}
 }
 
 func TestInterfererCannotDestroyDecoupledResults(t *testing.T) {

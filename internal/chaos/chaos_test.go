@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmoke runs a batch of consecutive seeds — cycling through all nine
+// policy cells — and fails with the full report (fault plans, violations,
+// replay commands) if any schedule breaks its contract. CI runs a larger
+// batch through cudele-bench; this keeps `go test` self-contained.
+func TestSmoke(t *testing.T) {
+	n := 90
+	if testing.Short() {
+		n = 18
+	}
+	results := RunMany(Seeds(1, n), 0)
+	var buf bytes.Buffer
+	if failed := Report(&buf, results); failed > 0 {
+		t.Errorf("%d schedules failed:\n%s", failed, buf.String())
+	}
+}
+
+// TestDeterministicAcrossWorkers asserts the harness's core reproduction
+// promise: the same seeds yield a byte-identical report at any worker
+// count, so a CI failure replays exactly on a laptop.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	seeds := Seeds(1, 27)
+	var reports []string
+	for _, w := range []int{1, 4, 16} {
+		var buf bytes.Buffer
+		Report(&buf, RunMany(seeds, w))
+		reports = append(reports, buf.String())
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("report differs between 1 worker and %d workers", []int{1, 4, 16}[i])
+		}
+	}
+}
+
+// TestPlanDeterministic asserts a plan is a pure function of its seed —
+// the property that makes -chaos-replay trustworthy.
+func TestPlanDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, 7, 42, 1 << 40} {
+		a, b := NewPlan(seed), NewPlan(seed)
+		if a.String() != b.String() {
+			t.Errorf("seed %d: plan not deterministic:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestSeedsCoverMatrix asserts nine consecutive seeds hit all nine cells
+// of the consistency x durability matrix.
+func TestSeedsCoverMatrix(t *testing.T) {
+	cells := make(map[string]bool)
+	for _, seed := range Seeds(1, 9) {
+		cells[NewPlan(seed).Cell()] = true
+	}
+	if len(cells) != 9 {
+		t.Errorf("9 consecutive seeds cover %d cells, want 9: %v", len(cells), cells)
+	}
+}
+
+// TestReportFailureBlock asserts a failing result reprints its plan and
+// the replay command, which is what turns a CI red into a local repro.
+func TestReportFailureBlock(t *testing.T) {
+	r := Result{
+		Seed:       99,
+		Cell:       "weak/global",
+		Violations: []string{"example violation"},
+		PlanText:   NewPlan(99).String(),
+	}
+	var buf bytes.Buffer
+	if failed := Report(&buf, []Result{r}); failed != 1 {
+		t.Fatalf("Report returned %d failures, want 1", failed)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"seed 99 FAILED",
+		"violation: example violation",
+		"reproduce: cudele-bench -chaos-replay 99",
+		"fault plan:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

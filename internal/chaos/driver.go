@@ -1,0 +1,773 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cudele"
+	"cudele/internal/client"
+	"cudele/internal/mds"
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/rados"
+	"cudele/internal/sim"
+	"cudele/internal/transport"
+)
+
+// Workload subtrees. Both are created and made durable (SaveStore)
+// before any fault can fire, so recovery always has roots to attach to.
+const (
+	mainPath = "/chaos/main"
+	bgPath   = "/chaos/bg"
+)
+
+// chaosGrant is the decoupled inode grant: large enough that no
+// schedule exhausts it, explicit so the budget invariant is exact.
+const chaosGrant = 4096
+
+// parentRef is a directory the workload may create into.
+type parentRef struct {
+	ino  namespace.Ino
+	path string
+}
+
+// registration remembers one subtree registration so an MDS
+// crash+restart can re-attach it and assert the grant is identical
+// (re-attach order determines the grant, so replaying registrations in
+// original order must reproduce it exactly).
+type registration struct {
+	path  string
+	pol   *policy.Policy
+	owner string
+	lo    namespace.Ino
+	n     uint64
+}
+
+// maxParents caps how many directories the workload creates into, so
+// candidate sets stay small and journals stay self-contained without
+// deep nesting.
+const maxParents = 6
+
+// driver runs one chaos schedule: setup, the random-op workload with
+// crash faults quantized to op boundaries, background merge load, and
+// the final contract verification.
+type driver struct {
+	plan *Plan
+	cl   *cudele.Cluster
+	srv  *mds.Server
+	c    *cudele.Client
+	bg   *cudele.Client
+	rng  *rand.Rand
+	o    *oracle
+	res  Result
+
+	inj     *rados.FaultInjector
+	regs    []registration
+	cands   []parentRef // decoupled-journal parents: root + current-journal mkdirs
+	scands  []parentRef // strong (RPC) parents: root + post-crash mkdirs
+	nameSeq int
+	bgSeq   int
+	bgRoot  namespace.Ino
+	bgSet   map[string]uint64 // background client's acked updates
+
+	pending    []sim.Fault // faults waiting for the next op boundary
+	bgDone     *sim.Signal
+	mdsCrashed bool
+
+	// seenIno is every inode number ever acked, by path — the
+	// no-duplicate-inodes invariant. A crash must never make a client or
+	// MDS hand out an inode a second time: the first copy may be durable
+	// in a persisted journal, so reissue silently aliases two files.
+	seenIno map[uint64]string
+}
+
+func newDriver(plan *Plan) *driver {
+	cfg := cudele.DefaultConfig()
+	if plan.Chunked {
+		cfg.MergeChunkEvents = 8
+		cfg.MergeWindowChunks = 2
+		cfg.MergeAdmitMax = 2
+	}
+	cl := cudele.NewCluster(cudele.WithSeed(plan.Seed), cudele.WithConfig(cfg))
+	d := &driver{
+		plan:    plan,
+		cl:      cl,
+		srv:     cl.MDS(),
+		c:       cl.NewClient("chaos-main"),
+		rng:     rand.New(rand.NewSource(plan.Seed ^ 0x6368616f73)), // decorrelated from plan generation
+		o:       newOracle(),
+		bgSet:   make(map[string]uint64),
+		seenIno: make(map[uint64]string),
+		res: Result{
+			Seed:     plan.Seed,
+			Cell:     plan.Cell(),
+			Ops:      plan.Ops,
+			PlanText: plan.String(),
+		},
+	}
+	if plan.Background {
+		d.bg = cl.NewClient("chaos-bg")
+	}
+	return d
+}
+
+func (d *driver) run() Result {
+	d.cl.Go("chaos.main", d.main)
+	d.res.VirtualSec = d.cl.RunAll()
+	if d.inj != nil {
+		d.res.WriteFaults = d.inj.Fired()
+	}
+	if err := d.cl.Engine().LeakCheck(); err != nil {
+		d.violate("%v", err)
+	}
+	d.cl.Engine().Shutdown()
+	return d.res
+}
+
+func (d *driver) violate(format string, args ...any) {
+	if len(d.res.Violations) >= maxViolations {
+		return
+	}
+	d.res.Violations = append(d.res.Violations, fmt.Sprintf(format, args...))
+}
+
+func (d *driver) strong() bool { return d.plan.Cons == policy.ConsStrong }
+
+func (d *driver) streamOn() bool {
+	return d.strong() && d.plan.Dur == policy.DurGlobal
+}
+
+// main is the schedule's script process.
+func (d *driver) main(p *sim.Proc) {
+	if !d.setup(p) {
+		return
+	}
+	if d.plan.Background {
+		d.startBG()
+	}
+	for i := 0; i < d.plan.Ops; i++ {
+		d.drain(p)
+		if len(d.res.Violations) >= maxViolations {
+			break
+		}
+		d.step(p)
+	}
+	d.drain(p)
+	// Run past every scheduled fault so late crashes still get their
+	// recovery verified.
+	if last := d.plan.Faults.Last(); last > 0 {
+		if now := p.Now(); now <= last {
+			p.Sleep(sim.Duration(last-now) + sim.Duration(1e6))
+		}
+	}
+	d.drain(p)
+	if d.bgDone != nil {
+		d.bgDone.Wait(p)
+	}
+	d.finalVerify(p)
+}
+
+// setup builds the workload subtrees, makes their roots durable,
+// registers the decoupled policies, and only then arms the fault
+// injectors — so setup itself always succeeds and the calibrated
+// baseline of the protocol stack is what the faults strike.
+func (d *driver) setup(p *sim.Proc) bool {
+	if _, err := d.c.MkdirAll(p, mainPath, 0o755); err != nil {
+		d.violate("setup: mkdir %s: %v", mainPath, err)
+		return false
+	}
+	if d.plan.Background {
+		if _, err := d.c.MkdirAll(p, bgPath, 0o755); err != nil {
+			d.violate("setup: mkdir %s: %v", bgPath, err)
+			return false
+		}
+	}
+	if err := d.srv.SaveStore(p); err != nil {
+		d.violate("setup: save store: %v", err)
+		return false
+	}
+	if d.streamOn() {
+		d.srv.SetStream(true)
+	}
+
+	pol := &policy.Policy{
+		Consistency:     d.plan.Cons,
+		Durability:      d.plan.Dur,
+		AllocatedInodes: chaosGrant,
+		Interfere:       policy.InterfereAllow,
+	}
+	e, err := d.cl.DecouplePolicy(p, d.c, mainPath, pol)
+	if err != nil {
+		d.violate("setup: decouple %s: %v", mainPath, err)
+		return false
+	}
+	d.regs = append(d.regs, registration{mainPath, pol, d.c.Name(), e.GrantLo, e.GrantN})
+	root, err := d.c.DecoupledRoot()
+	if err != nil {
+		d.violate("setup: decoupled root: %v", err)
+		return false
+	}
+	d.cands = []parentRef{{root, mainPath}}
+	d.scands = []parentRef{{root, mainPath}}
+
+	if d.plan.Background {
+		bpol := &policy.Policy{
+			Consistency:     policy.ConsWeak,
+			Durability:      policy.DurNone,
+			AllocatedInodes: chaosGrant,
+			Interfere:       policy.InterfereAllow,
+		}
+		be, err := d.cl.DecouplePolicy(p, d.bg, bgPath, bpol)
+		if err != nil {
+			d.violate("setup: decouple %s: %v", bgPath, err)
+			return false
+		}
+		d.regs = append(d.regs, registration{bgPath, bpol, d.bg.Name(), be.GrantLo, be.GrantN})
+		if d.bgRoot, err = d.bg.DecoupledRoot(); err != nil {
+			d.violate("setup: background root: %v", err)
+			return false
+		}
+	}
+
+	if d.plan.WriteErrProb > 0 || d.plan.TornProb > 0 {
+		d.inj = rados.NewFaultInjector(d.plan.Seed ^ 0x5eed)
+		d.inj.WriteErrorProb = d.plan.WriteErrProb
+		d.inj.TornWriteProb = d.plan.TornProb
+		d.inj.MaxFaults = d.plan.MaxWriteFaults
+		// Only Global Persist targets: MDS segment and store writes stay
+		// fault-free so a FlushJournal ack remains a sound durability
+		// point for the oracle.
+		d.inj.Match = func(oid rados.ObjectID) bool {
+			return oid.Pool == client.ClientJournalPool
+		}
+		d.cl.Objects().SetFaults(d.inj)
+	}
+	if d.plan.Transport {
+		d.srv.InjectFaults(transport.NewFaultInterceptor(d.plan.Seed^0x77697265, transport.FaultConfig{
+			DropProb:        0.2,
+			MaxRetransmits:  3,
+			RetransmitDelay: sim.Duration(1e6),
+			DelayProb:       0.2,
+			MaxExtraDelay:   sim.Duration(2e6),
+			DuplicateProb:   0.2,
+			DuplicateOK: func(msg any) bool {
+				// Double delivery is only injected for read-only RPCs,
+				// whose handlers are idempotent by construction.
+				req, ok := msg.(*mds.Request)
+				return ok && !req.Op.Mutates()
+			},
+		}))
+	}
+	d.plan.Faults.Arm(d.cl.Engine(), func(f sim.Fault) {
+		d.pending = append(d.pending, f)
+	})
+	return true
+}
+
+// drain applies every fault that has fired since the last op boundary —
+// crash plus immediate restart and recovery, one at a time — then
+// re-checks the visibility contracts.
+func (d *driver) drain(p *sim.Proc) {
+	for len(d.pending) > 0 {
+		f := d.pending[0]
+		d.pending = d.pending[1:]
+		d.res.CrashFaults++
+		switch f.Kind {
+		case FaultClientCrash:
+			d.crashClient(p)
+		case FaultMDSCrash:
+			d.crashMDS(p)
+		default:
+			d.violate("unknown fault kind %q", f.Kind)
+		}
+	}
+	d.checkVisible()
+	d.checkInvisible()
+}
+
+// crashClient kills and restarts the main client. DurLocal's contract
+// is exercised here: an acked Local Persist must restore exactly the
+// persisted journal.
+func (d *driver) crashClient(p *sim.Proc) {
+	d.c.Crash()
+	d.o.clientCrash()
+	d.cands = d.cands[:1]
+	d.scands = d.scands[:1]
+	if err := d.c.Restart(p); err != nil {
+		d.violate("client restart: %v", err)
+		return
+	}
+	if !d.strong() && d.plan.Dur == policy.DurLocal && d.o.hasLocal {
+		n, err := d.c.RecoverLocal(p)
+		if err != nil {
+			d.violate("recover local: %v", err)
+			return
+		}
+		if n != len(d.o.localImage) {
+			d.violate("recover local: %d events, want %d", n, len(d.o.localImage))
+			return
+		}
+		d.o.recoverLocalOK()
+	}
+}
+
+// crashMDS kills and restarts the metadata server, replays the
+// registrations in their original order, and asserts each re-attach
+// reproduces the original inode grant.
+func (d *driver) crashMDS(p *sim.Proc) {
+	d.mdsCrashed = true
+	d.srv.Crash()
+	d.o.mdsCrash()
+	if err := d.srv.Restart(p); err != nil {
+		d.violate("mds restart: %v", err)
+		return
+	}
+	for _, reg := range d.regs {
+		lo, n, err := d.srv.Decouple(p, reg.path, reg.pol, reg.owner)
+		if err != nil {
+			d.violate("re-decouple %s: %v", reg.path, err)
+			continue
+		}
+		if lo != reg.lo || n != reg.n {
+			d.violate("re-decouple %s: grant (%d,%d), want (%d,%d)",
+				reg.path, uint64(lo), n, uint64(reg.lo), reg.n)
+		}
+	}
+	// The client survived but its session and caps died with the MDS.
+	d.c.Unmount()
+	d.c.Mount()
+	d.scands = d.scands[:1]
+}
+
+// step runs one weighted random workload operation.
+func (d *driver) step(p *sim.Proc) {
+	if d.strong() {
+		d.stepStrong(p)
+		return
+	}
+	roll := d.rng.Float64()
+	switch {
+	case roll < 0.55:
+		d.opLocalCreate(p)
+	case roll < 0.70:
+		d.opLocalMkdir(p)
+	case roll < 0.85:
+		d.opPersist(p)
+	default:
+		// Invisible subtrees never merge mid-run — that is the contract
+		// under test — so the merge weight falls through to create.
+		if d.plan.Cons == policy.ConsWeak {
+			d.opMerge(p)
+		} else {
+			d.opLocalCreate(p)
+		}
+	}
+}
+
+func (d *driver) stepStrong(p *sim.Proc) {
+	roll := d.rng.Float64()
+	switch {
+	case roll < 0.70:
+		d.opRPCCreate(p)
+	case roll < 0.80:
+		d.opRPCMkdir(p)
+	default:
+		if d.streamOn() {
+			d.srv.FlushJournal(p)
+			d.o.flushOK()
+		} else {
+			d.opRPCCreate(p)
+		}
+	}
+}
+
+func (d *driver) nextName(prefix string) string {
+	name := fmt.Sprintf("%s%06d", prefix, d.nameSeq)
+	d.nameSeq++
+	return name
+}
+
+// ackIno records an acked grant inode number and flags any reissue.
+// Only decoupled-grant inos carry the strict invariant: their first ack
+// may be durable in a client journal or persisted image the MDS cannot
+// see, so a rewound allocation cursor silently aliases two files.
+// Server-assigned (RPC) inos are exempt — the store allocator skips
+// every inode that survives recovery, so it can only recycle numbers
+// whose updates were wholly lost, exactly like a real inode table.
+func (d *driver) ackIno(ino uint64, path string) {
+	if prev, dup := d.seenIno[ino]; dup {
+		d.violate("inode %d acked for %s was already acked for %s", ino, path, prev)
+		return
+	}
+	d.seenIno[ino] = path
+}
+
+func (d *driver) opLocalCreate(p *sim.Proc) {
+	par := d.cands[d.rng.Intn(len(d.cands))]
+	name := d.nextName("f")
+	ino, err := d.c.LocalCreate(p, par.ino, name, 0o644)
+	if err != nil {
+		d.violate("local create %s/%s: %v", par.path, name, err)
+		return
+	}
+	d.ackIno(uint64(ino), par.path+"/"+name)
+	d.o.ackJournal(update{
+		path: par.path + "/" + name, ino: uint64(ino),
+		parent: uint64(par.ino), name: name, granted: true,
+	})
+}
+
+func (d *driver) opLocalMkdir(p *sim.Proc) {
+	if len(d.cands) >= maxParents {
+		d.opLocalCreate(p)
+		return
+	}
+	par := d.cands[d.rng.Intn(len(d.cands))]
+	name := d.nextName("d")
+	ino, err := d.c.LocalMkdir(p, par.ino, name, 0o755)
+	if err != nil {
+		d.violate("local mkdir %s/%s: %v", par.path, name, err)
+		return
+	}
+	path := par.path + "/" + name
+	d.ackIno(uint64(ino), path)
+	d.o.ackJournal(update{
+		path: path, ino: uint64(ino),
+		parent: uint64(par.ino), name: name, dir: true, granted: true,
+	})
+	// Only directories whose mkdir is in the current journal may parent
+	// further updates: that keeps every journal (and every persisted
+	// image) self-contained, so recovery can always replay it.
+	d.cands = append(d.cands, parentRef{ino, path})
+}
+
+func (d *driver) opPersist(p *sim.Proc) {
+	switch d.plan.Dur {
+	case policy.DurLocal:
+		if err := d.c.LocalPersist(p); err != nil {
+			d.violate("local persist: %v", err)
+			return
+		}
+		d.o.localPersistOK()
+	case policy.DurGlobal:
+		d.opGlobalPersist(p)
+	default: // DurNone has no persistence mechanism
+		d.opLocalCreate(p)
+	}
+}
+
+func (d *driver) opGlobalPersist(p *sim.Proc) {
+	if err := d.c.GlobalPersist(p); err != nil {
+		if errors.Is(err, rados.ErrIO) {
+			// Injected storage fault: the persist was not acked, so
+			// nothing new is guaranteed — and the old image may be gone.
+			d.o.globalPersistFail()
+			return
+		}
+		d.violate("global persist: %v", err)
+		return
+	}
+	d.o.globalPersistOK()
+}
+
+func (d *driver) opMerge(p *sim.Proc) {
+	want := len(d.o.journal)
+	applied, err := d.c.VolatileApply(p)
+	d.res.Merges++
+	if err != nil {
+		d.violate("volatile apply: %v", err)
+		return
+	}
+	if applied != want {
+		d.violate("volatile apply: applied %d events, journal had %d", applied, want)
+	}
+	d.o.mergeOK()
+	d.cands = d.cands[:1]
+	d.checkVisible()
+}
+
+func (d *driver) opRPCCreate(p *sim.Proc) {
+	par := d.scands[d.rng.Intn(len(d.scands))]
+	name := d.nextName("f")
+	ino, err := d.c.Create(p, par.ino, name, 0o644)
+	if err != nil {
+		d.violate("rpc create %s/%s: %v", par.path, name, err)
+		return
+	}
+	d.o.ackRPC(update{
+		path: par.path + "/" + name, ino: uint64(ino),
+		parent: uint64(par.ino), name: name,
+	}, d.streamOn())
+}
+
+func (d *driver) opRPCMkdir(p *sim.Proc) {
+	if len(d.scands) >= maxParents {
+		d.opRPCCreate(p)
+		return
+	}
+	par := d.scands[d.rng.Intn(len(d.scands))]
+	name := d.nextName("d")
+	ino, err := d.c.Mkdir(p, par.ino, name, 0o755)
+	if err != nil {
+		d.violate("rpc mkdir %s/%s: %v", par.path, name, err)
+		return
+	}
+	path := par.path + "/" + name
+	d.o.ackRPC(update{
+		path: path, ino: uint64(ino),
+		parent: uint64(par.ino), name: name, dir: true,
+	}, d.streamOn())
+	d.scands = append(d.scands, parentRef{ino, path})
+}
+
+// startBG spawns the background merger: a second decoupled client
+// pushing rounds of creates through the merge scheduler, concurrent
+// with the main workload, to exercise admission slots and fairness
+// under chaos.
+func (d *driver) startBG() {
+	d.bgDone = sim.NewSignal(d.cl.Engine())
+	d.cl.Go("chaos.bg", func(p *sim.Proc) {
+		defer d.bgDone.Fire(nil)
+		d.runBG(p)
+	})
+}
+
+func (d *driver) runBG(p *sim.Proc) {
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("b%06d", d.bgSeq)
+			d.bgSeq++
+			ino, err := d.bg.LocalCreate(p, d.bgRoot, name, 0o644)
+			if err != nil {
+				d.violate("background create %s: %v", name, err)
+				return
+			}
+			d.ackIno(uint64(ino), bgPath+"/"+name)
+			d.bgSet[bgPath+"/"+name] = uint64(ino)
+		}
+		if _, err := d.bg.VolatileApply(p); err != nil {
+			d.violate("background merge: %v", err)
+			return
+		}
+		d.res.Merges++
+		p.Sleep(sim.Duration(200e3))
+	}
+}
+
+// checkVisible asserts every update the oracle says is merged/visible
+// resolves in the MDS store with the acked inode (the ConsStrong and
+// post-merge contract). Pure in-memory reads: no simulated time.
+func (d *driver) checkVisible() {
+	store := d.srv.Store()
+	for _, path := range d.o.visiblePaths() {
+		u := d.o.mdsMem[path]
+		in, err := store.Resolve(path)
+		if err != nil {
+			d.violate("visible update %s missing: %v", path, err)
+			continue
+		}
+		if uint64(in.Ino) != u.ino {
+			d.violate("visible update %s has ino %d, want %d", path, uint64(in.Ino), u.ino)
+		}
+	}
+}
+
+// checkInvisible asserts no unmerged update of an invisible subtree has
+// leaked into the global namespace.
+func (d *driver) checkInvisible() {
+	if d.plan.Cons != policy.ConsInvisible {
+		return
+	}
+	store := d.srv.Store()
+	for _, path := range d.o.ackedPaths() {
+		if _, merged := d.o.mdsMem[path]; merged {
+			continue
+		}
+		if _, err := store.Resolve(path); err == nil {
+			d.violate("invisible update %s leaked into the global namespace", path)
+		}
+	}
+}
+
+// finalVerify is the end-of-schedule contract check: recover everything
+// each policy guarantees, then sweep the namespace for phantoms, grant
+// violations, structural damage, and leaked merge slots.
+func (d *driver) finalVerify(p *sim.Proc) {
+	d.checkInvisible()
+	if !d.strong() {
+		// Persist the tail so the global image covers the whole run,
+		// then merge the live journal (journals are self-contained, so
+		// this must succeed).
+		if d.plan.Dur == policy.DurGlobal && len(d.o.journal) > 0 {
+			d.opGlobalPersist(p)
+		}
+		if len(d.o.journal) > 0 {
+			d.opMerge(p)
+		}
+	}
+	if d.streamOn() {
+		// DurGlobal probe for the streaming cell: flush, lose the MDS,
+		// and demand every flush-acked update come back from the
+		// recovered journal segments.
+		d.srv.FlushJournal(p)
+		d.o.flushOK()
+		d.crashMDS(p)
+	}
+	if !d.strong() && d.plan.Dur == policy.DurGlobal {
+		d.verifyGlobal(p)
+	}
+	d.checkVisible()
+	d.checkBG()
+	d.checkNamespace()
+	if q := d.srv.MergeQueue(); q != 0 {
+		d.violate("merge queue not drained: %d jobs still accounted", q)
+	}
+}
+
+// verifyGlobal fetches the client's journal image back from the object
+// store and replays it, asserting DurGlobal's contract: an acked Global
+// Persist must read back as exactly the acked update sequence and merge
+// cleanly; after a failed persist the image may be torn or stale, but
+// whatever recovers must stay inside the acked-update set (the phantom
+// walk checks that half).
+func (d *driver) verifyGlobal(p *sim.Proc) {
+	if d.o.global == globalNone {
+		return
+	}
+	evBytes := int64(d.cl.Config().JournalEventBytes)
+	evs, err := d.c.FetchGlobalJournal(p, d.c.Name())
+	if d.o.global == globalDirty {
+		if err != nil || len(evs) == 0 {
+			return // unacked image may be unreadable — allowed
+		}
+		// Tolerate replay errors too: a stale image can reference
+		// directories the crashed MDS no longer holds. Partial applies
+		// are bounded by the phantom walk.
+		_, _ = d.srv.VolatileApply(p, evs, int64(len(evs))*evBytes)
+		return
+	}
+	if err != nil {
+		d.violate("fetch global journal: %v", err)
+		return
+	}
+	if msg := d.o.matchGlobal(evs); msg != "" {
+		d.violate("recovered global journal: %s", msg)
+		return
+	}
+	applied, merr := d.srv.VolatileApply(p, evs, int64(len(evs))*evBytes)
+	if merr != nil {
+		d.violate("merge recovered global journal: %v", merr)
+		return
+	}
+	if applied != len(evs) {
+		d.violate("recovered global journal: applied %d of %d events", applied, len(evs))
+		return
+	}
+	d.o.adoptGlobal()
+}
+
+// checkBG asserts the background client's merged updates are all
+// visible. Skipped if the MDS ever crashed: background updates are
+// volatile merges (ConsWeak/DurNone) and may legitimately die with it.
+func (d *driver) checkBG() {
+	if !d.plan.Background || d.mdsCrashed {
+		return
+	}
+	store := d.srv.Store()
+	paths := make([]string, 0, len(d.bgSet))
+	for path := range d.bgSet {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		in, err := store.Resolve(path)
+		if err != nil {
+			d.violate("background update %s missing: %v", path, err)
+			continue
+		}
+		if uint64(in.Ino) != d.bgSet[path] {
+			d.violate("background update %s has ino %d, want %d",
+				path, uint64(in.Ino), d.bgSet[path])
+		}
+	}
+}
+
+// checkNamespace sweeps the final namespace: no phantom entries outside
+// the acked-update set, every granted inode inside its registration's
+// range, and a structurally clean store.
+func (d *driver) checkNamespace() {
+	store := d.srv.Store()
+	d.walkSubtree(store, mainPath, func(path string) (uint64, bool) {
+		u, ok := d.o.pset[path]
+		return u.ino, ok
+	})
+	if d.plan.Background {
+		d.walkSubtree(store, bgPath, func(path string) (uint64, bool) {
+			ino, ok := d.bgSet[path]
+			return ino, ok
+		})
+	}
+
+	reg := d.regs[0]
+	for _, path := range d.o.ackedPaths() {
+		u := d.o.pset[path]
+		if !u.granted {
+			continue
+		}
+		if u.ino < uint64(reg.lo) || u.ino >= uint64(reg.lo)+reg.n {
+			d.violate("update %s ino %d outside grant [%d,%d)",
+				path, u.ino, uint64(reg.lo), uint64(reg.lo)+reg.n)
+		}
+	}
+	if d.plan.Background {
+		breg := d.regs[1]
+		paths := make([]string, 0, len(d.bgSet))
+		for path := range d.bgSet {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			ino := d.bgSet[path]
+			if ino < uint64(breg.lo) || ino >= uint64(breg.lo)+breg.n {
+				d.violate("background update %s ino %d outside grant [%d,%d)",
+					path, ino, uint64(breg.lo), uint64(breg.lo)+breg.n)
+			}
+		}
+	}
+
+	problems := make([]string, 0)
+	for _, prob := range store.Check() {
+		problems = append(problems, prob.String())
+	}
+	sort.Strings(problems)
+	for _, prob := range problems {
+		d.violate("store check: %s", prob)
+	}
+}
+
+// walkSubtree walks one subtree of the real store and demands every
+// entry below the root be an acked update with a matching inode.
+func (d *driver) walkSubtree(store *namespace.Store, rootPath string,
+	lookup func(path string) (uint64, bool)) {
+	root, err := store.Resolve(rootPath)
+	if err != nil {
+		d.violate("subtree root %s missing: %v", rootPath, err)
+		return
+	}
+	_ = store.Walk(root.Ino, func(path string, in *namespace.Inode) error {
+		if path == rootPath {
+			return nil
+		}
+		want, ok := lookup(path)
+		if !ok {
+			d.violate("phantom entry %s (ino %d)", path, uint64(in.Ino))
+			return nil
+		}
+		if want != uint64(in.Ino) {
+			d.violate("entry %s has ino %d, want %d", path, uint64(in.Ino), want)
+		}
+		return nil
+	})
+}

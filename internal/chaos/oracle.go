@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"cudele/internal/journal"
+)
+
+// update is one acked metadata update as the oracle remembers it: the
+// absolute namespace path it creates, the inode the ack promised, and
+// enough of the journal event to byte-check a recovered image.
+type update struct {
+	path    string
+	ino     uint64
+	parent  uint64
+	name    string
+	dir     bool
+	granted bool // inode drawn from a decoupled grant
+}
+
+// globalState tracks what the oracle knows about the client's journal
+// image in the object store.
+type globalState int
+
+const (
+	// globalNone: no Global Persist has been attempted.
+	globalNone globalState = iota
+	// globalGood: the last Global Persist was acked — the image must
+	// read back as exactly the acked update sequence.
+	globalGood
+	// globalDirty: a Global Persist failed after possibly writing a
+	// torn prefix or destroying part of an older image. The store may
+	// hold anything from nothing to a stale mix; recovery may fail, but
+	// whatever it yields must stay inside the acked-update set.
+	globalDirty
+)
+
+// oracle is the pure in-memory model of what each policy guarantees.
+// It never touches the simulation — the driver feeds it acks and
+// faults, and the checks compare it against the real MDS store.
+//
+// The model is a set of "homes" an update can live in:
+//
+//	journal    the client's in-memory journal (since the last reset)
+//	localImage the journal snapshot an acked Local Persist wrote
+//	globalImage the journal snapshot an acked Global Persist wrote
+//	mdsMem     merged / RPC-acked updates — must be visible now
+//	mdsTail    RPC updates in the MDS journal, not yet flush-acked
+//	mdsDurable flush-acked MDS-journal updates — survive an MDS crash
+//
+// Faults move updates between homes exactly as the contracts allow: a
+// client crash empties journal, an MDS crash resets mdsMem to
+// mdsDurable, recovery paths restore from the images.
+type oracle struct {
+	// pset is every update ever acked, by path. The phantom bound: the
+	// real namespace may never hold a subtree entry outside pset.
+	pset map[string]update
+
+	journal     []update
+	localImage  []update
+	hasLocal    bool
+	globalImage []update
+	global      globalState
+
+	mdsMem     map[string]update
+	mdsTail    []update
+	mdsDurable map[string]update
+}
+
+func newOracle() *oracle {
+	return &oracle{
+		pset:       make(map[string]update),
+		mdsMem:     make(map[string]update),
+		mdsDurable: make(map[string]update),
+	}
+}
+
+// ackJournal records a decoupled create/mkdir acked into the client
+// journal.
+func (o *oracle) ackJournal(u update) {
+	o.pset[u.path] = u
+	o.journal = append(o.journal, u)
+}
+
+// ackRPC records a strong (RPC) update: visible immediately; journaled
+// additionally lands it in the MDS journal tail (stream enabled).
+func (o *oracle) ackRPC(u update, journaled bool) {
+	o.pset[u.path] = u
+	o.mdsMem[u.path] = u
+	if journaled {
+		o.mdsTail = append(o.mdsTail, u)
+	}
+}
+
+// mergeOK: the journal was acked into the MDS in-memory store.
+func (o *oracle) mergeOK() {
+	for _, u := range o.journal {
+		o.mdsMem[u.path] = u
+	}
+	o.journal = nil
+}
+
+// localPersistOK snapshots the journal as the local-disk image.
+func (o *oracle) localPersistOK() {
+	o.localImage = append([]update(nil), o.journal...)
+	o.hasLocal = true
+}
+
+// recoverLocalOK: a restarted client reloaded the local image into its
+// journal.
+func (o *oracle) recoverLocalOK() {
+	o.journal = append([]update(nil), o.localImage...)
+}
+
+// globalPersistOK snapshots the journal as the acked global image.
+func (o *oracle) globalPersistOK() {
+	o.globalImage = append([]update(nil), o.journal...)
+	o.global = globalGood
+}
+
+// globalPersistFail: the persist errored mid-write; whatever image the
+// store holds is no longer trustworthy.
+func (o *oracle) globalPersistFail() {
+	if o.global == globalNone {
+		o.global = globalDirty
+		return
+	}
+	o.global = globalDirty
+}
+
+// flushOK: a FlushJournal ack moved the MDS journal tail to durable.
+func (o *oracle) flushOK() {
+	for _, u := range o.mdsTail {
+		o.mdsDurable[u.path] = u
+	}
+	o.mdsTail = nil
+}
+
+// clientCrash loses the client's volatile state: the in-memory journal.
+// Local and global images, and anything already on the MDS, survive.
+func (o *oracle) clientCrash() {
+	o.journal = nil
+}
+
+// mdsCrash loses the MDS's volatile state: in-memory merges and any
+// unflushed journal tail. Recovery replays the durable set.
+func (o *oracle) mdsCrash() {
+	o.mdsMem = make(map[string]update, len(o.mdsDurable))
+	for p, u := range o.mdsDurable {
+		o.mdsMem[p] = u
+	}
+	o.mdsTail = nil
+}
+
+// adoptGlobal marks the acked global image merged into the MDS.
+func (o *oracle) adoptGlobal() {
+	for _, u := range o.globalImage {
+		o.mdsMem[u.path] = u
+	}
+}
+
+// visiblePaths returns mdsMem's paths sorted, so violation output is
+// deterministic.
+func (o *oracle) visiblePaths() []string {
+	paths := make([]string, 0, len(o.mdsMem))
+	for p := range o.mdsMem {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// ackedPaths returns pset's paths sorted.
+func (o *oracle) ackedPaths() []string {
+	paths := make([]string, 0, len(o.pset))
+	for p := range o.pset {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// matchGlobal checks a fetched journal image against the acked global
+// snapshot: same length, same events in order.
+func (o *oracle) matchGlobal(evs []*journal.Event) string {
+	if len(evs) != len(o.globalImage) {
+		return "global image length mismatch"
+	}
+	for i, ev := range evs {
+		u := o.globalImage[i]
+		wantType := journal.EvCreate
+		if u.dir {
+			wantType = journal.EvMkdir
+		}
+		if ev.Type != wantType || ev.Ino != u.ino ||
+			ev.Parent != u.parent || ev.Name != u.name {
+			return fmt.Sprintf("global image event mismatch at index %d", i)
+		}
+	}
+	return ""
+}

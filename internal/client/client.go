@@ -88,6 +88,10 @@ type Client struct {
 	// Decoupled-namespace state.
 	dec *decoupled
 
+	// crashed stashes the durable facts of the decoupled subtree across a
+	// Crash, so Restart can re-attach to the same grant.
+	crashed *grantStub
+
 	// Namespace-sync state (partial updates, §V-B3).
 	sync *syncState
 
@@ -167,6 +171,70 @@ func (c *Client) Unmount() {
 	c.shared = make(map[namespace.Ino]bool)
 	c.dcache = make(map[namespace.Ino]map[string]namespace.Ino)
 	c.paths = map[namespace.Ino]string{namespace.RootIno: "/"}
+}
+
+// grantStub is what survives a client crash about its decoupled subtree:
+// the registration (policy, inode grant) lives on the monitor and MDS,
+// not in the client process, so a reborn client re-attaches to the same
+// range. The allocation cursor is preserved too — inodes already drawn
+// may be durable somewhere (a persisted journal, a merged namespace), so
+// a restarted client must never hand them out a second time.
+type grantStub struct {
+	path    string
+	grantLo uint64
+	grantN  uint64
+	next    uint64
+}
+
+// Crash models the client process dying: the session, RPC caches, and
+// the decoupled in-memory journal and subtree image are all lost. The
+// simulated local disk survives (that is what Local Persist buys), as do
+// global objects. The MDS-side session is reaped as a real MDS would
+// time it out.
+func (c *Client) Crash() {
+	c.svc.CloseSession(c.name)
+	c.caps = make(map[namespace.Ino]bool)
+	c.shared = make(map[namespace.Ino]bool)
+	c.dcache = make(map[namespace.Ino]map[string]namespace.Ino)
+	c.paths = map[namespace.Ino]string{namespace.RootIno: "/"}
+	if c.dec != nil {
+		c.crashed = &grantStub{
+			path:    c.dec.path,
+			grantLo: c.dec.grantLo,
+			grantN:  c.dec.grantN,
+			next:    c.dec.next,
+		}
+	}
+	c.dec = nil
+	c.sync = nil
+}
+
+// Restart brings a crashed client back: a fresh mount, and — when a
+// decoupled registration survived the crash — a fresh decoupled context
+// on the same grant, with the allocation cursor where the old life left
+// it. The journal starts empty; RecoverLocal reloads a locally persisted
+// image into it.
+func (c *Client) Restart(p *sim.Proc) error {
+	c.Mount()
+	stub := c.crashed
+	c.crashed = nil
+	if stub == nil {
+		return nil
+	}
+	root, err := c.Resolve(p, stub.path)
+	if err != nil {
+		return err
+	}
+	c.dec = &decoupled{
+		path:    stub.path,
+		root:    root,
+		jrnl:    journal.New(c.cfg.SegmentEvents),
+		grantLo: stub.grantLo,
+		grantN:  stub.grantN,
+		next:    stub.next,
+		store:   namespace.NewStore(),
+	}
+	return nil
 }
 
 // notePath remembers an inode's path for route hints.

@@ -32,7 +32,9 @@ func (c *Client) WriteFile(p *sim.Proc, ino namespace.Ino, data []byte) error {
 		return fmt.Errorf("write file %d: %w", ino, namespace.ErrIsDir)
 	}
 	striper := rados.NewStriper(c.obj)
-	striper.Write(p, DataPool, dataName(ino), data)
+	if err := striper.Write(p, DataPool, dataName(ino), data); err != nil {
+		return fmt.Errorf("write file %d: %w", ino, err)
+	}
 	return c.SetAttr(p, ino, st.Mode, st.UID, st.GID, uint64(len(data)), int64(p.Now()))
 }
 
@@ -77,7 +79,9 @@ func (c *Client) LocalWriteFile(p *sim.Proc, ino namespace.Ino, data []byte) err
 		return fmt.Errorf("local write file %d: %w", ino, namespace.ErrIsDir)
 	}
 	striper := rados.NewStriper(c.obj)
-	striper.Write(p, DataPool, dataName(ino), data)
+	if err := striper.Write(p, DataPool, dataName(ino), data); err != nil {
+		return fmt.Errorf("local write file %d: %w", ino, err)
+	}
 	// Track the size locally and journal the attribute update.
 	if err := c.dec.store.SetAttr(in.Ino, in.Mode, in.UID, in.GID, uint64(len(data)), int64(p.Now())); err != nil {
 		return err

@@ -372,7 +372,10 @@ func (c *Client) GlobalPersist(p *sim.Proc) error {
 			return err
 		}
 		c.noteTransfer(c.JournalNominalBytes())
-		striper.WriteBilled(p, ClientJournalPool, c.name, data, c.JournalNominalBytes())
+		if err := striper.WriteBilled(p, ClientJournalPool, c.name, data,
+			c.JournalNominalBytes()); err != nil {
+			return fmt.Errorf("global persist: %w", err)
+		}
 		return nil
 	}
 	evBytes := int64(c.cfg.JournalEventBytes)
@@ -399,8 +402,10 @@ func (c *Client) GlobalPersist(p *sim.Proc) error {
 			}
 		}
 		c.noteTransfer(int64(len(buf)))
-		striper.WriteBilled(p, ClientJournalPool, journalChunkName(c.name, idx),
-			buf, int64(len(evs))*evBytes)
+		if err := striper.WriteBilled(p, ClientJournalPool, journalChunkName(c.name, idx),
+			buf, int64(len(evs))*evBytes); err != nil {
+			return fmt.Errorf("global persist: %w", err)
+		}
 		if evs == nil {
 			last = idx
 			break
@@ -517,10 +522,12 @@ func (c *Client) NonvolatileApply(p *sim.Proc) (int, error) {
 		if err != nil {
 			continue // a touched inode may be a file's parent only
 		}
-		c.obj.Write(p, rados.ObjectID{
+		if err := c.obj.Write(p, rados.ObjectID{
 			Pool: namespace.ObjectPool,
 			Name: namespace.DirObjectName(ino),
-		}, data)
+		}, data); err != nil {
+			return applied, fmt.Errorf("nonvolatile apply: %w", err)
+		}
 	}
 	c.dec.jrnl.Reset()
 	return applied, nil
@@ -563,8 +570,14 @@ func (c *Client) nonvolatileBatch(p *sim.Proc, shadow *namespace.Store, evs []*j
 
 		// Push both back (the updated dentry and the root's recursive
 		// stats).
-		c.obj.OmapSet(p, dirOID, map[string][]byte{ev.Name: encodeDentry(shadow, dirIno, ev.Name)})
-		c.obj.OmapSet(p, rootOID, map[string][]byte{"rstat": rstat(shadow)})
+		if err := c.obj.OmapSet(p, dirOID,
+			map[string][]byte{ev.Name: encodeDentry(shadow, dirIno, ev.Name)}); err != nil {
+			return fmt.Errorf("nonvolatile apply: %w", err)
+		}
+		if err := c.obj.OmapSet(p, rootOID,
+			map[string][]byte{"rstat": rstat(shadow)}); err != nil {
+			return fmt.Errorf("nonvolatile apply: %w", err)
+		}
 	}
 	return nil
 }

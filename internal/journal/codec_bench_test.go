@@ -74,6 +74,35 @@ func BenchmarkJournalDecode(b *testing.B) {
 	}
 }
 
+// TestAppendEventSteadyStateAllocs pins the hot append path: once the
+// image buffer and the encoder's scratch have warmed to capacity,
+// appending events must not allocate at all. This is the path the MDS
+// stream dispatcher and decoupled clients sit on for every update.
+func TestAppendEventSteadyStateAllocs(t *testing.T) {
+	evs := benchEvents(64)
+	var enc Encoder
+	// Warm the scratch and the image buffer to full capacity.
+	buf := AppendHeader(nil)
+	for _, ev := range evs {
+		var err error
+		if buf, err = enc.AppendEvent(buf, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		b := AppendHeader(buf[:0])
+		for _, ev := range evs {
+			var err error
+			if b, err = enc.AppendEvent(b, ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warmed AppendEvent of %d events allocates %.1f times, want 0", len(evs), avg)
+	}
+}
+
 // TestEncodeAllocBudget pins the allocation regression: encoding must stay
 // at or under one allocation per event (it should be ~2 per image).
 func TestEncodeAllocBudget(t *testing.T) {

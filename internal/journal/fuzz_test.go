@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 )
@@ -37,6 +38,15 @@ func FuzzDecode(f *testing.F) {
 	f.Add(corrupt)
 	f.Add([]byte("CUDELEJ\x02"))
 	f.Add([]byte{})
+	// Torn-write shapes, as the fault injector produces them: a strict
+	// prefix cut at every byte of the first record, a half image, and a
+	// good image with a partial extra record appended (a torn append).
+	for cut := MagicLen; cut < len(empty)+8 && cut < len(full); cut++ {
+		f.Add(full[:cut])
+	}
+	f.Add(full[:len(full)/2])
+	torn := append(append([]byte(nil), full...), full[MagicLen:MagicLen+6]...)
+	f.Add(torn)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		events, err := Decode(data)
@@ -58,6 +68,68 @@ func FuzzDecode(f *testing.F) {
 			if !reflect.DeepEqual(events[i], again[i]) {
 				t.Fatalf("round trip changed event %d: %+v -> %+v", i, events[i], again[i])
 			}
+		}
+	})
+}
+
+// FuzzCursorExport guards the chunked Global Persist layout: re-encoding
+// a journal through Cursor batches of any size must produce exactly the
+// bytes of a one-shot Export, since FetchGlobalJournal decodes the chunk
+// concatenation as one image.
+func FuzzCursorExport(f *testing.F) {
+	full, err := Encode([]*Event{
+		{Type: EvCreate, Seq: 0, Client: "client.0", Parent: 1, Name: "f0", Ino: 10, Mode: 0644},
+		{Type: EvMkdir, Seq: 1, Client: "client.0", Parent: 1, Name: "d", Ino: 11, Mode: 0755},
+		{Type: EvRename, Seq: 2, Client: "client.0", Parent: 1, Name: "a", NewParent: 2, NewName: "b"},
+		{Type: EvSetAttr, Seq: 3, Client: "client.0", Ino: 10, Mode: 0600, Size: 99, Mtime: -3},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, err := Encode(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full, 1)
+	f.Add(full, 3)
+	f.Add(full, 100)
+	f.Add(empty, 1)
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		events, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if chunk <= 0 {
+			chunk = -chunk + 1
+		}
+		j := New(4)
+		for _, ev := range events {
+			if _, err := j.Append(ev); err != nil {
+				t.Fatalf("decoded event rejected by Append: %v", err)
+			}
+		}
+		want, err := j.Export()
+		if err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		var enc Encoder
+		got := AppendHeader(nil)
+		cur := j.Cursor()
+		for {
+			evs := cur.Next(chunk)
+			if evs == nil {
+				break
+			}
+			for _, ev := range evs {
+				if got, err = enc.AppendEvent(got, ev); err != nil {
+					t.Fatalf("append event: %v", err)
+				}
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cursor re-encode (chunk=%d) differs from Export: %d vs %d bytes",
+				chunk, len(got), len(want))
 		}
 	})
 }

@@ -140,6 +140,11 @@ type Server struct {
 
 	stopped bool
 
+	// recoveredSegs is how many streamed journal segment objects the last
+	// Recover replayed; Restart offsets the fresh journal's object names
+	// past them so the rank's on-store series stays append-only.
+	recoveredSegs int
+
 	// rpc is the interceptor pipeline around the op handlers; ep is the
 	// rank's wire endpoint (network latency on Call).
 	rpc transport.Handler
@@ -235,6 +240,11 @@ func (s *Server) Post(p *sim.Proc, msg any) any { return s.ep.Post(p, msg) }
 // Endpoint returns the rank's wire endpoint.
 func (s *Server) Endpoint() transport.Endpoint { return s.ep }
 
+// InjectFaults composes a fault interceptor around the rank's wire, so a
+// chaos harness can drop, delay, or duplicate messages to this rank.
+// Never called on calibrated runs — the wire is untouched by default.
+func (s *Server) InjectFaults(ic transport.Interceptor) { s.ep.Wrap(ic) }
+
 // handle is the rank's message dispatcher behind the wire.
 func (s *Server) handle(p *sim.Proc, msg any) any {
 	switch m := msg.(type) {
@@ -285,6 +295,56 @@ func (s *Server) StreamEnabled() bool { return s.stream.enabled }
 
 // Shutdown makes the server reject future requests.
 func (s *Server) Shutdown() { s.stopped = true }
+
+// Crash models the rank dying: every piece of volatile state — sessions,
+// capabilities, the owner map, the unflushed journal tail, buffered merge
+// chunks — is lost, while objects already in RADOS survive. The server
+// rejects requests until Restart. Streamed merges in flight are flagged
+// aborted so the scheduler retires them, freeing their admission slots
+// and unblocking any client parked in MergeWait with an error.
+func (s *Server) Crash() {
+	s.stopped = true
+	s.sessions = make(map[string]bool)
+	s.caps = make(map[namespace.Ino]*dirCaps)
+	s.owners = make(map[namespace.Ino]string)
+	s.store = namespace.NewStore()
+	if s.rank > 0 {
+		s.store.SetInoFloor(rankInoFloor(s.rank))
+	}
+
+	// Replace the stream state outright: a dispatch batch already in
+	// flight keeps writing through the old state (those writes hit the
+	// wire before the crash), but its bookkeeping can no longer leak into
+	// the fresh journal.
+	enabled := s.stream.enabled
+	s.stream = newStreamState(s)
+	s.stream.enabled = enabled
+
+	// Retire in-flight streamed merges on the old scheduler, then start
+	// fresh. finish() still decrements this server's mergeQueue, so the
+	// congestion share drains to zero.
+	for _, job := range s.merge.jobs {
+		job.aborted = true
+		if job.err == nil {
+			job.err = ErrShutdown
+		}
+	}
+	s.merge.ensureRunning()
+	s.merge = newMergeSched(s)
+}
+
+// Restart brings a crashed rank back: the metadata store is rebuilt from
+// RADOS (directory objects plus streamed journal replay) and the rank
+// accepts requests again. The fresh journal's segment objects continue
+// the rank's series after the recovered ones instead of overwriting them.
+func (s *Server) Restart(p *sim.Proc) error {
+	if err := s.Recover(p); err != nil {
+		return err
+	}
+	s.stream.segBase = s.recoveredSegs
+	s.stopped = false
+	return nil
+}
 
 // OpenSession registers a client session. Additional active sessions add
 // per-op bookkeeping overhead (lock contention, cap accounting), which is

@@ -39,6 +39,13 @@ type streamState struct {
 
 	dispatching bool
 	flushedSeg  int // highest segment index safely in the object store
+
+	// segBase offsets this journal's segment indices into the rank's
+	// object-name series. It is zero for a rank's first life; a
+	// crash-restart starts a fresh journal whose indices begin at zero
+	// again, so Restart sets segBase past the recovered objects to keep
+	// the on-store series append-only.
+	segBase int
 }
 
 func newStreamState(s *Server) *streamState {
@@ -141,7 +148,7 @@ func (st *streamState) dispatchLoop(p *sim.Proc) {
 		for _, seg := range batch {
 			seg := seg
 			g.Go("mds.segwrite", func(wp *sim.Proc) {
-				name := journalObjectName(st.s.rank, seg.Index)
+				name := journalObjectName(st.s.rank, st.segBase+seg.Index)
 				nominal := int64(len(seg.Events)) * int64(st.s.cfg.JournalEventBytes)
 				data, err := st.enc.Encode(seg.Events)
 				if err != nil {
@@ -156,8 +163,14 @@ func (st *streamState) dispatchLoop(p *sim.Proc) {
 				}
 				// Charge the paper's 2.5 KB/event footprint; store
 				// the real bytes.
-				striper.WriteBilled(wp, JournalPool, name, data, nominal)
+				werr := striper.WriteBilled(wp, JournalPool, name, data, nominal)
 				rec.End(span, int64(wp.Now()))
+				if werr != nil {
+					// The segment is not safely down: leave flushedSeg
+					// alone so trimming never drops its events, and keep
+					// the in-memory journal as the source of truth.
+					return
+				}
 				st.s.metrics.Dispatches++
 				st.s.metrics.JournalBytes += uint64(nominal)
 				if seg.Index > st.flushedSeg {
@@ -203,7 +216,9 @@ func (s *Server) SaveStore(p *sim.Proc) error {
 			return err
 		}
 		oid := rados.ObjectID{Pool: namespace.ObjectPool, Name: namespace.DirObjectName(ino)}
-		s.obj.Write(p, oid, data)
+		if err := s.obj.Write(p, oid, data); err != nil {
+			return fmt.Errorf("mds save: %w", err)
+		}
 	}
 	s.TrimJournal()
 	return nil
@@ -252,12 +267,14 @@ func (s *Server) Recover(p *sim.Proc) error {
 		rec.End(replay, int64(p.Now()))
 	}(p.Engine().Tracer())
 	striper := rados.NewStriper(s.obj)
+	nseg := 0
 	for idx := 0; ; idx++ {
 		name := journalObjectName(s.rank, idx)
 		data, err := striper.Read(p, JournalPool, name)
 		if err != nil {
 			break // no more segments
 		}
+		nseg = idx + 1
 		events, err := journal.Decode(data)
 		if err != nil {
 			return fmt.Errorf("mds recover: journal segment %d: %w", idx, err)
@@ -274,6 +291,7 @@ func (s *Server) Recover(p *sim.Proc) error {
 
 	s.store = fresh
 	s.caps = make(map[namespace.Ino]*dirCaps)
+	s.recoveredSegs = nseg
 	return nil
 }
 

@@ -55,9 +55,13 @@ type Cluster struct {
 
 	objects map[ObjectID]*object
 
+	// faults, when non-nil, may fail or tear writes (see fault.go).
+	faults *FaultInjector
+
 	// statistics
 	reads, writes, deletes uint64
 	bytesRead, bytesWrit   uint64
+	writeFaults            uint64
 }
 
 // New creates an object store with cfg.NumOSDs daemons on engine e.
@@ -83,6 +87,9 @@ func (c *Cluster) OSDs() []*OSD { return c.osds }
 
 // Net returns the shared fabric pipe.
 func (c *Cluster) Net() *sim.Pipe { return c.net }
+
+// SetFaults installs (or, with nil, removes) a write-fault injector.
+func (c *Cluster) SetFaults(f *FaultInjector) { c.faults = f }
 
 // pg maps an object to a placement group, then to its primary OSD, like
 // Ceph's CRUSH-by-hash placement.
@@ -156,12 +163,26 @@ func (c *Cluster) getOrCreate(oid ObjectID) *object {
 }
 
 // Write stores data as the full contents of oid, creating it if needed.
-func (c *Cluster) Write(p *sim.Proc, oid ObjectID, data []byte) {
+// An armed fault injector may fail the write cleanly (nothing persisted)
+// or tear it (a prefix persisted, then an error).
+func (c *Cluster) Write(p *sim.Proc, oid ObjectID, data []byte) error {
 	c.writes++
 	c.bytesWrit += uint64(len(data))
 	c.chargeWrite(p, oid, int64(len(data)))
+	outcome, torn := c.faults.writeOutcome(oid, len(data))
+	switch outcome {
+	case faultError:
+		c.writeFaults++
+		return faultErrf("write", oid)
+	case faultTorn:
+		c.writeFaults++
+		o := c.getOrCreate(oid)
+		o.data = append(o.data[:0], data[:torn]...)
+		return faultErrf("torn write", oid)
+	}
 	o := c.getOrCreate(oid)
 	o.data = append(o.data[:0], data...)
+	return nil
 }
 
 // WriteBilled stores data as oid's contents but charges the devices as if
@@ -169,24 +190,48 @@ func (c *Cluster) Write(p *sim.Proc, oid ObjectID, data []byte) {
 // footprint (paper §V-A) dwarfs its information content; billing lets the
 // simulation carry the paper's transfer costs without materializing
 // padding.
-func (c *Cluster) WriteBilled(p *sim.Proc, oid ObjectID, data []byte, billed int64) {
+func (c *Cluster) WriteBilled(p *sim.Proc, oid ObjectID, data []byte, billed int64) error {
 	if billed < int64(len(data)) {
 		billed = int64(len(data))
 	}
 	c.writes++
 	c.bytesWrit += uint64(billed)
 	c.chargeWrite(p, oid, billed)
+	outcome, torn := c.faults.writeOutcome(oid, len(data))
+	switch outcome {
+	case faultError:
+		c.writeFaults++
+		return faultErrf("write", oid)
+	case faultTorn:
+		c.writeFaults++
+		o := c.getOrCreate(oid)
+		o.data = append(o.data[:0], data[:torn]...)
+		return faultErrf("torn write", oid)
+	}
 	o := c.getOrCreate(oid)
 	o.data = append(o.data[:0], data...)
+	return nil
 }
 
 // Append appends data to oid, creating it if needed.
-func (c *Cluster) Append(p *sim.Proc, oid ObjectID, data []byte) {
+func (c *Cluster) Append(p *sim.Proc, oid ObjectID, data []byte) error {
 	c.writes++
 	c.bytesWrit += uint64(len(data))
 	c.chargeWrite(p, oid, int64(len(data)))
+	outcome, torn := c.faults.writeOutcome(oid, len(data))
+	switch outcome {
+	case faultError:
+		c.writeFaults++
+		return faultErrf("append", oid)
+	case faultTorn:
+		c.writeFaults++
+		o := c.getOrCreate(oid)
+		o.data = append(o.data, data[:torn]...)
+		return faultErrf("torn append", oid)
+	}
 	o := c.getOrCreate(oid)
 	o.data = append(o.data, data...)
+	return nil
 }
 
 // Read returns a copy of oid's contents.
@@ -233,7 +278,9 @@ func (c *Cluster) Exists(p *sim.Proc, oid ObjectID) bool {
 
 // OmapSet stores key/value pairs in oid's omap, creating the object if
 // needed. The cost is one write round trip plus the payload transfer.
-func (c *Cluster) OmapSet(p *sim.Proc, oid ObjectID, kv map[string][]byte) {
+// Omap updates are atomic: an injected fault fails the whole batch
+// cleanly, never a torn subset.
+func (c *Cluster) OmapSet(p *sim.Proc, oid ObjectID, kv map[string][]byte) error {
 	var n int64
 	for k, v := range kv {
 		n += int64(len(k) + len(v))
@@ -241,6 +288,10 @@ func (c *Cluster) OmapSet(p *sim.Proc, oid ObjectID, kv map[string][]byte) {
 	c.writes++
 	c.bytesWrit += uint64(n)
 	c.chargeWrite(p, oid, n)
+	if outcome, _ := c.faults.writeOutcome(oid, 0); outcome != faultNone {
+		c.writeFaults++
+		return faultErrf("omap-set", oid)
+	}
 	o := c.getOrCreate(oid)
 	if o.omap == nil {
 		o.omap = make(map[string][]byte, len(kv))
@@ -250,6 +301,7 @@ func (c *Cluster) OmapSet(p *sim.Proc, oid ObjectID, kv map[string][]byte) {
 		copy(val, v)
 		o.omap[k] = val
 	}
+	return nil
 }
 
 // OmapGet returns the value stored under key in oid's omap.
@@ -323,6 +375,7 @@ type Stats struct {
 	Reads, Writes, Deletes  uint64
 	BytesRead, BytesWritten uint64
 	Objects                 int
+	WriteFaults             uint64
 }
 
 // Stats returns a snapshot of cumulative counters.
@@ -334,5 +387,6 @@ func (c *Cluster) Stats() Stats {
 		BytesRead:    c.bytesRead,
 		BytesWritten: c.bytesWrit,
 		Objects:      len(c.objects),
+		WriteFaults:  c.writeFaults,
 	}
 }

@@ -28,10 +28,13 @@ func stripeName(name string, idx int) string {
 }
 
 // Write stores data under the logical name, striped into unit-sized
-// objects written in parallel. It blocks p until every stripe is durable.
-func (s *Striper) Write(p *sim.Proc, pool, name string, data []byte) {
+// objects written in parallel. It blocks p until every stripe is durable
+// and reports the first stripe failure, if any — later stripes may have
+// landed regardless, exactly like a real parallel push.
+func (s *Striper) Write(p *sim.Proc, pool, name string, data []byte) error {
 	eng := p.Engine()
 	g := sim.NewGroup(eng)
+	var firstErr error
 	for idx, off := 0, 0; off < len(data); idx, off = idx+1, off+s.unit {
 		end := off + s.unit
 		if end > len(data) {
@@ -40,15 +43,17 @@ func (s *Striper) Write(p *sim.Proc, pool, name string, data []byte) {
 		oid := ObjectID{Pool: pool, Name: stripeName(name, idx)}
 		chunk := data[off:end]
 		g.Go("stripe-write", func(sp *sim.Proc) {
-			s.c.Write(sp, oid, chunk)
+			if err := s.c.Write(sp, oid, chunk); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		})
 	}
 	if len(data) == 0 {
 		// Still record an empty head object so the name exists.
-		s.c.Write(p, ObjectID{Pool: pool, Name: stripeName(name, 0)}, nil)
-		return
+		return s.c.Write(p, ObjectID{Pool: pool, Name: stripeName(name, 0)}, nil)
 	}
 	g.Wait(p)
+	return firstErr
 }
 
 // WriteBilled stores data under the logical name while charging the
@@ -56,7 +61,7 @@ func (s *Striper) Write(p *sim.Proc, pool, name string, data []byte) {
 // Write would stripe billed bytes. The real payload lands in the first
 // stripe; the remaining stripes exist only to carry their share of the
 // transfer cost, so Read reassembles the payload unchanged.
-func (s *Striper) WriteBilled(p *sim.Proc, pool, name string, data []byte, billed int64) {
+func (s *Striper) WriteBilled(p *sim.Proc, pool, name string, data []byte, billed int64) error {
 	if billed < int64(len(data)) {
 		billed = int64(len(data))
 	}
@@ -67,18 +72,24 @@ func (s *Striper) WriteBilled(p *sim.Proc, pool, name string, data []byte, bille
 	per := billed / int64(stripes)
 	eng := p.Engine()
 	g := sim.NewGroup(eng)
+	var firstErr error
 	for idx := 0; idx < stripes; idx++ {
 		idx := idx
 		oid := ObjectID{Pool: pool, Name: stripeName(name, idx)}
 		g.Go("stripe-write", func(sp *sim.Proc) {
+			var err error
 			if idx == 0 {
-				s.c.WriteBilled(sp, oid, data, per)
+				err = s.c.WriteBilled(sp, oid, data, per)
 			} else {
-				s.c.WriteBilled(sp, oid, nil, per)
+				err = s.c.WriteBilled(sp, oid, nil, per)
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
 			}
 		})
 	}
 	g.Wait(p)
+	return firstErr
 }
 
 // Read reassembles the logical object written by Write. Stripes are read

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fault is one entry of a FaultPlan: at simulated time At, something
+// happens to Target. The kernel does not interpret Kind or Target — the
+// handler passed to Arm does — so higher layers can define crash kinds
+// without the kernel knowing about daemons.
+type Fault struct {
+	At     Time
+	Kind   string
+	Target string
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("t=%dns %s %s", int64(f.At), f.Kind, f.Target)
+}
+
+// FaultPlan is a deterministic schedule of injected faults. Plans are
+// data: generated from a seed, printable for reproduction, and armed
+// onto an engine like any other scheduled work. An empty (or nil) plan
+// is a no-op, so the default simulation is untouched.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// Arm schedules every fault on e, invoking handle inside the engine at
+// each fault's time. Faults whose time has already passed fire at the
+// next tick. Arm does not run the engine.
+func (fp *FaultPlan) Arm(e *Engine, handle func(Fault)) {
+	if fp == nil {
+		return
+	}
+	for _, f := range fp.Faults {
+		f := f
+		d := Duration(f.At - e.Now())
+		if d < 0 {
+			d = 0
+		}
+		e.Schedule(d, func() { handle(f) })
+	}
+}
+
+// Last returns the time of the latest fault in the plan, 0 for an empty
+// plan. Drivers use it to run the simulation past every fault before
+// final verification.
+func (fp *FaultPlan) Last() Time {
+	var last Time
+	if fp == nil {
+		return 0
+	}
+	for _, f := range fp.Faults {
+		if f.At > last {
+			last = f.At
+		}
+	}
+	return last
+}
+
+func (fp *FaultPlan) String() string {
+	if fp == nil || len(fp.Faults) == 0 {
+		return "fault plan: (empty)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault plan: %d faults\n", len(fp.Faults))
+	for i, f := range fp.Faults {
+		fmt.Fprintf(&b, "  [%d] %s\n", i, f)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"math/rand"
+
+	"cudele/internal/sim"
+)
+
+// FaultConfig tunes the message-fault interceptor. All probabilities
+// default to zero — an interceptor built from the zero config delivers
+// every message untouched, so wiring it in costs nothing until a chaos
+// harness arms it.
+type FaultConfig struct {
+	// DropProb is the chance one transmission of a message is lost. Loss
+	// is modeled as bounded retransmission: the sender pays
+	// RetransmitDelay per lost copy, and after MaxRetransmits the message
+	// goes through regardless. Delivery stays exactly-once — the fault is
+	// in the timing, never in the protocol's visible semantics — so runs
+	// always terminate.
+	DropProb        float64
+	MaxRetransmits  int          // per message; <=0 means 3
+	RetransmitDelay sim.Duration // per lost copy; <=0 means 2ms
+
+	// DelayProb is the chance a message is delayed by a uniform extra
+	// latency in (0, MaxExtraDelay].
+	DelayProb     float64
+	MaxExtraDelay sim.Duration
+
+	// DuplicateProb is the chance a message is delivered twice (the
+	// retransmission arriving after the original). Only messages
+	// DuplicateOK approves are duplicated; with a nil predicate nothing
+	// is — double delivery is only safe for idempotent handlers.
+	DuplicateProb float64
+	DuplicateOK   func(msg any) bool
+}
+
+// NewFaultInterceptor builds a message-fault interceptor seeded with its
+// own rand.Source — it never draws from an engine's stream, so arming it
+// cannot perturb the calibrated model's jitter. Compose it into a wire's
+// handler chain with Chain.
+func NewFaultInterceptor(seed int64, cfg FaultConfig) Interceptor {
+	rng := rand.New(rand.NewSource(seed))
+	return func(next Handler) Handler {
+		return func(p *sim.Proc, msg any) any {
+			if cfg.DropProb > 0 {
+				max := cfg.MaxRetransmits
+				if max <= 0 {
+					max = 3
+				}
+				delay := cfg.RetransmitDelay
+				if delay <= 0 {
+					delay = sim.Duration(2e6)
+				}
+				for i := 0; i < max && rng.Float64() < cfg.DropProb; i++ {
+					p.Sleep(delay)
+				}
+			}
+			if cfg.DelayProb > 0 && cfg.MaxExtraDelay > 0 && rng.Float64() < cfg.DelayProb {
+				p.Sleep(sim.Duration(rng.Int63n(int64(cfg.MaxExtraDelay)) + 1))
+			}
+			if cfg.DuplicateProb > 0 && cfg.DuplicateOK != nil &&
+				cfg.DuplicateOK(msg) && rng.Float64() < cfg.DuplicateProb {
+				// First delivery; its reply is the one the network lost.
+				next(p, msg)
+			}
+			return next(p, msg)
+		}
+	}
+}

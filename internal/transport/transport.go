@@ -84,6 +84,12 @@ func NewWire(name string, lat sim.Duration, h Handler) *Wire {
 // Name implements Endpoint.
 func (w *Wire) Name() string { return w.name }
 
+// Wrap composes an interceptor around the wire's handler, outermost.
+// Chaos harnesses use it to slide a fault interceptor under an already
+// constructed endpoint; with no interceptor installed the wire is
+// untouched.
+func (w *Wire) Wrap(ic Interceptor) { w.h = ic(w.h) }
+
 // Call implements Endpoint: request on the wire, handler, reply on the
 // wire.
 func (w *Wire) Call(p *sim.Proc, msg any) any {
