@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-seq fuzz-short chaos ci
+.PHONY: all build test race vet fmt-check bench bench-seq bench-real fuzz-short chaos ci
 
 all: build test
 
@@ -32,6 +32,14 @@ bench:
 
 bench-seq:
 	$(GO) run ./cmd/cudele-bench -scale 0.05 -parallel 1 -json -outdir results all
+
+# bench-real runs fig3a on the real backend (goroutines, wall clocks,
+# fsynced object files) side by side with its simulated prediction. The
+# wall-clock columns are machine-dependent, so the output goes to
+# results/real/ and is not a committed baseline.
+bench-real:
+	$(GO) run ./cmd/cudele-bench -backend real -scale 0.01 \
+		-datadir results/real/objects -json -outdir results/real fig3a
 
 # fuzz-short runs the journal fuzzers for a bounded burst — long enough
 # to hit mutated corpus inputs, short enough for CI.

@@ -1,0 +1,162 @@
+package cudele
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"cudele/internal/client"
+	"cudele/internal/namespace"
+)
+
+// smokeWorkload runs a small deterministic mixed workload — RPC creates
+// plus a decoupled subtree that is merged back — and returns the sorted
+// list of namespace paths it produced.
+func smokeWorkload(t *testing.T, cl *Cluster) []string {
+	t.Helper()
+	c0 := cl.NewClient("c0")
+	c1 := cl.NewClient("c1")
+	cl.Run(func(p Proc) {
+		dir, err := c0.MkdirAll(p, "/home/a", 0755)
+		if err != nil {
+			t.Errorf("mkdirall: %v", err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := c0.Create(p, dir, fmt.Sprintf("rpc.%02d", i), 0644); err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+		}
+		if _, err := c1.MkdirAll(p, "/home/b", 0755); err != nil {
+			t.Errorf("mkdirall: %v", err)
+			return
+		}
+		if _, err := cl.Decouple(p, c1, "/home/b",
+			"consistency: weak\ndurability: none\nallocated_inodes: 500\n"); err != nil {
+			t.Errorf("decouple: %v", err)
+			return
+		}
+		root, _ := c1.DecoupledRoot()
+		sub, err := c1.LocalMkdir(p, root, "sub", 0755)
+		if err != nil {
+			t.Errorf("local mkdir: %v", err)
+			return
+		}
+		for i := 0; i < 30; i++ {
+			if _, err := c1.LocalCreate(p, root, fmt.Sprintf("dec.%02d", i), 0644); err != nil {
+				t.Errorf("local create: %v", err)
+				return
+			}
+		}
+		if _, err := c1.LocalCreate(p, sub, "deep", 0644); err != nil {
+			t.Errorf("local create: %v", err)
+			return
+		}
+		if _, err := c1.VolatileApply(p); err != nil {
+			t.Errorf("merge: %v", err)
+			return
+		}
+	})
+	if n := cl.Close(); n != 0 {
+		t.Fatalf("close reaped %d tasks, want 0", n)
+	}
+	var paths []string
+	if err := cl.MDS().Store().Walk(RootIno, func(p string, in *namespace.Inode) error {
+		paths = append(paths, p)
+		return nil
+	}); err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestBackendSmokeSimVsReal is the cross-backend invariant: the same
+// protocol stack driven by the same workload ends in the same namespace
+// whether it executes on simulated time or on real goroutines and wall
+// clocks. Timing differs across backends by design; namespace contents
+// must not.
+func TestBackendSmokeSimVsReal(t *testing.T) {
+	simPaths := smokeWorkload(t, NewCluster(WithSeed(3)))
+	realPaths := smokeWorkload(t, NewCluster(WithSeed(3), WithBackend(BackendReal)))
+	if len(simPaths) == 0 {
+		t.Fatal("sim workload produced an empty namespace")
+	}
+	if len(simPaths) != len(realPaths) {
+		t.Fatalf("namespace size: sim %d paths, real %d paths", len(simPaths), len(realPaths))
+	}
+	for i := range simPaths {
+		if simPaths[i] != realPaths[i] {
+			t.Fatalf("namespace diverges at %d: sim %q, real %q", i, simPaths[i], realPaths[i])
+		}
+	}
+}
+
+// TestBackendSmokeRealWithDataDir runs the workload on the real backend
+// with a data dir, then recovers a fresh cluster from the same files and
+// checks the globally persisted state came back.
+func TestBackendSmokeRealWithDataDir(t *testing.T) {
+	dir := t.TempDir()
+	cl := NewCluster(WithSeed(3), WithBackend(BackendReal), WithDataDir(dir))
+	c := cl.NewClient("c0")
+	cl.Run(func(p Proc) {
+		if _, err := c.MkdirAll(p, "/data", 0755); err != nil {
+			t.Errorf("mkdirall: %v", err)
+			return
+		}
+		if _, err := cl.Decouple(p, c, "/data",
+			"consistency: weak\ndurability: global\nallocated_inodes: 100\n"); err != nil {
+			t.Errorf("decouple: %v", err)
+			return
+		}
+		root, _ := c.DecoupledRoot()
+		for i := 0; i < 10; i++ {
+			if _, err := c.LocalCreate(p, root, fmt.Sprintf("f.%d", i), 0644); err != nil {
+				t.Errorf("local create: %v", err)
+				return
+			}
+		}
+		if err := c.GlobalPersist(p); err != nil {
+			t.Errorf("global persist: %v", err)
+		}
+	})
+	cl.Close()
+
+	// A fresh cluster over the same data dir must see the persisted
+	// objects (recovery happens in AttachStore via NewCluster).
+	cl2 := NewCluster(WithSeed(4), WithBackend(BackendReal), WithDataDir(dir))
+	defer cl2.Close()
+	var names []string
+	cl2.Run(func(p Proc) {
+		names = cl2.Objects().List(p, client.ClientJournalPool)
+	})
+	if len(names) == 0 {
+		t.Fatal("no persisted objects recovered from data dir")
+	}
+}
+
+// TestBackendSmokeLoopback exercises the loopback-TCP wire option: every
+// Call does a real kernel socket round trip. Small workload; the test
+// asserts correctness, not latency.
+func TestBackendSmokeLoopback(t *testing.T) {
+	cl := NewCluster(WithSeed(5), WithBackend(BackendReal), WithLoopbackNet())
+	defer cl.Close()
+	c := cl.NewClient("c0")
+	cl.Run(func(p Proc) {
+		d, err := c.MkdirAll(p, "/net", 0755)
+		if err != nil {
+			t.Errorf("mkdirall: %v", err)
+			return
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := c.Create(p, d, fmt.Sprintf("f.%d", i), 0644); err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+		}
+	})
+	if _, err := cl.MDS().Store().Resolve("/net/f.4"); err != nil {
+		t.Fatalf("file missing after loopback run: %v", err)
+	}
+}

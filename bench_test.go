@@ -82,7 +82,7 @@ func BenchmarkAblationInodeCache(b *testing.B) {
 				cl := cudele.NewCluster(cudele.WithSeed(int64(i + 1)))
 				c := cl.NewClient("c0")
 				interferer := cl.NewClient("intruder")
-				virt += cl.Run(func(p *cudele.Proc) {
+				virt += cl.Run(func(p cudele.Proc) {
 					dir, _ := c.Mkdir(p, cudele.RootIno, "d", 0755)
 					if !cached {
 						// Force the shared regime: one interfering
@@ -116,8 +116,8 @@ func BenchmarkAblationMergeArrival(b *testing.B) {
 			for k := range cs {
 				cs[k] = cl.NewClient(fmt.Sprintf("c%d", k))
 			}
-			eng := cl.Engine()
-			virt += cl.Run(func(p *cudele.Proc) {
+			eng := cl.Runtime()
+			virt += cl.Run(func(p cudele.Proc) {
 				for k, c := range cs {
 					path := fmt.Sprintf("/j%d", k)
 					c.MkdirAll(p, path, 0755)
@@ -128,7 +128,7 @@ func BenchmarkAblationMergeArrival(b *testing.B) {
 				}
 				for k, c := range cs {
 					k, c := k, c
-					eng.Go(c.Name(), func(cp *cudele.Proc) {
+					eng.Spawn(c.Name(), func(cp cudele.Proc) {
 						cp.Sleep(time.Duration(k) * stagger)
 						root, _ := c.DecoupledRoot()
 						for f := 0; f < perClient; f++ {
@@ -161,12 +161,12 @@ func BenchmarkAblationDispatchSize(b *testing.B) {
 				for k := range cs {
 					cs[k] = cl.NewClient(fmt.Sprintf("c%d", k))
 				}
-				eng := cl.Engine()
-				virt += cl.Run(func(p *cudele.Proc) {
+				eng := cl.Runtime()
+				virt += cl.Run(func(p cudele.Proc) {
 					for k, c := range cs {
 						k, c := k, c
 						dir, _ := c.Mkdir(p, cudele.RootIno, fmt.Sprintf("d%d", k), 0755)
-						eng.Go(c.Name(), func(cp *cudele.Proc) {
+						eng.Spawn(c.Name(), func(cp cudele.Proc) {
 							for f := 0; f < 500; f++ {
 								c.Create(cp, dir, fmt.Sprintf("f%d", f), 0644)
 							}
@@ -279,14 +279,14 @@ func BenchmarkPoliciesFileParse(b *testing.B) {
 func BenchmarkSimulatedRPCCreate(b *testing.B) {
 	cl := cudele.NewCluster()
 	c := cl.NewClient("c0")
-	eng := cl.Engine()
+	eng := cl.Runtime()
 	var dir cudele.Ino
-	cl.Go("setup", func(p *cudele.Proc) {
+	cl.Go("setup", func(p cudele.Proc) {
 		dir, _ = c.Mkdir(p, cudele.RootIno, "d", 0755)
 	})
 	cl.RunAll()
 	b.ResetTimer()
-	eng.Go("bench", func(p *cudele.Proc) {
+	eng.Spawn("bench", func(p cudele.Proc) {
 		for i := 0; i < b.N; i++ {
 			if _, err := c.Create(p, dir, fmt.Sprintf("f%d", i), 0644); err != nil {
 				b.Fatal(err)
@@ -301,8 +301,8 @@ func BenchmarkSimulatedRPCCreate(b *testing.B) {
 func BenchmarkSimulatedLocalCreate(b *testing.B) {
 	cl := cudele.NewCluster()
 	c := cl.NewClient("c0")
-	eng := cl.Engine()
-	cl.Go("setup", func(p *cudele.Proc) {
+	eng := cl.Runtime()
+	cl.Go("setup", func(p cudele.Proc) {
 		c.MkdirAll(p, "/j", 0755)
 		cl.DecouplePolicy(p, c, "/j", &cudele.Policy{
 			Consistency: cudele.ConsInvisible, Durability: cudele.DurNone,
@@ -311,7 +311,7 @@ func BenchmarkSimulatedLocalCreate(b *testing.B) {
 	})
 	cl.RunAll()
 	b.ResetTimer()
-	eng.Go("bench", func(p *cudele.Proc) {
+	eng.Spawn("bench", func(p cudele.Proc) {
 		root, _ := c.DecoupledRoot()
 		for i := 0; i < b.N; i++ {
 			if _, err := c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644); err != nil {

@@ -24,6 +24,15 @@
 // and device utilizations, one `run` label per simulation. Observation is
 // passive: tables are byte-identical with these flags on or off.
 //
+// -backend real executes the workload on real goroutines, wall clocks,
+// and (with -datadir, default a temp dir) fsynced object files instead
+// of the simulator, side by side with the simulated prediction for the
+// same grid point. Only fig3a supports real mode; "all" under
+// -backend=real means "all real-capable experiments". Real tables carry
+// machine-dependent wall-clock columns, so they are reported (and, with
+// -json, written as BENCH_fig3a-real.json) but never replace the
+// committed sim baselines.
+//
 // -chaos N runs N seeded fault-injection schedules (starting at -seed,
 // cycling through all nine consistency x durability cells) against the
 // policy-contract checker instead of the experiments, and exits non-zero
@@ -42,6 +51,7 @@ import (
 	"strings"
 	"time"
 
+	"cudele"
 	"cudele/internal/bench"
 	"cudele/internal/chaos"
 )
@@ -71,7 +81,19 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a Prometheus text dump of every run's daemon metrics to this file")
 	chaosN := flag.Int("chaos", 0, "run N fault-injection schedules (seeds -seed..-seed+N-1) instead of experiments")
 	chaosReplay := flag.Int64("chaos-replay", 0, "replay one fault-injection schedule by seed and print its plan")
+	backendName := flag.String("backend", "sim", "execution backend: sim (deterministic simulator) or real (goroutines, wall clock, fsync)")
+	dataDir := flag.String("datadir", "", "real backend: directory for fsynced object files (default: a fresh temp dir)")
 	flag.Parse()
+
+	backend, err := cudele.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cudele-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if *dataDir != "" && backend != cudele.BackendReal {
+		fmt.Fprintln(os.Stderr, "cudele-bench: -datadir requires -backend=real")
+		os.Exit(2)
+	}
 
 	if *chaosReplay != 0 {
 		os.Exit(runChaos(chaos.Seeds(*chaosReplay, 1), 1, true))
@@ -92,15 +114,21 @@ func main() {
 		return
 	}
 
+	// Under -backend=real the universe of experiments shrinks to the
+	// real-capable set; "all" (and an empty list) means exactly that set.
+	universe := bench.IDs()
+	if backend == cudele.BackendReal {
+		universe = bench.RealIDs()
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
-		ids = bench.IDs()
+		ids = universe
 	} else {
-		// "all" anywhere in the list expands to the full registry.
+		// "all" anywhere in the list expands to the full universe.
 		expanded := make([]string, 0, len(ids))
 		for _, id := range ids {
 			if id == "all" {
-				expanded = append(expanded, bench.IDs()...)
+				expanded = append(expanded, universe...)
 			} else {
 				expanded = append(expanded, id)
 			}
@@ -110,6 +138,19 @@ func main() {
 	opts := bench.Options{Scale: *scale, Seed: *seed, Workers: *parallel}
 	if *tracePath != "" || *metricsPath != "" {
 		opts.Sink = bench.NewSink()
+	}
+	var tmpDataDir string
+	if backend == cudele.BackendReal {
+		if *dataDir == "" {
+			dir, err := os.MkdirTemp("", "cudele-bench-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cudele-bench: %v\n", err)
+				os.Exit(1)
+			}
+			tmpDataDir = dir
+			*dataDir = dir
+		}
+		opts.DataDir = *dataDir
 	}
 
 	exit := 0
@@ -121,7 +162,13 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		res, err := bench.Run(id, opts)
+		var res *bench.Result
+		var err error
+		if backend == cudele.BackendReal {
+			res, err = bench.RunReal(id, opts)
+		} else {
+			res, err = bench.Run(id, opts)
+		}
 		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cudele-bench: %s: %v\n", id, err)
@@ -152,6 +199,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cudele-bench: metrics: %v\n", err)
 			exit = 1
 		}
+	}
+	if tmpDataDir != "" {
+		os.RemoveAll(tmpDataDir)
 	}
 	os.Exit(exit)
 }

@@ -29,6 +29,12 @@
 // -trace FILE writes a Chrome trace-event JSON (Perfetto-loadable) of
 // the session's spans on simulated time; -metrics FILE writes a
 // Prometheus text dump of every daemon's counters and utilizations.
+//
+// -backend selects the execution backend: "sim" (the default; virtual
+// time, deterministic, objects in memory) or "real" (goroutines and
+// wall clocks). With -backend=real, -datadir DIR keeps RADOS objects as
+// fsynced files under DIR, so object state (persisted client journals,
+// globally persisted metadata) survives across invocations.
 package main
 
 import (
@@ -49,6 +55,8 @@ import (
 type options struct {
 	seed        int64
 	ranks       int
+	backend     cudele.Backend
+	dataDir     string
 	tracePath   string
 	metricsPath string
 	scripts     []string
@@ -60,6 +68,8 @@ func parseFlags(argv []string) (*options, error) {
 	fs := flag.NewFlagSet("cudele", flag.ContinueOnError)
 	fs.Int64Var(&o.seed, "seed", 1, "simulation seed")
 	fs.IntVar(&o.ranks, "ranks", 1, "metadata ranks")
+	backend := fs.String("backend", "sim", "execution backend: sim (deterministic simulator) or real (goroutines, wall clock)")
+	fs.StringVar(&o.dataDir, "datadir", "", "real backend only: directory for fsynced object files (RADOS object state survives across runs)")
 	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the session to this file")
 	fs.StringVar(&o.metricsPath, "metrics", "", "write a Prometheus text dump of daemon metrics to this file")
 	if err := fs.Parse(argv); err != nil {
@@ -67,6 +77,14 @@ func parseFlags(argv []string) (*options, error) {
 	}
 	if o.ranks < 1 {
 		return nil, fmt.Errorf("-ranks must be at least 1, got %d", o.ranks)
+	}
+	b, err := cudele.ParseBackend(*backend)
+	if err != nil {
+		return nil, err
+	}
+	o.backend = b
+	if o.dataDir != "" && o.backend != cudele.BackendReal {
+		return nil, fmt.Errorf("-datadir requires -backend=real (the simulator keeps objects in memory)")
 	}
 	o.scripts = fs.Args()
 	return o, nil
@@ -96,13 +114,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	cl := cudele.NewCluster(cudele.WithSeed(*seed), cudele.WithMDSRanks(*ranks))
+	copts := []cudele.Option{cudele.WithSeed(*seed), cudele.WithMDSRanks(*ranks)}
+	if opts.backend == cudele.BackendReal {
+		copts = append(copts, cudele.WithBackend(cudele.BackendReal))
+		if opts.dataDir != "" {
+			copts = append(copts, cudele.WithDataDir(opts.dataDir))
+		}
+	}
+	cl := cudele.NewCluster(copts...)
 	if *tracePath != "" {
 		cl.EnableTracing()
 	}
 	c := cl.NewClient("client.0")
 	exit := 0
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		for lineNo, line := range lines {
 			if err := execute(cl, c, p, line); err != nil {
 				fmt.Printf("line %d (%s): error: %v\n", lineNo+1, line, err)
@@ -122,6 +147,7 @@ func main() {
 			exit = 1
 		}
 	}
+	cl.Close()
 	os.Exit(exit)
 }
 
@@ -151,7 +177,7 @@ func readLines(in io.Reader) ([]string, error) {
 	return out, sc.Err()
 }
 
-func execute(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, line string) error {
+func execute(cl *cudele.Cluster, c *cudele.Client, p cudele.Proc, line string) error {
 	fields := strings.Fields(line)
 	cmd, args := fields[0], fields[1:]
 	need := func(n int) error {

@@ -54,7 +54,7 @@ func TestGoldenSession(t *testing.T) {
 	got := captureStdout(t, func() {
 		cl := cudele.NewCluster()
 		c := cl.NewClient("client.0")
-		cl.Run(func(p *cudele.Proc) {
+		cl.Run(func(p cudele.Proc) {
 			for _, line := range lines {
 				if err := execute(cl, c, p, line); err != nil {
 					t.Errorf("execute %q: %v", line, err)
@@ -70,7 +70,7 @@ func TestGoldenSession(t *testing.T) {
 // TestParseFlags smoke-tests the command line surface.
 func TestParseFlags(t *testing.T) {
 	o, err := parseFlags(nil)
-	if err != nil || o.seed != 1 || o.ranks != 1 || len(o.scripts) != 0 {
+	if err != nil || o.seed != 1 || o.ranks != 1 || o.backend != cudele.BackendSim || len(o.scripts) != 0 {
 		t.Fatalf("defaults = %+v, %v", o, err)
 	}
 	o, err = parseFlags([]string{"-seed", "7", "-ranks", "2", "-trace", "t.json", "-metrics", "m.prom", "script.txt"})
@@ -81,10 +81,16 @@ func TestParseFlags(t *testing.T) {
 		o.metricsPath != "m.prom" || len(o.scripts) != 1 || o.scripts[0] != "script.txt" {
 		t.Fatalf("parsed = %+v", o)
 	}
+	o, err = parseFlags([]string{"-backend", "real", "-datadir", "/tmp/objs"})
+	if err != nil || o.backend != cudele.BackendReal || o.dataDir != "/tmp/objs" {
+		t.Fatalf("real backend parse = %+v, %v", o, err)
+	}
 	for _, bad := range [][]string{
-		{"-seed", "many"}, // non-integer seed
-		{"-ranks", "0"},   // no ranks at all
-		{"-bogus"},        // unknown flag
+		{"-seed", "many"},         // non-integer seed
+		{"-ranks", "0"},           // no ranks at all
+		{"-bogus"},                // unknown flag
+		{"-backend", "warp"},      // unknown backend
+		{"-datadir", "/tmp/objs"}, // datadir without -backend=real
 	} {
 		if _, err := parseFlags(bad); err == nil {
 			t.Errorf("parseFlags(%v) accepted", bad)
@@ -145,7 +151,7 @@ func TestExecuteScript(t *testing.T) {
 		"status",
 		"time",
 	}
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		for _, line := range script {
 			if err := execute(cl, c, p, line); err != nil {
 				t.Errorf("execute %q: %v", line, err)
@@ -161,7 +167,7 @@ func TestExecuteScript(t *testing.T) {
 func TestExecuteErrors(t *testing.T) {
 	cl := cudele.NewCluster()
 	c := cl.NewClient("client.0")
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		bad := []string{
 			"frobnicate /x",     // unknown command
 			"mkdir",             // missing arg

@@ -19,9 +19,9 @@ func TestColocatedRuntimes(t *testing.T) {
 	hpc := cl.NewClient("hpc.rank0")
 	spark := cl.NewClient("spark.executor0")
 	user := cl.NewClient("alice")
-	eng := cl.Engine()
+	eng := cl.Runtime()
 
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		// Subtrees: /ckpt decoupled (BatchFS cell), /hdfs weak-ish with
 		// interference allowed (HDFS lets clients read files opened for
 		// writing), /home POSIX.
@@ -38,7 +38,7 @@ func TestColocatedRuntimes(t *testing.T) {
 		var hpcDone, sparkDone bool
 
 		// HPC: N:1 checkpoint into the decoupled subtree.
-		eng.Go("hpc", func(cp *cudele.Proc) {
+		eng.Spawn("hpc", func(cp cudele.Proc) {
 			root, _ := hpc.DecoupledRoot()
 			for i := 0; i < 1000; i++ {
 				if _, err := hpc.LocalCreate(cp, root, fmt.Sprintf("ckpt.%04d", i), 0644); err != nil {
@@ -58,7 +58,7 @@ func TestColocatedRuntimes(t *testing.T) {
 		})
 
 		// Spark: write temp parts, rename them in, then drop _SUCCESS.
-		eng.Go("spark", func(sp *cudele.Proc) {
+		eng.Spawn("spark", func(sp cudele.Proc) {
 			tmp, _ := spark.Resolve(sp, "/hdfs/job0/_temporary")
 			job, _ := spark.Resolve(sp, "/hdfs/job0")
 			for i := 0; i < 50; i++ {
@@ -81,7 +81,7 @@ func TestColocatedRuntimes(t *testing.T) {
 
 		// Alice keeps using POSIX semantics next door, and polls the
 		// Spark job's progress the way the browser interface does.
-		eng.Go("alice", func(ap *cudele.Proc) {
+		eng.Spawn("alice", func(ap cudele.Proc) {
 			home, _ := user.Resolve(ap, "/home/alice")
 			job, _ := user.Resolve(ap, "/hdfs/job0")
 			for i := 0; i < 30; i++ {
@@ -117,7 +117,7 @@ func TestColocatedRuntimes(t *testing.T) {
 	// subtree without moving any data.
 	cl2 := cl // same cluster, new registration
 	c := spark
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		if _, err := cl2.Decouple(p, c, "/hdfs",
 			"consistency: strong\ndurability: global\n"); err != nil {
 			t.Errorf("tighten /hdfs: %v", err)

@@ -35,6 +35,7 @@ package cudele
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"cudele/internal/client"
 	"cudele/internal/mds"
@@ -43,6 +44,8 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
+	"cudele/internal/realrt"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
@@ -53,8 +56,11 @@ type (
 	// store, metadata cluster (one or more ranks), monitor, and
 	// clients, all sharing one deterministic virtual clock.
 	Cluster struct {
-		eng *sim.Engine
+		rt  runtime.Runtime
+		eng *sim.Engine // non-nil only on the sim backend
 		cfg model.Config
+
+		dataDir string
 
 		objects *rados.Cluster
 		meta    *mds.Cluster
@@ -63,12 +69,18 @@ type (
 		clients map[string]*client.Client
 	}
 
-	// Proc is a simulation process handle; all cluster operations take
-	// one.
-	Proc = sim.Proc
+	// Proc is a task handle — a simulation process or, on the real
+	// backend, a goroutine; all cluster operations take one.
+	Proc = runtime.Task
 
 	// Engine is the discrete-event simulation engine.
 	Engine = sim.Engine
+
+	// Runtime is the execution backend a cluster runs on.
+	Runtime = runtime.Runtime
+
+	// Backend selects a cluster's execution backend (see WithBackend).
+	Backend = runtime.Kind
 
 	// Client is a storage client with both the RPC path and the
 	// decoupled-namespace mechanisms.
@@ -113,6 +125,27 @@ const (
 // RootIno is the namespace root's inode number.
 const RootIno = namespace.RootIno
 
+// Execution backends (see WithBackend).
+const (
+	// BackendSim is the deterministic discrete-event simulator: virtual
+	// time, calibrated device costs, byte-identical results per seed.
+	BackendSim = runtime.SimKind
+	// BackendReal runs tasks as goroutines on wall time; with a data
+	// dir, RADOS objects live as fsynced files (see WithDataDir).
+	BackendReal = runtime.RealKind
+)
+
+// ParseBackend parses a -backend flag value ("sim" or "real").
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "sim":
+		return BackendSim, nil
+	case "real":
+		return BackendReal, nil
+	}
+	return BackendSim, fmt.Errorf("unknown backend %q (valid: sim, real)", s)
+}
+
 // DefaultConfig returns the calibration for the paper's CloudLab testbed.
 func DefaultConfig() Config { return model.Default() }
 
@@ -120,9 +153,12 @@ func DefaultConfig() Config { return model.Default() }
 type Option func(*clusterOpts)
 
 type clusterOpts struct {
-	seed  int64
-	cfg   model.Config
-	ranks int
+	seed     int64
+	cfg      model.Config
+	ranks    int
+	backend  Backend
+	dataDir  string
+	loopback bool
 }
 
 // WithSeed sets the deterministic simulation seed.
@@ -136,6 +172,22 @@ func WithConfig(cfg Config) Option { return func(o *clusterOpts) { o.cfg = cfg }
 // placement (mds_rank in a policies file, or Monitor.Place).
 func WithMDSRanks(n int) Option { return func(o *clusterOpts) { o.ranks = n } }
 
+// WithBackend selects the execution backend. The default, BackendSim,
+// is the deterministic simulator; BackendReal runs the same protocol
+// stack on goroutines and wall time.
+func WithBackend(b Backend) Option { return func(o *clusterOpts) { o.backend = b } }
+
+// WithDataDir roots the real backend's durability on dir: RADOS objects
+// become fsynced files under dir/objects (write→fsync→rename, so
+// DurGlobal survives a kill), and each client's Local Persist target is
+// a real file under dir/<client>. It is ignored on the sim backend.
+func WithDataDir(dir string) Option { return func(o *clusterOpts) { o.dataDir = dir } }
+
+// WithLoopbackNet adds a loopback-TCP round trip to every metadata Call
+// on the real backend, so measured latencies include a real kernel
+// network stack. Ignored on the sim backend.
+func WithLoopbackNet() Option { return func(o *clusterOpts) { o.loopback = true } }
+
 // NewCluster builds a cluster with 1 monitor, the configured number of
 // metadata ranks (default 1), and the configured number of OSDs
 // (paper §V: 1 MON, 1 MDS, 3 OSDs).
@@ -147,21 +199,54 @@ func NewCluster(opts ...Option) *Cluster {
 	if err := o.cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("cudele: invalid config: %v", err))
 	}
-	eng := sim.NewEngine(o.seed)
-	obj := rados.New(eng, o.cfg)
-	meta := mds.NewCluster(eng, o.cfg, obj, o.ranks)
+	var rt runtime.Runtime
+	var eng *sim.Engine
+	switch o.backend {
+	case BackendReal:
+		re := realrt.New(o.seed)
+		if o.loopback {
+			if err := re.EnableLoopback(); err != nil {
+				panic(fmt.Sprintf("cudele: loopback net: %v", err))
+			}
+		}
+		rt = re
+	default:
+		eng = sim.NewEngine(o.seed)
+		rt = eng
+	}
+	obj := rados.New(rt, o.cfg)
+	if o.backend == BackendReal && o.dataDir != "" {
+		fs, err := rados.OpenFileStore(filepath.Join(o.dataDir, "objects"))
+		if err != nil {
+			panic(fmt.Sprintf("cudele: data dir: %v", err))
+		}
+		if err := obj.AttachStore(fs); err != nil {
+			panic(fmt.Sprintf("cudele: load objects: %v", err))
+		}
+	}
+	meta := mds.NewCluster(rt, o.cfg, obj, o.ranks)
 	return &Cluster{
+		rt:      rt,
 		eng:     eng,
 		cfg:     o.cfg,
+		dataDir: o.dataDir,
 		objects: obj,
 		meta:    meta,
-		mon:     monitor.New(eng, meta),
+		mon:     monitor.New(rt, meta),
 		clients: make(map[string]*client.Client),
 	}
 }
 
-// Engine returns the simulation engine (for scheduling and virtual time).
+// Engine returns the simulation engine, nil on the real backend. It is
+// the sim-only escape hatch (chaos schedules, Run(until) windows);
+// backend-agnostic code uses Runtime instead.
 func (cl *Cluster) Engine() *Engine { return cl.eng }
+
+// Runtime returns the execution backend the cluster runs on.
+func (cl *Cluster) Runtime() Runtime { return cl.rt }
+
+// Backend reports which execution backend the cluster runs on.
+func (cl *Cluster) Backend() Backend { return cl.rt.Kind() }
 
 // Config returns the cluster's cost model.
 func (cl *Cluster) Config() Config { return cl.cfg }
@@ -188,7 +273,10 @@ func (cl *Cluster) NewClient(name string) *Client {
 	}
 	portal := cl.meta.Portal()
 	cl.mon.Subscribe(name, portal.Table())
-	c := client.New(cl.eng, cl.cfg, name, portal, cl.objects)
+	c := client.New(cl.rt, cl.cfg, name, portal, cl.objects)
+	if cl.rt.Kind() == BackendReal && cl.dataDir != "" {
+		c.SetLocalDir(filepath.Join(cl.dataDir, name))
+	}
 	c.Mount()
 	cl.clients[name] = c
 	return c
@@ -200,27 +288,35 @@ func (cl *Cluster) Client(name string) (*Client, bool) {
 	return c, ok
 }
 
-// Go spawns a simulation process; it will not run until Run/RunAll.
-func (cl *Cluster) Go(name string, fn func(p *Proc)) { cl.eng.Go(name, fn) }
+// Go spawns a task; on the sim backend it will not run until
+// Run/RunAll, on the real backend it starts immediately.
+func (cl *Cluster) Go(name string, fn func(p Proc)) { cl.rt.Spawn(name, fn) }
 
-// Run spawns fn as a process and drives the simulation to completion,
-// returning the elapsed virtual time in seconds. It is the simplest way
-// to execute a scripted scenario.
-func (cl *Cluster) Run(fn func(p *Proc)) float64 {
-	cl.eng.Go("main", fn)
-	return float64(cl.eng.RunAll()) / 1e9
+// Run spawns fn as a task and drives the cluster until all tasks
+// drain, returning the elapsed time in seconds (virtual on sim, wall
+// on real). It is the simplest way to execute a scripted scenario.
+func (cl *Cluster) Run(fn func(p Proc)) float64 {
+	cl.rt.Spawn("main", fn)
+	return cl.rt.RunAll().Seconds()
 }
 
-// RunAll drives all previously spawned processes to completion.
-func (cl *Cluster) RunAll() float64 { return float64(cl.eng.RunAll()) / 1e9 }
+// RunAll drives all previously spawned tasks to completion.
+func (cl *Cluster) RunAll() float64 { return cl.rt.RunAll().Seconds() }
 
-// Now returns the current virtual time in seconds.
-func (cl *Cluster) Now() float64 { return cl.eng.Now().Seconds() }
+// Now returns the current time in seconds (virtual on sim, wall on
+// real).
+func (cl *Cluster) Now() float64 { return cl.rt.Now().Seconds() }
+
+// Close reaps every task so no goroutine outlives the cluster; call it
+// when discarding a cluster (especially real-backend ones, whose tasks
+// are true goroutines). It returns the number of tasks reaped — 0 for
+// a cleanly drained run.
+func (cl *Cluster) Close() int { return cl.rt.Shutdown() }
 
 // Decouple registers the subtree at path with the monitor using a
 // policies file (the paper's (path, policies.yml) API) and attaches the
 // resulting grant to client c.
-func (cl *Cluster) Decouple(p *Proc, c *Client, path, policiesText string) (*Entry, error) {
+func (cl *Cluster) Decouple(p Proc, c *Client, path, policiesText string) (*Entry, error) {
 	e, err := cl.mon.Register(p, path, policiesText, c.Name())
 	if err != nil {
 		return nil, err
@@ -232,7 +328,7 @@ func (cl *Cluster) Decouple(p *Proc, c *Client, path, policiesText string) (*Ent
 }
 
 // DecouplePolicy is Decouple with an already-built Policy.
-func (cl *Cluster) DecouplePolicy(p *Proc, c *Client, path string, pol *Policy) (*Entry, error) {
+func (cl *Cluster) DecouplePolicy(p Proc, c *Client, path string, pol *Policy) (*Entry, error) {
 	e, err := cl.mon.RegisterPolicy(p, path, pol, c.Name())
 	if err != nil {
 		return nil, err
@@ -244,7 +340,7 @@ func (cl *Cluster) DecouplePolicy(p *Proc, c *Client, path string, pol *Policy) 
 }
 
 // Recouple returns a subtree to the global namespace's semantics.
-func (cl *Cluster) Recouple(p *Proc, path string) error {
+func (cl *Cluster) Recouple(p Proc, path string) error {
 	return cl.mon.Unregister(p, path)
 }
 

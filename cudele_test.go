@@ -12,7 +12,7 @@ import (
 func TestQuickstartFlow(t *testing.T) {
 	cl := NewCluster()
 	c := cl.NewClient("client.0")
-	cl.Run(func(p *Proc) {
+	cl.Run(func(p Proc) {
 		dir, err := c.MkdirAll(p, "/home/alice/job", 0755)
 		if err != nil {
 			t.Errorf("mkdirall: %v", err)
@@ -56,7 +56,7 @@ func TestDecoupledMergeEqualsRPCNamespace(t *testing.T) {
 	build := func(decoupled bool) *Cluster {
 		cl := NewCluster(WithSeed(7))
 		c := cl.NewClient("c0")
-		cl.Run(func(p *Proc) {
+		cl.Run(func(p Proc) {
 			dir, _ := c.MkdirAll(p, "/job", 0755)
 			if decoupled {
 				if _, err := cl.Decouple(p, c, "/job", "consistency: weak\ndurability: none\nallocated_inodes: 500\n"); err != nil {
@@ -99,7 +99,7 @@ func TestAllTableICellsEndToEnd(t *testing.T) {
 			t.Run(name, func(t *testing.T) {
 				cl := NewCluster()
 				c := cl.NewClient("c0")
-				cl.Run(func(p *Proc) {
+				cl.Run(func(p Proc) {
 					c.MkdirAll(p, "/job", 0755)
 					cl.MDS().SaveStore(p) // seed object store for nonvolatile paths
 					pol := &Policy{Consistency: cons, Durability: dur, AllocatedInodes: 100}
@@ -173,7 +173,7 @@ func TestDynamicSemanticsChange(t *testing.T) {
 	// without moving data.
 	cl := NewCluster()
 	c := cl.NewClient("c0")
-	cl.Run(func(p *Proc) {
+	cl.Run(func(p Proc) {
 		c.MkdirAll(p, "/hdfs", 0755)
 		if _, err := cl.Decouple(p, c, "/hdfs", "consistency: weak\ndurability: local\nallocated_inodes: 50\n"); err != nil {
 			t.Errorf("decouple: %v", err)
@@ -216,7 +216,7 @@ func TestClusterDeterminism(t *testing.T) {
 		}
 		for i, c := range cs {
 			i, c := i, c
-			cl.Go("w", func(p *Proc) {
+			cl.Go("w", func(p Proc) {
 				dir, _ := c.Mkdir(p, RootIno, fmt.Sprintf("d%d", i), 0755)
 				for k := 0; k < 200; k++ {
 					c.Create(p, dir, fmt.Sprintf("f%d", k), 0644)
@@ -279,7 +279,7 @@ func TestMustComposition(t *testing.T) {
 
 func TestRecoupleUnknown(t *testing.T) {
 	cl := NewCluster()
-	cl.Run(func(p *Proc) {
+	cl.Run(func(p Proc) {
 		if err := cl.Recouple(p, "/ghost"); err == nil {
 			t.Error("recoupling unknown subtree succeeded")
 		}
@@ -289,7 +289,7 @@ func TestRecoupleUnknown(t *testing.T) {
 func TestDecoupleErrorPropagation(t *testing.T) {
 	cl := NewCluster()
 	c := cl.NewClient("c0")
-	cl.Run(func(p *Proc) {
+	cl.Run(func(p Proc) {
 		if _, err := cl.Decouple(p, c, "/missing", ""); !errors.Is(err, namespace.ErrNotExist) {
 			t.Errorf("err = %v", err)
 		}

@@ -13,7 +13,7 @@ func Example() {
 	cl := cudele.NewCluster(cudele.WithSeed(1))
 	c := cl.NewClient("client.0")
 
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		// Strong consistency over RPCs.
 		dir, _ := c.MkdirAll(p, "/home/alice/job", 0755)
 		c.Create(p, dir, "input.txt", 0644)
@@ -56,7 +56,7 @@ func ExampleCluster_DecouplePolicy() {
 	owner := cl.NewClient("owner")
 	intruder := cl.NewClient("intruder")
 
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		owner.MkdirAll(p, "/mine", 0755)
 		pol := &cudele.Policy{
 			Consistency:     cudele.ConsInvisible,

@@ -30,10 +30,10 @@ func runJob(mode string) float64 {
 	for i := range cs {
 		cs[i] = cl.NewClient(fmt.Sprintf("rank%02d", i))
 	}
-	eng := cl.Engine()
+	eng := cl.Runtime()
 	var jobSecs float64
 
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		// Set up one subtree per rank under the mode's directory.
 		for i, c := range cs {
 			path := fmt.Sprintf("/%s/rank%02d", mode, i)
@@ -61,7 +61,7 @@ func runJob(mode string) float64 {
 		done := make([]bool, clients)
 		for i, c := range cs {
 			i, c := i, c
-			eng.Go(c.Name(), func(cp *cudele.Proc) {
+			eng.Spawn(c.Name(), func(cp cudele.Proc) {
 				defer func() { done[i] = true }()
 				if mode == "posix" {
 					dir, _ := c.Resolve(cp, fmt.Sprintf("/posix/rank%02d", i))

@@ -32,9 +32,9 @@ func run(block, interfere bool) ([]float64, uint64) {
 	}
 	intruder := cl.NewClient("intruder")
 	times := make([]float64, users)
-	eng := cl.Engine()
+	eng := cl.Runtime()
 
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		dirs := make([]cudele.Ino, users)
 		for i, c := range owners {
 			path := fmt.Sprintf("/home/user%d", i)
@@ -55,7 +55,7 @@ func run(block, interfere bool) ([]float64, uint64) {
 		}
 		for i, c := range owners {
 			i, c := i, c
-			eng.Go(c.Name(), func(cp *cudele.Proc) {
+			eng.Spawn(c.Name(), func(cp cudele.Proc) {
 				start := cp.Now()
 				if _, _, err := workload.CreateMany(cp, c, dirs[i], filesPerUser, "result"); err != nil {
 					log.Fatalf("user %d: %v", i, err)
@@ -64,7 +64,7 @@ func run(block, interfere bool) ([]float64, uint64) {
 			})
 		}
 		if interfere {
-			eng.Go("intruder", func(ip *cudele.Proc) {
+			eng.Spawn("intruder", func(ip cudele.Proc) {
 				ip.Sleep(2e9) // arrives 2 s into the job
 				workload.Interfere(ip, intruder, dirs, intruderPer)
 			})

@@ -23,9 +23,9 @@ func main() {
 	cl := cudele.NewCluster(cudele.WithSeed(3))
 	writer := cl.NewClient("job")
 	watcher := cl.NewClient("enduser")
-	eng := cl.Engine()
+	eng := cl.Runtime()
 
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		if _, err := writer.MkdirAll(p, "/exp", 0755); err != nil {
 			log.Fatalf("mkdir: %v", err)
 		}
@@ -41,7 +41,7 @@ allocated_inodes: %d
 
 		// The end-user polls progress with ls every second — the
 		// notoriously heavy-weight practice the paper describes.
-		eng.Go("enduser", func(wp *cudele.Proc) {
+		eng.Spawn("enduser", func(wp cudele.Proc) {
 			for !jobDone {
 				names, err := watcher.ReadDir(wp, root)
 				if err == nil {

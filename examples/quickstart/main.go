@@ -16,7 +16,7 @@ func main() {
 	cl := cudele.NewCluster(cudele.WithSeed(42))
 	c := cl.NewClient("client.0")
 
-	elapsed := cl.Run(func(p *cudele.Proc) {
+	elapsed := cl.Run(func(p cudele.Proc) {
 		// 1. Plain POSIX-style metadata ops over RPCs (strong
 		// consistency, every op is a round trip to the MDS).
 		dir, err := c.MkdirAll(p, "/home/alice/job", 0755)

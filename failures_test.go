@@ -57,7 +57,7 @@ const matrixFiles = 20
 // setupDecoupled builds a cluster with /job decoupled under the given
 // policy, 20 files created into the client journal, and asserts the
 // consistency half of the contract: nothing is visible before a merge.
-func setupDecoupled(t *testing.T, p *cudele.Proc, cl *cudele.Cluster, c *cudele.Client,
+func setupDecoupled(t *testing.T, p cudele.Proc, cl *cudele.Cluster, c *cudele.Client,
 	cons policy.Consistency, dur policy.Durability) (*cudele.Entry, *cudele.Policy) {
 	t.Helper()
 	if _, err := c.MkdirAll(p, "/job", 0755); err != nil {
@@ -101,7 +101,7 @@ func matrixClientCrash(t *testing.T, cons policy.Consistency, dur policy.Durabil
 	if cons == cudele.ConsStrong {
 		// Strong updates are at the MDS when acked: a client crash
 		// loses nothing regardless of durability level.
-		cl.Run(func(p *cudele.Proc) {
+		cl.Run(func(p cudele.Proc) {
 			dir, _ := c.MkdirAll(p, "/job", 0755)
 			for i := 0; i < matrixFiles; i++ {
 				if _, err := c.Create(p, dir, fmt.Sprintf("f%d", i), 0644); err != nil {
@@ -118,7 +118,7 @@ func matrixClientCrash(t *testing.T, cons policy.Consistency, dur policy.Durabil
 		return
 	}
 	rescuer := cl.NewClient("rescue")
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		setupDecoupled(t, p, cl, c, cons, dur)
 		switch dur {
 		case cudele.DurNone:
@@ -181,7 +181,7 @@ func matrixMDSCrash(t *testing.T, cons policy.Consistency, dur policy.Durability
 	}
 	c := cl.NewClient("c0")
 	if cons == cudele.ConsStrong {
-		cl.Run(func(p *cudele.Proc) {
+		cl.Run(func(p cudele.Proc) {
 			dir, _ := c.MkdirAll(p, "/job", 0755)
 			if err := cl.MDS().SaveStore(p); err != nil {
 				t.Fatalf("save store: %v", err)
@@ -215,7 +215,7 @@ func matrixMDSCrash(t *testing.T, cons policy.Consistency, dur policy.Durability
 		})
 		return
 	}
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		entry, pol := setupDecoupled(t, p, cl, c, cons, dur)
 		// The unmerged journal lives on the client, so an MDS crash
 		// cannot touch it — at any durability level. After the MDS
@@ -264,7 +264,7 @@ func matrixCrashDuringGlobalPersist(t *testing.T, cons policy.Consistency, dur p
 			cl := cudele.NewCluster()
 			c := cl.NewClient("c0")
 			rescuer := cl.NewClient("rescue")
-			cl.Run(func(p *cudele.Proc) {
+			cl.Run(func(p cudele.Proc) {
 				setupDecoupled(t, p, cl, c, cons, dur)
 				inj := rados.NewFaultInjector(7)
 				inj.MaxFaults = 1
@@ -303,7 +303,7 @@ func TestInterfererCannotDestroyDecoupledResults(t *testing.T) {
 	cl := cudele.NewCluster()
 	owner := cl.NewClient("owner")
 	intr := cl.NewClient("intr")
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		owner.MkdirAll(p, "/exp", 0755)
 		cl.DecouplePolicy(p, owner, "/exp", &cudele.Policy{
 			Consistency: cudele.ConsWeak, Durability: cudele.DurNone,

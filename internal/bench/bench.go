@@ -30,6 +30,12 @@ type Options struct {
 	// from every simulation run (the -trace/-metrics flags). Observation
 	// is passive: tables are byte-identical with or without a sink.
 	Sink *Sink
+
+	// DataDir, when non-empty, roots the real backend's durability: each
+	// real run gets its own subdirectory for fsynced object files and
+	// client journals. Only RunReal reads it; the registered experiments
+	// are all pure simulations.
+	DataDir string
 }
 
 // DefaultOptions is paper scale.

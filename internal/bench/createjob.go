@@ -36,6 +36,12 @@ type jobConfig struct {
 	// observability sink; a nil sink means observation is off.
 	sink *Sink
 	run  string
+
+	// backend selects the execution backend; the zero value is the
+	// simulator, so every registered experiment is untouched. dataDir,
+	// on the real backend, roots this run's fsynced object files.
+	backend cudele.Backend
+	dataDir string
 }
 
 // jobResult reports per-client completion times and the total job time.
@@ -64,7 +70,14 @@ func runCreateJob(jc jobConfig) (*jobResult, error) {
 	if jc.segEvents > 0 {
 		cfg.SegmentEvents = jc.segEvents
 	}
-	cl := cudele.NewCluster(cudele.WithSeed(jc.seed), cudele.WithConfig(cfg))
+	copts := []cudele.Option{cudele.WithSeed(jc.seed), cudele.WithConfig(cfg)}
+	if jc.backend == cudele.BackendReal {
+		copts = append(copts, cudele.WithBackend(cudele.BackendReal))
+		if jc.dataDir != "" {
+			copts = append(copts, cudele.WithDataDir(jc.dataDir))
+		}
+	}
+	cl := cudele.NewCluster(copts...)
 	jc.sink.start(jc.run, cl)
 	cl.MDS().SetStream(jc.journal)
 
@@ -78,8 +91,8 @@ func runCreateJob(jc jobConfig) (*jobResult, error) {
 	dirs := make([]namespace.Ino, jc.clients)
 	var setupErr error
 
-	eng := cl.Engine()
-	cl.Go("setup", func(p *cudele.Proc) {
+	eng := cl.Runtime()
+	cl.Go("setup", func(p cudele.Proc) {
 		// Each client makes its private directory; optionally register
 		// it with an interfere-block policy owned by that client
 		// (Fig 6b's Cudele setup).
@@ -105,7 +118,7 @@ func runCreateJob(jc jobConfig) (*jobResult, error) {
 		// Spawn the per-client create loops.
 		for i, c := range clients {
 			i, c := i, c
-			eng.Go(c.Name(), func(cp *cudele.Proc) {
+			eng.Spawn(c.Name(), func(cp cudele.Proc) {
 				if jc.jitter > 0 {
 					cp.Sleep(time.Duration(eng.Rand().Int63n(int64(jc.jitter))))
 				}
@@ -124,7 +137,7 @@ func runCreateJob(jc jobConfig) (*jobResult, error) {
 		// variability in when capabilities get revoked is what makes
 		// interference runs noisy (paper Fig 3b's error bars).
 		if jc.interfereAt > 0 {
-			eng.Go("intruder", func(ip *cudele.Proc) {
+			eng.Spawn("intruder", func(ip cudele.Proc) {
 				at := jc.interfereAt * (0.5 + eng.Rand().Float64())
 				ip.Sleep(time.Duration(at * 1e9))
 				workload.Interfere(ip, intruder, dirs, jc.interferePerDir)

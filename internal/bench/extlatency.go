@@ -32,9 +32,9 @@ func ExtLatency(opts Options) (*Result, error) {
 			clients[i] = cl.NewClient(fmt.Sprintf("client.%d", i))
 		}
 		intr := cl.NewClient("intruder")
-		eng := cl.Engine()
+		eng := cl.Runtime()
 		var setupErr error
-		cl.Go("main", func(p *cudele.Proc) {
+		cl.Go("main", func(p cudele.Proc) {
 			dirs := make([]cudele.Ino, nClients)
 			for i, c := range clients {
 				d, err := c.Mkdir(p, cudele.RootIno, fmt.Sprintf("dir%d", i), 0755)
@@ -56,12 +56,12 @@ func ExtLatency(opts Options) (*Result, error) {
 			}
 			for i, c := range clients {
 				i, c := i, c
-				eng.Go(c.Name(), func(cp *cudele.Proc) {
+				eng.Spawn(c.Name(), func(cp cudele.Proc) {
 					workload.CreateMany(cp, c, dirs[i], perClient, "f")
 				})
 			}
 			if interfere {
-				eng.Go("intruder", func(ip *cudele.Proc) {
+				eng.Spawn("intruder", func(ip cudele.Proc) {
 					ip.Sleep(2 * time.Second)
 					workload.Interfere(ip, intr, dirs, perDir)
 				})

@@ -49,7 +49,7 @@ func fig2Run(opts Options) ([]fig2PhaseRow, error) {
 	var rows []fig2PhaseRow
 	var runErr error
 
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		root, err := c.Mkdir(p, cudele.RootIno, "linux-build", 0755)
 		if err != nil {
 			runErr = err

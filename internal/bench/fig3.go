@@ -6,7 +6,6 @@ import (
 
 	"cudele"
 	"cudele/internal/mds"
-	"cudele/internal/sim"
 	"cudele/internal/stats"
 	"cudele/internal/workload"
 )
@@ -232,7 +231,7 @@ func Fig3c(opts Options) (*Result, error) {
 
 		out := &fig3cSampled{requests: &stats.Series{}, lookups: &stats.Series{}}
 		done := false
-		eng := cl.Engine()
+		eng := cl.Runtime()
 
 		clients := make([]*cudele.Client, nClients)
 		for i := range clients {
@@ -240,7 +239,7 @@ func Fig3c(opts Options) (*Result, error) {
 		}
 		intr := cl.NewClient("intruder")
 
-		cl.Go("main", func(p *cudele.Proc) {
+		cl.Go("main", func(p cudele.Proc) {
 			dirs := make([]cudele.Ino, nClients)
 			for i, c := range clients {
 				d, err := c.Mkdir(p, cudele.RootIno, fmt.Sprintf("dir%d", i), 0755)
@@ -250,7 +249,7 @@ func Fig3c(opts Options) (*Result, error) {
 				dirs[i] = d
 			}
 			// Sampler.
-			eng.Go("sampler", func(sp *cudele.Proc) {
+			eng.Spawn("sampler", func(sp cudele.Proc) {
 				for !done {
 					m := cl.MDS().Metrics()
 					out.requests.Add(sp.Now().Seconds(), float64(m.Requests))
@@ -259,15 +258,15 @@ func Fig3c(opts Options) (*Result, error) {
 				}
 			})
 			if interfere {
-				eng.Go("intruder", func(ip *cudele.Proc) {
+				eng.Spawn("intruder", func(ip cudele.Proc) {
 					ip.Sleep(time.Duration(interfereAt * 1e9))
 					workload.Interfere(ip, intr, dirs, perDir)
 				})
 			}
-			grp := sim.NewGroup(eng)
+			grp := eng.NewGroup()
 			for i, c := range clients {
 				i, c := i, c
-				grp.Go(c.Name(), func(cp *cudele.Proc) {
+				grp.Go(c.Name(), func(cp cudele.Proc) {
 					workload.CreateMany(cp, c, dirs[i], perClient, "f")
 				})
 			}

@@ -14,11 +14,11 @@ func init() {
 // mechCluster builds a cluster with one decoupled client that has already
 // appended n creates to its journal (untimed unless timed is captured by
 // the caller inside fn).
-func withDecoupledJournal(seed int64, n int, fn func(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, appendSecs float64) error) error {
+func withDecoupledJournal(seed int64, n int, fn func(cl *cudele.Cluster, c *cudele.Client, p cudele.Proc, appendSecs float64) error) error {
 	cl := cudele.NewCluster(cudele.WithSeed(seed))
 	c := cl.NewClient("client.0")
 	var err error
-	cl.Run(func(p *cudele.Proc) {
+	cl.Run(func(p cudele.Proc) {
 		if _, err = c.MkdirAll(p, "/job", 0755); err != nil {
 			return
 		}
@@ -76,7 +76,7 @@ func Fig5(opts Options) (*Result, error) {
 		var t fig5Times
 		switch i {
 		case 0: // non-destructive persists, then volatile apply
-			err := withDecoupledJournal(opts.Seed, n, func(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, appendSecs float64) error {
+			err := withDecoupledJournal(opts.Seed, n, func(cl *cudele.Cluster, c *cudele.Client, p cudele.Proc, appendSecs float64) error {
 				t.append_ = appendSecs
 				start := p.Now()
 				if err := c.LocalPersist(p); err != nil {
@@ -97,7 +97,7 @@ func Fig5(opts Options) (*Result, error) {
 			})
 			return t, err
 		case 1: // destructive nonvolatile apply on its own journal
-			err := withDecoupledJournal(opts.Seed, n, func(cl *cudele.Cluster, c *cudele.Client, p *cudele.Proc, _ float64) error {
+			err := withDecoupledJournal(opts.Seed, n, func(cl *cudele.Cluster, c *cudele.Client, p cudele.Proc, _ float64) error {
 				start := p.Now()
 				if _, err := c.NonvolatileApply(p); err != nil {
 					return err

@@ -28,8 +28,8 @@ func decoupledJob(seed int64, n, perClient int, merge bool, stagger time.Duratio
 		clients[i] = cl.NewClient(fmt.Sprintf("client.%d", i))
 	}
 	var jobErr error
-	eng := cl.Engine()
-	cl.Go("setup", func(p *cudele.Proc) {
+	eng := cl.Runtime()
+	cl.Go("setup", func(p cudele.Proc) {
 		for i, c := range clients {
 			path := fmt.Sprintf("/job%d", i)
 			if _, err := c.MkdirAll(p, path, 0755); err != nil {
@@ -50,7 +50,7 @@ func decoupledJob(seed int64, n, perClient int, merge bool, stagger time.Duratio
 		}
 		for i, c := range clients {
 			i, c := i, c
-			eng.Go(c.Name(), func(cp *cudele.Proc) {
+			eng.Spawn(c.Name(), func(cp cudele.Proc) {
 				if stagger > 0 {
 					cp.Sleep(time.Duration(i) * stagger)
 				}
@@ -210,7 +210,7 @@ func Fig6c(opts Options) (*Result, error) {
 		var pauses int
 		var shipped int
 		var total float64
-		cl.Run(func(p *cudele.Proc) {
+		cl.Run(func(p cudele.Proc) {
 			if _, err := c.MkdirAll(p, "/exp", 0755); err != nil {
 				runErr = err
 				return

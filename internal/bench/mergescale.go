@@ -59,8 +59,8 @@ func mergeScaleRun(sink *Sink, seed int64, n, perClient int, mode string) (merge
 	var jobErr error
 	done := make([]float64, n)
 	latency := make([]float64, n)
-	eng := cl.Engine()
-	cl.Go("setup", func(p *cudele.Proc) {
+	eng := cl.Runtime()
+	cl.Go("setup", func(p cudele.Proc) {
 		for i, c := range clients {
 			path := fmt.Sprintf("/job%d", i)
 			if _, err := c.MkdirAll(p, path, 0755); err != nil {
@@ -78,7 +78,7 @@ func mergeScaleRun(sink *Sink, seed int64, n, perClient int, mode string) (merge
 		}
 		for i, c := range clients {
 			i, c := i, c
-			eng.Go(c.Name(), func(cp *cudele.Proc) {
+			eng.Spawn(c.Name(), func(cp cudele.Proc) {
 				root, _ := c.DecoupledRoot()
 				if _, err := workload.CreateManyLocal(cp, c, root, perClient, "f"); err != nil {
 					jobErr = err

@@ -34,8 +34,8 @@ func multiMDSRun(sink *Sink, seed int64, ranks, clients, perClient int) (multiMD
 		cs[i] = cl.NewClient(fmt.Sprintf("client.%d", i))
 	}
 	var jobErr error
-	eng := cl.Engine()
-	cl.Go("setup", func(p *cudele.Proc) {
+	eng := cl.Runtime()
+	cl.Go("setup", func(p cudele.Proc) {
 		for i, c := range cs {
 			path := fmt.Sprintf("/job%d", i)
 			if _, err := c.MkdirAll(p, path, 0755); err != nil {
@@ -49,7 +49,7 @@ func multiMDSRun(sink *Sink, seed int64, ranks, clients, perClient int) (multiMD
 		}
 		for i, c := range cs {
 			i, c := i, c
-			eng.Go(c.Name(), func(cp *cudele.Proc) {
+			eng.Spawn(c.Name(), func(cp cudele.Proc) {
 				dir, err := c.Resolve(cp, fmt.Sprintf("/job%d", i))
 				if err != nil {
 					jobErr = err

@@ -72,7 +72,7 @@ func runGrid[T any](opts Options, n int, run func(i int) (T, error)) ([]T, error
 // runs in a full `cudele-bench all` — and so a leak in any experiment
 // fails loudly instead of hiding in a worker.
 func reap(cl *cudele.Cluster) error {
-	err := cl.Engine().LeakCheck()
-	cl.Engine().Shutdown()
+	err := cl.Runtime().LeakCheck()
+	cl.Runtime().Shutdown()
 	return err
 }

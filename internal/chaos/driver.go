@@ -12,6 +12,7 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 	"cudele/internal/transport"
 )
@@ -73,7 +74,7 @@ type driver struct {
 	bgSet   map[string]uint64 // background client's acked updates
 
 	pending    []sim.Fault // faults waiting for the next op boundary
-	bgDone     *sim.Signal
+	bgDone     runtime.Signal
 	mdsCrashed bool
 
 	// seenIno is every inode number ever acked, by path — the
@@ -140,7 +141,7 @@ func (d *driver) streamOn() bool {
 }
 
 // main is the schedule's script process.
-func (d *driver) main(p *sim.Proc) {
+func (d *driver) main(p runtime.Task) {
 	if !d.setup(p) {
 		return
 	}
@@ -159,7 +160,7 @@ func (d *driver) main(p *sim.Proc) {
 	// recovery verified.
 	if last := d.plan.Faults.Last(); last > 0 {
 		if now := p.Now(); now <= last {
-			p.Sleep(sim.Duration(last-now) + sim.Duration(1e6))
+			p.Sleep(runtime.Duration(last-now) + runtime.Duration(1e6))
 		}
 	}
 	d.drain(p)
@@ -173,7 +174,7 @@ func (d *driver) main(p *sim.Proc) {
 // registers the decoupled policies, and only then arms the fault
 // injectors — so setup itself always succeeds and the calibrated
 // baseline of the protocol stack is what the faults strike.
-func (d *driver) setup(p *sim.Proc) bool {
+func (d *driver) setup(p runtime.Task) bool {
 	if _, err := d.c.MkdirAll(p, mainPath, 0o755); err != nil {
 		d.violate("setup: mkdir %s: %v", mainPath, err)
 		return false
@@ -248,9 +249,9 @@ func (d *driver) setup(p *sim.Proc) bool {
 		d.srv.InjectFaults(transport.NewFaultInterceptor(d.plan.Seed^0x77697265, transport.FaultConfig{
 			DropProb:        0.2,
 			MaxRetransmits:  3,
-			RetransmitDelay: sim.Duration(1e6),
+			RetransmitDelay: runtime.Duration(1e6),
 			DelayProb:       0.2,
-			MaxExtraDelay:   sim.Duration(2e6),
+			MaxExtraDelay:   runtime.Duration(2e6),
 			DuplicateProb:   0.2,
 			DuplicateOK: func(msg any) bool {
 				// Double delivery is only injected for read-only RPCs,
@@ -269,7 +270,7 @@ func (d *driver) setup(p *sim.Proc) bool {
 // drain applies every fault that has fired since the last op boundary —
 // crash plus immediate restart and recovery, one at a time — then
 // re-checks the visibility contracts.
-func (d *driver) drain(p *sim.Proc) {
+func (d *driver) drain(p runtime.Task) {
 	for len(d.pending) > 0 {
 		f := d.pending[0]
 		d.pending = d.pending[1:]
@@ -290,7 +291,7 @@ func (d *driver) drain(p *sim.Proc) {
 // crashClient kills and restarts the main client. DurLocal's contract
 // is exercised here: an acked Local Persist must restore exactly the
 // persisted journal.
-func (d *driver) crashClient(p *sim.Proc) {
+func (d *driver) crashClient(p runtime.Task) {
 	d.c.Crash()
 	d.o.clientCrash()
 	d.cands = d.cands[:1]
@@ -316,7 +317,7 @@ func (d *driver) crashClient(p *sim.Proc) {
 // crashMDS kills and restarts the metadata server, replays the
 // registrations in their original order, and asserts each re-attach
 // reproduces the original inode grant.
-func (d *driver) crashMDS(p *sim.Proc) {
+func (d *driver) crashMDS(p runtime.Task) {
 	d.mdsCrashed = true
 	d.srv.Crash()
 	d.o.mdsCrash()
@@ -342,7 +343,7 @@ func (d *driver) crashMDS(p *sim.Proc) {
 }
 
 // step runs one weighted random workload operation.
-func (d *driver) step(p *sim.Proc) {
+func (d *driver) step(p runtime.Task) {
 	if d.strong() {
 		d.stepStrong(p)
 		return
@@ -366,7 +367,7 @@ func (d *driver) step(p *sim.Proc) {
 	}
 }
 
-func (d *driver) stepStrong(p *sim.Proc) {
+func (d *driver) stepStrong(p runtime.Task) {
 	roll := d.rng.Float64()
 	switch {
 	case roll < 0.70:
@@ -404,7 +405,7 @@ func (d *driver) ackIno(ino uint64, path string) {
 	d.seenIno[ino] = path
 }
 
-func (d *driver) opLocalCreate(p *sim.Proc) {
+func (d *driver) opLocalCreate(p runtime.Task) {
 	par := d.cands[d.rng.Intn(len(d.cands))]
 	name := d.nextName("f")
 	ino, err := d.c.LocalCreate(p, par.ino, name, 0o644)
@@ -419,7 +420,7 @@ func (d *driver) opLocalCreate(p *sim.Proc) {
 	})
 }
 
-func (d *driver) opLocalMkdir(p *sim.Proc) {
+func (d *driver) opLocalMkdir(p runtime.Task) {
 	if len(d.cands) >= maxParents {
 		d.opLocalCreate(p)
 		return
@@ -443,7 +444,7 @@ func (d *driver) opLocalMkdir(p *sim.Proc) {
 	d.cands = append(d.cands, parentRef{ino, path})
 }
 
-func (d *driver) opPersist(p *sim.Proc) {
+func (d *driver) opPersist(p runtime.Task) {
 	switch d.plan.Dur {
 	case policy.DurLocal:
 		if err := d.c.LocalPersist(p); err != nil {
@@ -458,7 +459,7 @@ func (d *driver) opPersist(p *sim.Proc) {
 	}
 }
 
-func (d *driver) opGlobalPersist(p *sim.Proc) {
+func (d *driver) opGlobalPersist(p runtime.Task) {
 	if err := d.c.GlobalPersist(p); err != nil {
 		if errors.Is(err, rados.ErrIO) {
 			// Injected storage fault: the persist was not acked, so
@@ -472,7 +473,7 @@ func (d *driver) opGlobalPersist(p *sim.Proc) {
 	d.o.globalPersistOK()
 }
 
-func (d *driver) opMerge(p *sim.Proc) {
+func (d *driver) opMerge(p runtime.Task) {
 	want := len(d.o.journal)
 	applied, err := d.c.VolatileApply(p)
 	d.res.Merges++
@@ -488,7 +489,7 @@ func (d *driver) opMerge(p *sim.Proc) {
 	d.checkVisible()
 }
 
-func (d *driver) opRPCCreate(p *sim.Proc) {
+func (d *driver) opRPCCreate(p runtime.Task) {
 	par := d.scands[d.rng.Intn(len(d.scands))]
 	name := d.nextName("f")
 	ino, err := d.c.Create(p, par.ino, name, 0o644)
@@ -502,7 +503,7 @@ func (d *driver) opRPCCreate(p *sim.Proc) {
 	}, d.streamOn())
 }
 
-func (d *driver) opRPCMkdir(p *sim.Proc) {
+func (d *driver) opRPCMkdir(p runtime.Task) {
 	if len(d.scands) >= maxParents {
 		d.opRPCCreate(p)
 		return
@@ -527,14 +528,14 @@ func (d *driver) opRPCMkdir(p *sim.Proc) {
 // with the main workload, to exercise admission slots and fairness
 // under chaos.
 func (d *driver) startBG() {
-	d.bgDone = sim.NewSignal(d.cl.Engine())
-	d.cl.Go("chaos.bg", func(p *sim.Proc) {
+	d.bgDone = d.cl.Runtime().NewSignal()
+	d.cl.Go("chaos.bg", func(p runtime.Task) {
 		defer d.bgDone.Fire(nil)
 		d.runBG(p)
 	})
 }
 
-func (d *driver) runBG(p *sim.Proc) {
+func (d *driver) runBG(p runtime.Task) {
 	for round := 0; round < 6; round++ {
 		for i := 0; i < 8; i++ {
 			name := fmt.Sprintf("b%06d", d.bgSeq)
@@ -552,7 +553,7 @@ func (d *driver) runBG(p *sim.Proc) {
 			return
 		}
 		d.res.Merges++
-		p.Sleep(sim.Duration(200e3))
+		p.Sleep(runtime.Duration(200e3))
 	}
 }
 
@@ -594,7 +595,7 @@ func (d *driver) checkInvisible() {
 // finalVerify is the end-of-schedule contract check: recover everything
 // each policy guarantees, then sweep the namespace for phantoms, grant
 // violations, structural damage, and leaked merge slots.
-func (d *driver) finalVerify(p *sim.Proc) {
+func (d *driver) finalVerify(p runtime.Task) {
 	d.checkInvisible()
 	if !d.strong() {
 		// Persist the tail so the global image covers the whole run,
@@ -632,7 +633,7 @@ func (d *driver) finalVerify(p *sim.Proc) {
 // cleanly; after a failed persist the image may be torn or stale, but
 // whatever recovers must stay inside the acked-update set (the phantom
 // walk checks that half).
-func (d *driver) verifyGlobal(p *sim.Proc) {
+func (d *driver) verifyGlobal(p runtime.Task) {
 	if d.o.global == globalNone {
 		return
 	}

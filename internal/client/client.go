@@ -19,7 +19,7 @@ import (
 	"cudele/internal/model"
 	"cudele/internal/namespace"
 	"cudele/internal/rados"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 	"cudele/internal/stats"
 	"cudele/internal/trace"
 	"cudele/internal/transport"
@@ -64,15 +64,18 @@ type Stats struct {
 
 // Client is one storage client (application node).
 type Client struct {
-	eng  *sim.Engine
+	eng  runtime.Runtime
 	cfg  model.Config
 	name string
 	svc  Service
 	obj  *rados.Cluster
 
 	// localDisk models the node's own disk (Local Persist target).
-	localDisk  *sim.Pipe
+	localDisk  runtime.Pipe
 	localFiles map[string][]byte
+	// localDir, when set, makes Local Persist write a real fsynced
+	// file under it instead of charging localDisk (see localstore.go).
+	localDir string
 
 	// RPC-path state: which directories we hold the read-caching cap
 	// on, which are known shared, and our local dentry cache.
@@ -122,14 +125,14 @@ type decoupled struct {
 
 // New creates a client attached to a metadata service and object store.
 // svc may be a single *mds.Server or a routed *mds.Portal.
-func New(eng *sim.Engine, cfg model.Config, name string, svc Service, obj *rados.Cluster) *Client {
+func New(eng runtime.Runtime, cfg model.Config, name string, svc Service, obj *rados.Cluster) *Client {
 	return &Client{
 		eng:        eng,
 		cfg:        cfg,
 		name:       name,
 		svc:        svc,
 		obj:        obj,
-		localDisk:  sim.NewPipe(eng, name+".disk", cfg.LocalDiskBandwidth),
+		localDisk:  eng.NewPipe(name+".disk", cfg.LocalDiskBandwidth),
 		localFiles: make(map[string][]byte),
 		caps:       make(map[namespace.Ino]bool),
 		shared:     make(map[namespace.Ino]bool),
@@ -159,7 +162,7 @@ func (c *Client) Latency() *stats.Histogram { return &c.latency }
 func (c *Client) CreateLatency() *stats.Histogram { return &c.createLatency }
 
 // LocalDisk exposes the client's disk pipe for utilization reporting.
-func (c *Client) LocalDisk() *sim.Pipe { return c.localDisk }
+func (c *Client) LocalDisk() runtime.Pipe { return c.localDisk }
 
 // Mount opens the client's MDS session.
 func (c *Client) Mount() { c.svc.OpenSession(c.name) }
@@ -214,7 +217,7 @@ func (c *Client) Crash() {
 // on the same grant, with the allocation cursor where the old life left
 // it. The journal starts empty; RecoverLocal reloads a locally persisted
 // image into it.
-func (c *Client) Restart(p *sim.Proc) error {
+func (c *Client) Restart(p runtime.Task) error {
 	c.Mount()
 	stub := c.crashed
 	c.crashed = nil
@@ -259,7 +262,7 @@ func (c *Client) childPath(dir namespace.Ino, name string) string {
 
 // submit sends one RPC, charging client-side overhead, and folds the
 // reply's capability bits into local state.
-func (c *Client) submit(p *sim.Proc, req *mds.Request) *mds.Reply {
+func (c *Client) submit(p runtime.Task, req *mds.Request) *mds.Reply {
 	start := p.Now()
 	rec := c.eng.Tracer()
 	span := trace.SpanID(-1)
@@ -271,7 +274,7 @@ func (c *Client) submit(p *sim.Proc, req *mds.Request) *mds.Reply {
 	c.stats.RPCs++
 	reply := c.svc.Call(p, req).(*mds.Reply)
 	rec.End(span, int64(p.Now()))
-	c.latency.Observe(sim.Duration(p.Now() - start))
+	c.latency.Observe(runtime.Duration(p.Now() - start))
 	if reply.CapGranted {
 		c.caps[req.Parent] = true
 	}
@@ -298,9 +301,9 @@ func (c *Client) cacheDentry(dir namespace.Ino, name string, ino namespace.Ino) 
 // §IV-C: if the client caches the directory inode (holds the read cap) it
 // can check existence locally and send a single create RPC; otherwise it
 // must send a lookup RPC first.
-func (c *Client) Create(p *sim.Proc, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
+func (c *Client) Create(p runtime.Task, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
 	start := p.Now()
-	defer func() { c.createLatency.Observe(sim.Duration(p.Now() - start)) }()
+	defer func() { c.createLatency.Observe(runtime.Duration(p.Now() - start)) }()
 	if c.caps[dir] && !c.shared[dir] {
 		// Local existence check against the cached dentries.
 		c.stats.LocalLookups++
@@ -328,7 +331,7 @@ func (c *Client) Create(p *sim.Proc, dir namespace.Ino, name string, mode uint32
 }
 
 // Mkdir makes a directory via RPC.
-func (c *Client) Mkdir(p *sim.Proc, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
+func (c *Client) Mkdir(p runtime.Task, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
 	r := c.submit(p, &mds.Request{Op: mds.OpMkdir, Parent: dir, Name: name, Mode: mode, Route: c.pathOf(dir)})
 	if r.Err != nil {
 		return 0, r.Err
@@ -339,7 +342,7 @@ func (c *Client) Mkdir(p *sim.Proc, dir namespace.Ino, name string, mode uint32)
 }
 
 // MkdirAll resolves or creates each directory along path via RPC.
-func (c *Client) MkdirAll(p *sim.Proc, path string, mode uint32) (namespace.Ino, error) {
+func (c *Client) MkdirAll(p runtime.Task, path string, mode uint32) (namespace.Ino, error) {
 	cur := namespace.RootIno
 	curPath := "/"
 	for it := namespace.SplitIter(path); ; {
@@ -373,7 +376,7 @@ func (c *Client) MkdirAll(p *sim.Proc, path string, mode uint32) (namespace.Ino,
 
 // Lookup resolves one dentry via RPC, bypassing the local cache (an
 // explicit stat(2)-like existence check).
-func (c *Client) Lookup(p *sim.Proc, dir namespace.Ino, name string) (namespace.Ino, error) {
+func (c *Client) Lookup(p runtime.Task, dir namespace.Ino, name string) (namespace.Ino, error) {
 	c.stats.RemoteLookups++
 	r := c.submit(p, &mds.Request{Op: mds.OpLookup, Parent: dir, Name: name, Route: c.pathOf(dir)})
 	if r.Err != nil {
@@ -386,7 +389,7 @@ func (c *Client) Lookup(p *sim.Proc, dir namespace.Ino, name string) (namespace.
 }
 
 // Resolve walks a path on the server.
-func (c *Client) Resolve(p *sim.Proc, path string) (namespace.Ino, error) {
+func (c *Client) Resolve(p runtime.Task, path string) (namespace.Ino, error) {
 	r := c.submit(p, &mds.Request{Op: mds.OpResolve, Path: path, Route: path})
 	if r.Err != nil {
 		return 0, r.Err
@@ -398,13 +401,13 @@ func (c *Client) Resolve(p *sim.Proc, path string) (namespace.Ino, error) {
 }
 
 // ReadDir lists a directory via RPC (the heavy "ls" of §V-B3).
-func (c *Client) ReadDir(p *sim.Proc, dir namespace.Ino) ([]string, error) {
+func (c *Client) ReadDir(p runtime.Task, dir namespace.Ino) ([]string, error) {
 	r := c.submit(p, &mds.Request{Op: mds.OpReadDir, Parent: dir, Route: c.pathOf(dir)})
 	return r.Names, r.Err
 }
 
 // Unlink removes a file via RPC.
-func (c *Client) Unlink(p *sim.Proc, dir namespace.Ino, name string) error {
+func (c *Client) Unlink(p runtime.Task, dir namespace.Ino, name string) error {
 	r := c.submit(p, &mds.Request{Op: mds.OpUnlink, Parent: dir, Name: name, Route: c.pathOf(dir)})
 	if r.Err == nil {
 		delete(c.dcache[dir], name)
@@ -414,7 +417,7 @@ func (c *Client) Unlink(p *sim.Proc, dir namespace.Ino, name string) error {
 
 // Rename moves a dentry via RPC. Cross-rank renames are not supported:
 // the request routes by the source parent's subtree.
-func (c *Client) Rename(p *sim.Proc, dir namespace.Ino, name string, newDir namespace.Ino, newName string) error {
+func (c *Client) Rename(p runtime.Task, dir namespace.Ino, name string, newDir namespace.Ino, newName string) error {
 	r := c.submit(p, &mds.Request{Op: mds.OpRename, Parent: dir, Name: name, NewParent: newDir, NewName: newName, Route: c.pathOf(dir)})
 	if r.Err == nil {
 		delete(c.dcache[dir], name)
@@ -424,13 +427,13 @@ func (c *Client) Rename(p *sim.Proc, dir namespace.Ino, name string, newDir name
 }
 
 // SetAttr updates attributes via RPC.
-func (c *Client) SetAttr(p *sim.Proc, ino namespace.Ino, mode, uid, gid uint32, size uint64, mtime int64) error {
+func (c *Client) SetAttr(p runtime.Task, ino namespace.Ino, mode, uid, gid uint32, size uint64, mtime int64) error {
 	r := c.submit(p, &mds.Request{Op: mds.OpSetAttr, Ino: ino, Mode: mode, UID: uid, GID: gid, Size: size, Mtime: mtime, Route: c.pathOf(ino)})
 	return r.Err
 }
 
 // Stat fetches attributes via RPC.
-func (c *Client) Stat(p *sim.Proc, ino namespace.Ino) (*mds.Reply, error) {
+func (c *Client) Stat(p runtime.Task, ino namespace.Ino) (*mds.Reply, error) {
 	r := c.submit(p, &mds.Request{Op: mds.OpGetAttr, Ino: ino, Route: c.pathOf(ino)})
 	if r.Err != nil {
 		return nil, r.Err

@@ -8,7 +8,7 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 func TestNameAndLocalDisk(t *testing.T) {
@@ -25,7 +25,7 @@ func TestNameAndLocalDisk(t *testing.T) {
 func TestLookupRPC(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, _ := c.Mkdir(p, namespace.RootIno, "d", 0755)
 		ino, _ := c.Create(p, dir, "f", 0644)
 		got, err := c.Lookup(p, dir, "f")
@@ -44,7 +44,7 @@ func TestLookupRPC(t *testing.T) {
 func TestLocalUnlinkAndReadDir(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/j", 0755)
 		c.Decouple(p, "/j", decouplePolicy(policy.ConsWeak, policy.DurNone, 100))
 		root, _ := c.DecoupledRoot()
@@ -80,7 +80,7 @@ func TestLocalUnlinkAndReadDir(t *testing.T) {
 func TestLocalMkdirDeepNesting(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/j", 0755)
 		c.Decouple(p, "/j", decouplePolicy(policy.ConsWeak, policy.DurNone, 1000))
 		root, _ := c.DecoupledRoot()
@@ -115,7 +115,7 @@ func TestJournalNominalBytes(t *testing.T) {
 	if c.JournalNominalBytes() != 0 {
 		t.Fatal("nominal bytes before decoupling != 0")
 	}
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/j", 0755)
 		c.Decouple(p, "/j", decouplePolicy(policy.ConsInvisible, policy.DurNone, 100))
 		root, _ := c.DecoupledRoot()
@@ -131,7 +131,7 @@ func TestJournalNominalBytes(t *testing.T) {
 func TestWaitSyncDrainNoSync(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		if err := c.WaitSyncDrain(p); err != nil {
 			t.Errorf("drain with no sync: %v", err)
 		}
@@ -149,7 +149,7 @@ func TestWaitSyncDrainOnly(t *testing.T) {
 	// apply (visibility) is still pending.
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/j", 0755)
 		c.Decouple(p, "/j", decouplePolicy(policy.ConsInvisible, policy.DurNone, 60000))
 		root, _ := c.DecoupledRoot()
@@ -177,7 +177,7 @@ func TestNonvolatileApplyDeepChain(t *testing.T) {
 	// whose parents are not yet in the shadow store.
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		deep, err := c.MkdirAll(p, "/a/b/c", 0755)
 		if err != nil {
 			t.Fatalf("mkdirall: %v", err)
@@ -207,7 +207,7 @@ func TestNonvolatileApplyDeepChain(t *testing.T) {
 func TestFetchGlobalJournalMissing(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		if _, err := c.FetchGlobalJournal(p, "nobody"); !errors.Is(err, rados.ErrNotFound) {
 			t.Errorf("missing journal err = %v", err)
 		}
@@ -217,7 +217,7 @@ func TestFetchGlobalJournalMissing(t *testing.T) {
 func TestRunCompositionUnknownMechanism(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		comp := policy.Composition{{Parallel: []policy.Mechanism{policy.Mechanism(99)}}}
 		if err := c.RunComposition(p, comp); err == nil {
 			t.Error("unknown mechanism accepted")

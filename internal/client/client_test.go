@@ -11,11 +11,12 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
 type cluster struct {
-	eng *sim.Engine
+	eng runtime.Runtime
 	obj *rados.Cluster
 	srv *mds.Server
 }
@@ -34,16 +35,16 @@ func (cl *cluster) client(name string) *Client {
 	return c
 }
 
-func (cl *cluster) run(t *testing.T, fn func(p *sim.Proc)) {
+func (cl *cluster) run(t *testing.T, fn func(p runtime.Task)) {
 	t.Helper()
-	cl.eng.Go("test", fn)
+	cl.eng.Spawn("test", fn)
 	cl.eng.RunAll()
 }
 
 func TestRPCCreateUsesCap(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, err := c.Mkdir(p, namespace.RootIno, "d", 0755)
 		if err != nil {
 			t.Errorf("mkdir: %v", err)
@@ -74,7 +75,7 @@ func TestInterferenceForcesRemoteLookups(t *testing.T) {
 	cl := newCluster()
 	a := cl.client("a")
 	b := cl.client("b")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, _ := a.Mkdir(p, namespace.RootIno, "d", 0755)
 		a.Create(p, dir, "f0", 0644)
 		if !a.HoldsCap(dir) {
@@ -102,7 +103,7 @@ func TestInterferenceForcesRemoteLookups(t *testing.T) {
 func TestCreateExistingFails(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, _ := c.Mkdir(p, namespace.RootIno, "d", 0755)
 		c.Create(p, dir, "f", 0644)
 		if _, err := c.Create(p, dir, "f", 0644); !errors.Is(err, namespace.ErrExist) {
@@ -119,7 +120,7 @@ func TestCreateExistingFails(t *testing.T) {
 func TestMkdirAllResolveReadDir(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, err := c.MkdirAll(p, "/a/b/c", 0755)
 		if err != nil {
 			t.Errorf("mkdirall: %v", err)
@@ -145,7 +146,7 @@ func TestMkdirAllResolveReadDir(t *testing.T) {
 func TestUnlinkRenameSetAttrStat(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, _ := c.Mkdir(p, namespace.RootIno, "d", 0755)
 		ino, _ := c.Create(p, dir, "f", 0644)
 		if err := c.SetAttr(p, ino, 0600, 1, 2, 99, 12345); err != nil {
@@ -174,7 +175,7 @@ func decouplePolicy(cons policy.Consistency, dur policy.Durability, inodes int) 
 func TestDecoupleLocalCreate(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		err := c.Decouple(p, "/job", decouplePolicy(policy.ConsInvisible, policy.DurNone, 1000))
 		if err != nil {
@@ -215,7 +216,7 @@ func TestDecoupleLocalCreate(t *testing.T) {
 func TestGrantExhaustion(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		c.Decouple(p, "/job", decouplePolicy(policy.ConsInvisible, policy.DurNone, 3))
 		root, _ := c.DecoupledRoot()
@@ -233,7 +234,7 @@ func TestGrantExhaustion(t *testing.T) {
 func TestNotDecoupledErrors(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		if _, err := c.LocalCreate(p, namespace.RootIno, "f", 0644); !errors.Is(err, ErrNotDecoupled) {
 			t.Errorf("local create err = %v", err)
 		}
@@ -258,7 +259,7 @@ func TestNotDecoupledErrors(t *testing.T) {
 func TestVolatileApplyMergesIntoGlobal(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		c.Decouple(p, "/job", decouplePolicy(policy.ConsWeak, policy.DurNone, 1000))
 		root, _ := c.DecoupledRoot()
@@ -289,7 +290,7 @@ func TestVolatileApplyMergesIntoGlobal(t *testing.T) {
 func TestLocalPersistRecover(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		c.Decouple(p, "/job", decouplePolicy(policy.ConsInvisible, policy.DurLocal, 100))
 		root, _ := c.DecoupledRoot()
@@ -322,7 +323,7 @@ func TestGlobalPersistFetch(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
 	other := cl.client("c1")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		c.Decouple(p, "/job", decouplePolicy(policy.ConsInvisible, policy.DurGlobal, 100))
 		root, _ := c.DecoupledRoot()
@@ -344,7 +345,7 @@ func TestGlobalPersistFetch(t *testing.T) {
 func TestNonvolatileApplyThenRecover(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		// Flush the namespace so the object store has the dir objects.
 		if err := cl.srv.SaveStore(p); err != nil {
@@ -380,7 +381,7 @@ func TestNonvolatileApplyCost(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
 	var perUpdate time.Duration
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		cl.srv.SaveStore(p)
 		c.Decouple(p, "/job", decouplePolicy(policy.ConsWeak, policy.DurGlobal, 200))
@@ -405,7 +406,7 @@ func TestRunCompositionBatchFS(t *testing.T) {
 	// BatchFS semantics: append + local persist + volatile apply.
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/batch", 0755)
 		pol := decouplePolicy(policy.ConsWeak, policy.DurLocal, 100)
 		c.Decouple(p, "/batch", pol)
@@ -432,7 +433,7 @@ func TestRunCompositionBatchFS(t *testing.T) {
 func TestRunCompositionParallelStep(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/j", 0755)
 		c.Decouple(p, "/j", decouplePolicy(policy.ConsInvisible, policy.DurNone, 100))
 		root, _ := c.DecoupledRoot()
@@ -460,7 +461,7 @@ func TestRunCompositionParallelStep(t *testing.T) {
 func TestRunCompositionStreamToggle(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		comp, _ := policy.ParseComposition("rpcs+stream")
 		if err := c.RunComposition(p, comp); err != nil {
 			t.Errorf("composition: %v", err)
@@ -474,7 +475,7 @@ func TestRunCompositionStreamToggle(t *testing.T) {
 func TestNamespaceSync(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/exp", 0755)
 		c.Decouple(p, "/exp", decouplePolicy(policy.ConsInvisible, policy.DurLocal, 10000))
 		root, _ := c.DecoupledRoot()
@@ -521,7 +522,7 @@ func TestSyncDrainOrdering(t *testing.T) {
 	// both land.
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/exp", 0755)
 		c.Decouple(p, "/exp", decouplePolicy(policy.ConsInvisible, policy.DurNone, 10000))
 		root, _ := c.DecoupledRoot()
@@ -548,7 +549,7 @@ func TestBlockedSubtreeRejection(t *testing.T) {
 	cl := newCluster()
 	owner := cl.client("owner")
 	intruder := cl.client("intruder")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		owner.MkdirAll(p, "/mine", 0755)
 		pol := decouplePolicy(policy.ConsInvisible, policy.DurLocal, 100)
 		pol.Interfere = policy.InterfereBlock
@@ -566,7 +567,7 @@ func TestBlockedSubtreeRejection(t *testing.T) {
 func TestUnmountDropsState(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, _ := c.Mkdir(p, namespace.RootIno, "d", 0755)
 		c.Create(p, dir, "f", 0644)
 		if !c.HoldsCap(dir) {

@@ -6,7 +6,7 @@ import (
 	"cudele/internal/journal"
 	"cudele/internal/namespace"
 	"cudele/internal/rados"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // DataPool is the RADOS pool holding file contents, striped into
@@ -23,7 +23,7 @@ func dataName(ino namespace.Ino) string {
 // bandwidth) and the size/mtime are updated through the metadata path.
 // The metadata update uses RPCs, so this is the POSIX-side data path;
 // decoupled jobs use LocalWriteFile.
-func (c *Client) WriteFile(p *sim.Proc, ino namespace.Ino, data []byte) error {
+func (c *Client) WriteFile(p runtime.Task, ino namespace.Ino, data []byte) error {
 	st, err := c.Stat(p, ino)
 	if err != nil {
 		return err
@@ -40,7 +40,7 @@ func (c *Client) WriteFile(p *sim.Proc, ino namespace.Ino, data []byte) error {
 
 // ReadFile returns the contents of file ino from the data pool. A file
 // that was created but never written reads back empty.
-func (c *Client) ReadFile(p *sim.Proc, ino namespace.Ino) ([]byte, error) {
+func (c *Client) ReadFile(p runtime.Task, ino namespace.Ino) ([]byte, error) {
 	st, err := c.Stat(p, ino)
 	if err != nil {
 		return nil, err
@@ -67,7 +67,7 @@ func (c *Client) ReadFile(p *sim.Proc, ino namespace.Ino) ([]byte, error) {
 // only metadata is), while the size update is appended to the client
 // journal to merge later, exactly how BatchFS/DeltaFS-style systems
 // treat data vs metadata.
-func (c *Client) LocalWriteFile(p *sim.Proc, ino namespace.Ino, data []byte) error {
+func (c *Client) LocalWriteFile(p runtime.Task, ino namespace.Ino, data []byte) error {
 	if c.dec == nil {
 		return ErrNotDecoupled
 	}
@@ -95,7 +95,7 @@ func (c *Client) LocalWriteFile(p *sim.Proc, ino namespace.Ino, data []byte) err
 
 // RemoveFileData deletes a file's contents from the data pool; unlink
 // paths call it to avoid leaking objects.
-func (c *Client) RemoveFileData(p *sim.Proc, ino namespace.Ino) error {
+func (c *Client) RemoveFileData(p runtime.Task, ino namespace.Ino) error {
 	striper := rados.NewStriper(c.obj)
 	return striper.Remove(p, DataPool, dataName(ino))
 }

@@ -8,7 +8,7 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 func TestWriteReadFile(t *testing.T) {
@@ -18,7 +18,7 @@ func TestWriteReadFile(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, _ := c.Mkdir(p, namespace.RootIno, "d", 0755)
 		ino, _ := c.Create(p, dir, "blob", 0644)
 		if err := c.WriteFile(p, ino, payload); err != nil {
@@ -39,7 +39,7 @@ func TestWriteReadFile(t *testing.T) {
 func TestReadEmptyFile(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		ino, _ := c.Create(p, namespace.RootIno, "empty", 0644)
 		got, err := c.ReadFile(p, ino)
 		if err != nil || len(got) != 0 {
@@ -51,7 +51,7 @@ func TestReadEmptyFile(t *testing.T) {
 func TestWriteFileErrors(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, _ := c.Mkdir(p, namespace.RootIno, "d", 0755)
 		if err := c.WriteFile(p, dir, []byte("x")); !errors.Is(err, namespace.ErrIsDir) {
 			t.Errorf("write to dir err = %v", err)
@@ -69,7 +69,7 @@ func TestLocalWriteFileMerges(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
 	payload := []byte("checkpoint bytes")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		c.Decouple(p, "/job", decouplePolicy(policy.ConsWeak, policy.DurNone, 100))
 		root, _ := c.DecoupledRoot()
@@ -99,7 +99,7 @@ func TestLocalWriteFileMerges(t *testing.T) {
 func TestLocalWriteFileErrors(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		if err := c.LocalWriteFile(p, 1, nil); !errors.Is(err, ErrNotDecoupled) {
 			t.Errorf("not decoupled err = %v", err)
 		}
@@ -119,7 +119,7 @@ func TestLocalWriteFileErrors(t *testing.T) {
 func TestRemoveFileData(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		ino, _ := c.Create(p, namespace.RootIno, "f", 0644)
 		c.WriteFile(p, ino, []byte("bytes"))
 		if err := c.RemoveFileData(p, ino); err != nil {

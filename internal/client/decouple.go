@@ -9,7 +9,7 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 	"cudele/internal/transport"
 )
 
@@ -21,7 +21,7 @@ const ClientJournalPool = "cudele_client_journals"
 // the MDS attaches the policy, grants an inode range, and the client
 // starts an in-memory journal (paper §III). Subsequent Local* operations
 // run entirely client-side via Append Client Journal.
-func (c *Client) Decouple(p *sim.Proc, path string, pol *policy.Policy) error {
+func (c *Client) Decouple(p runtime.Task, path string, pol *policy.Policy) error {
 	r := c.svc.Post(p, &mds.DecoupleMsg{Path: path, Policy: pol, Client: c.name}).(*mds.DecoupleReply)
 	if r.Err != nil {
 		return r.Err
@@ -32,7 +32,7 @@ func (c *Client) Decouple(p *sim.Proc, path string, pol *policy.Policy) error {
 // AdoptGrant attaches a decoupled subtree whose policy and inode grant
 // were registered externally — normally by the monitor on the client's
 // behalf (paper §III-C).
-func (c *Client) AdoptGrant(p *sim.Proc, path string, lo namespace.Ino, n uint64) error {
+func (c *Client) AdoptGrant(p runtime.Task, path string, lo namespace.Ino, n uint64) error {
 	root, err := c.Resolve(p, path)
 	if err != nil {
 		return err
@@ -117,7 +117,7 @@ func (d *decoupled) globalParent(dir namespace.Ino) uint64 {
 // appendEvent charges the Append Client Journal cost and records the
 // event. Events are not checked against the global namespace — the
 // metadata server will blindly apply them at merge time (paper §III-A).
-func (c *Client) appendEvent(p *sim.Proc, ev *journal.Event) error {
+func (c *Client) appendEvent(p runtime.Task, ev *journal.Event) error {
 	span := c.eng.Tracer().Begin(int64(p.Now()), c.name, "journal", "journal.append")
 	p.Sleep(c.cfg.ClientAppendTime)
 	c.eng.Tracer().End(span, int64(p.Now()))
@@ -132,7 +132,7 @@ func (c *Client) appendEvent(p *sim.Proc, ev *journal.Event) error {
 // LocalCreate creates a file in the decoupled subtree: a local-image
 // insert plus a journal append. dir is the subtree root or a directory
 // previously created with LocalMkdir.
-func (c *Client) LocalCreate(p *sim.Proc, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
+func (c *Client) LocalCreate(p runtime.Task, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
 	if c.dec == nil {
 		return 0, ErrNotDecoupled
 	}
@@ -157,7 +157,7 @@ func (c *Client) LocalCreate(p *sim.Proc, dir namespace.Ino, name string, mode u
 }
 
 // LocalMkdir creates a directory in the decoupled subtree.
-func (c *Client) LocalMkdir(p *sim.Proc, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
+func (c *Client) LocalMkdir(p runtime.Task, dir namespace.Ino, name string, mode uint32) (namespace.Ino, error) {
 	if c.dec == nil {
 		return 0, ErrNotDecoupled
 	}
@@ -181,7 +181,7 @@ func (c *Client) LocalMkdir(p *sim.Proc, dir namespace.Ino, name string, mode ui
 }
 
 // LocalUnlink removes a file from the decoupled subtree.
-func (c *Client) LocalUnlink(p *sim.Proc, dir namespace.Ino, name string) error {
+func (c *Client) LocalUnlink(p runtime.Task, dir namespace.Ino, name string) error {
 	if c.dec == nil {
 		return ErrNotDecoupled
 	}
@@ -213,7 +213,7 @@ func (c *Client) LocalReadDir(dir namespace.Ino) ([]string, error) {
 // model. A positive chunk size streams it instead: chunks flow through
 // the MDS merge scheduler under windowed flow control, and peak transfer
 // memory is one chunk, not the journal.
-func (c *Client) VolatileApply(p *sim.Proc) (int, error) {
+func (c *Client) VolatileApply(p runtime.Task) (int, error) {
 	if c.dec == nil {
 		return 0, ErrNotDecoupled
 	}
@@ -236,7 +236,7 @@ func (c *Client) VolatileApply(p *sim.Proc) (int, error) {
 
 // volatileApplyChunked is the streamed merge: open (with admission
 // backpressure), send windowed chunks, wait for the drain.
-func (c *Client) volatileApplyChunked(p *sim.Proc, chunk int) (int, error) {
+func (c *Client) volatileApplyChunked(p runtime.Task, chunk int) (int, error) {
 	evBytes := int64(c.cfg.JournalEventBytes)
 	open := transport.SendWindowed(p, c.svc, &mds.MergeOpenMsg{
 		Client:      c.name,
@@ -286,7 +286,7 @@ func (c *Client) volatileApplyChunked(p *sim.Proc, chunk int) (int, error) {
 // footprint (paper §III-A). With MergeChunkEvents > 0 the image is
 // encoded and billed chunk by chunk through a journal cursor, so the
 // write buffer held at any instant is one chunk.
-func (c *Client) LocalPersist(p *sim.Proc) error {
+func (c *Client) LocalPersist(p runtime.Task) error {
 	if c.dec == nil {
 		return ErrNotDecoupled
 	}
@@ -297,9 +297,9 @@ func (c *Client) LocalPersist(p *sim.Proc) error {
 			return err
 		}
 		c.noteTransfer(c.JournalNominalBytes())
-		c.localDisk.Transfer(p, c.JournalNominalBytes())
+		c.chargeLocalDisk(p, c.JournalNominalBytes())
 		c.localFiles["journal"] = data
-		return nil
+		return c.persistLocal(p, data)
 	}
 	// Encode into a fresh buffer and install it only once the whole encode
 	// has succeeded: reusing the previous image's backing array would
@@ -321,10 +321,10 @@ func (c *Client) LocalPersist(p *sim.Proc) error {
 			}
 		}
 		c.noteTransfer(int64(len(file) - mark))
-		c.localDisk.Transfer(p, int64(len(evs))*evBytes)
+		c.chargeLocalDisk(p, int64(len(evs))*evBytes)
 	}
 	c.localFiles["journal"] = file
-	return nil
+	return c.persistLocal(p, file)
 }
 
 // LocalJournalFile returns the bytes written by LocalPersist, as a
@@ -338,15 +338,22 @@ func (c *Client) LocalJournalFile() ([]byte, bool) {
 // decoupled context, as a client restarting after a failure would
 // (paper §II-A: local durability means updates survive if the node
 // recovers).
-func (c *Client) RecoverLocal(p *sim.Proc) (int, error) {
+func (c *Client) RecoverLocal(p runtime.Task) (int, error) {
 	if c.dec == nil {
 		return 0, ErrNotDecoupled
 	}
-	data, ok := c.localFiles["journal"]
-	if !ok {
-		return 0, errors.New("client: no persisted journal")
+	// With a real local directory, recovery reads the committed file —
+	// what actually survived — and falls back to memory otherwise.
+	data, ok, err := c.loadLocal(p)
+	if err != nil {
+		return 0, err
 	}
-	c.localDisk.Transfer(p, int64(len(data)))
+	if !ok {
+		if data, ok = c.localFiles["journal"]; !ok {
+			return 0, errors.New("client: no persisted journal")
+		}
+	}
+	c.chargeLocalDisk(p, int64(len(data)))
 	j, err := journal.Import(data, c.cfg.SegmentEvents)
 	if err != nil {
 		return 0, err
@@ -360,7 +367,7 @@ func (c *Client) RecoverLocal(p *sim.Proc) (int, error) {
 // (paper §V-A). With MergeChunkEvents > 0 the journal is encoded and
 // written as a sequence of chunk objects instead of one image, so the
 // in-flight buffer is one chunk; FetchGlobalJournal reads either layout.
-func (c *Client) GlobalPersist(p *sim.Proc) error {
+func (c *Client) GlobalPersist(p runtime.Task) error {
 	if c.dec == nil {
 		return ErrNotDecoupled
 	}
@@ -421,7 +428,7 @@ func (c *Client) GlobalPersist(p *sim.Proc) error {
 // image (decoding as phantom events) and a stale single image would
 // shadow the fresh chunks entirely. Probing a name that does not exist
 // is free, so a persist with nothing stale charges no extra time.
-func (c *Client) removeStalePersist(p *sim.Proc, striper *rados.Striper, last int) error {
+func (c *Client) removeStalePersist(p runtime.Task, striper *rados.Striper, last int) error {
 	for idx := last + 1; ; idx++ {
 		if err := striper.Remove(p, ClientJournalPool, journalChunkName(c.name, idx)); err != nil {
 			if errors.Is(err, rados.ErrNotFound) {
@@ -445,7 +452,7 @@ func journalChunkName(owner string, idx int) string {
 // FetchGlobalJournal reads back a journal persisted by GlobalPersist,
 // whichever layout it used: the single striped image, or the chunk
 // sequence a streaming persist wrote.
-func (c *Client) FetchGlobalJournal(p *sim.Proc, owner string) ([]*journal.Event, error) {
+func (c *Client) FetchGlobalJournal(p runtime.Task, owner string) ([]*journal.Event, error) {
 	striper := rados.NewStriper(c.obj)
 	data, err := striper.Read(p, ClientJournalPool, owner)
 	if err == nil {
@@ -481,7 +488,7 @@ func (c *Client) FetchGlobalJournal(p *sim.Proc, owner string) ([]*journal.Event
 // bandwidth. After the last update the materialized directory objects are
 // written out so a restarted metadata server (Server.Recover) observes
 // the merged namespace.
-func (c *Client) NonvolatileApply(p *sim.Proc) (int, error) {
+func (c *Client) NonvolatileApply(p runtime.Task) (int, error) {
 	if c.dec == nil {
 		return 0, ErrNotDecoupled
 	}
@@ -535,7 +542,7 @@ func (c *Client) NonvolatileApply(p *sim.Proc) (int, error) {
 
 // nonvolatileBatch replays one cursor run of journal events with the
 // per-update pull/apply/push round trips of Nonvolatile Apply.
-func (c *Client) nonvolatileBatch(p *sim.Proc, shadow *namespace.Store, evs []*journal.Event,
+func (c *Client) nonvolatileBatch(p runtime.Task, shadow *namespace.Store, evs []*journal.Event,
 	rootOID rados.ObjectID, touched map[namespace.Ino]bool, applied *int) error {
 	for _, ev := range evs {
 		dirIno := namespace.Ino(ev.Parent)
@@ -606,7 +613,7 @@ const maxChainDepth = 4096
 // collected leaf-to-root, then installed root-first, so chain depth costs
 // no stack. Cycles in Parent pointers (corrupt objects) and chains past
 // maxChainDepth are reported as errors rather than looping forever.
-func (c *Client) loadChain(p *sim.Proc, shadow *namespace.Store, obj *namespace.DirObject) error {
+func (c *Client) loadChain(p runtime.Task, shadow *namespace.Store, obj *namespace.DirObject) error {
 	chain := []*namespace.DirObject{obj}
 	seen := map[namespace.Ino]bool{obj.Ino: true}
 	for cur := obj; cur.Ino != namespace.RootIno; cur = chain[len(chain)-1] {
@@ -646,7 +653,7 @@ func (c *Client) loadChain(p *sim.Proc, shadow *namespace.Store, obj *namespace.
 // so they are no-ops here; Stream is an MDS-side setting owned by the
 // composition — set on iff the composition contains it, so a previous
 // streaming composition cannot leak journaling into this one.
-func (c *Client) RunComposition(p *sim.Proc, comp policy.Composition) error {
+func (c *Client) RunComposition(p runtime.Task, comp policy.Composition) error {
 	c.svc.SetStream(comp.Contains(policy.MechStream))
 	for _, step := range comp {
 		if len(step.Parallel) == 1 {
@@ -655,11 +662,11 @@ func (c *Client) RunComposition(p *sim.Proc, comp policy.Composition) error {
 			}
 			continue
 		}
-		g := sim.NewGroup(c.eng)
+		g := c.eng.NewGroup()
 		errs := make([]error, len(step.Parallel))
 		for i, m := range step.Parallel {
 			i, m := i, m
-			g.Go("mech."+m.String(), func(sp *sim.Proc) {
+			g.Go("mech."+m.String(), func(sp runtime.Task) {
 				errs[i] = c.runMechanism(sp, m)
 			})
 		}
@@ -673,7 +680,7 @@ func (c *Client) RunComposition(p *sim.Proc, comp policy.Composition) error {
 	return nil
 }
 
-func (c *Client) runMechanism(p *sim.Proc, m policy.Mechanism) error {
+func (c *Client) runMechanism(p runtime.Task, m policy.Mechanism) error {
 	switch m {
 	case policy.MechRPCs, policy.MechAppendClientJournal:
 		// Workload-time mechanisms; nothing to do at completion time.

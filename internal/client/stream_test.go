@@ -15,6 +15,7 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
@@ -43,7 +44,7 @@ func chunkedConfig(chunk int) model.Config {
 
 // decoupledWorkload builds the same decoupled journal on any client: a
 // subdirectory plus files both at the subtree root and one level down.
-func decoupledWorkload(t *testing.T, p *sim.Proc, c *Client, files int) {
+func decoupledWorkload(t *testing.T, p runtime.Task, c *Client, files int) {
 	t.Helper()
 	c.MkdirAll(p, "/job", 0755)
 	if err := c.Decouple(p, "/job", decouplePolicy(policy.ConsWeak, policy.DurNone, 10000)); err != nil {
@@ -70,7 +71,7 @@ func TestRunCompositionStreamReset(t *testing.T) {
 	// back off rather than inherit it.
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		comp, _ := policy.ParseComposition("rpcs+stream")
 		if err := c.RunComposition(p, comp); err != nil {
 			t.Errorf("streaming composition: %v", err)
@@ -100,7 +101,7 @@ func TestVolatileApplyChunkedMatchesOneShot(t *testing.T) {
 	oneshot := newCluster()
 	a := oneshot.client("c0")
 	var appliedA int
-	oneshot.run(t, func(p *sim.Proc) {
+	oneshot.run(t, func(p runtime.Task) {
 		decoupledWorkload(t, p, a, files)
 		n, err := a.VolatileApply(p)
 		if err != nil {
@@ -112,7 +113,7 @@ func TestVolatileApplyChunkedMatchesOneShot(t *testing.T) {
 	streamed := newClusterCfg(chunkedConfig(chunk))
 	b := streamed.clientCfg("c0", chunkedConfig(chunk))
 	var appliedB int
-	streamed.run(t, func(p *sim.Proc) {
+	streamed.run(t, func(p runtime.Task) {
 		decoupledWorkload(t, p, b, files)
 		n, err := b.VolatileApply(p)
 		if err != nil {
@@ -151,7 +152,7 @@ func TestLocalPersistChunkedMatchesOneShot(t *testing.T) {
 
 	oneshot := newCluster()
 	a := oneshot.client("c0")
-	oneshot.run(t, func(p *sim.Proc) {
+	oneshot.run(t, func(p runtime.Task) {
 		decoupledWorkload(t, p, a, files)
 		if err := a.LocalPersist(p); err != nil {
 			t.Errorf("one-shot persist: %v", err)
@@ -160,7 +161,7 @@ func TestLocalPersistChunkedMatchesOneShot(t *testing.T) {
 
 	streamed := newClusterCfg(chunkedConfig(chunk))
 	b := streamed.clientCfg("c0", chunkedConfig(chunk))
-	streamed.run(t, func(p *sim.Proc) {
+	streamed.run(t, func(p runtime.Task) {
 		decoupledWorkload(t, p, b, files)
 		if err := b.LocalPersist(p); err != nil {
 			t.Errorf("chunked persist: %v", err)
@@ -195,7 +196,7 @@ func TestGlobalPersistChunkedFetch(t *testing.T) {
 	cl := newClusterCfg(cfg)
 	c := cl.clientCfg("c0", cfg)
 	other := cl.clientCfg("c1", cfg)
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		decoupledWorkload(t, p, c, files)
 		if err := c.GlobalPersist(p); err != nil {
 			t.Errorf("global persist: %v", err)
@@ -222,7 +223,7 @@ func TestGlobalPersistChunkedEmptyJournal(t *testing.T) {
 	cl := newClusterCfg(cfg)
 	c := cl.clientCfg("c0", cfg)
 	other := cl.clientCfg("c1", cfg)
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		c.Decouple(p, "/job", decouplePolicy(policy.ConsInvisible, policy.DurGlobal, 100))
 		if err := c.GlobalPersist(p); err != nil {
@@ -247,7 +248,7 @@ func TestGlobalPersistChunkedShrinkNoStaleTail(t *testing.T) {
 	cl := newClusterCfg(cfg)
 	c := cl.clientCfg("c0", cfg)
 	other := cl.clientCfg("c1", cfg)
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		decoupledWorkload(t, p, c, 20) // 22 events: four chunk objects
 		if err := c.GlobalPersist(p); err != nil {
 			t.Errorf("first persist: %v", err)
@@ -299,7 +300,7 @@ func TestGlobalPersistLayoutChangeNoStaleImage(t *testing.T) {
 			a := cl.clientCfg("c0", dir.first)
 			b := cl.clientCfg("c0", dir.second)
 			reader := cl.clientCfg("c1", chunked)
-			cl.run(t, func(p *sim.Proc) {
+			cl.run(t, func(p runtime.Task) {
 				decoupledWorkload(t, p, a, 12)
 				if err := a.GlobalPersist(p); err != nil {
 					t.Errorf("first persist: %v", err)
@@ -330,7 +331,7 @@ func TestLocalPersistChunkedErrorKeepsOldImage(t *testing.T) {
 	cfg := chunkedConfig(4)
 	cl := newClusterCfg(cfg)
 	c := cl.clientCfg("c0", cfg)
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		decoupledWorkload(t, p, c, 6) // 8 events
 		if err := c.LocalPersist(p); err != nil {
 			t.Fatalf("first persist: %v", err)
@@ -368,15 +369,15 @@ func TestVolatileApplyChunkedAbortOnShutdown(t *testing.T) {
 	cl := newClusterCfg(cfg)
 	c := cl.clientCfg("c0", cfg)
 	var applyErr error
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		decoupledWorkload(t, p, c, 100) // 102 events: 13 chunks
-		g := sim.NewGroup(cl.eng)
-		g.Go("apply", func(sp *sim.Proc) {
+		g := cl.eng.NewGroup()
+		g.Go("apply", func(sp runtime.Task) {
 			_, applyErr = c.VolatileApply(sp)
 		})
-		g.Go("kill", func(sp *sim.Proc) {
+		g.Go("kill", func(sp runtime.Task) {
 			for cl.srv.Metrics().MergeChunks < 3 {
-				sp.Sleep(sim.Duration(100 * time.Microsecond))
+				sp.Sleep(runtime.Duration(100 * time.Microsecond))
 			}
 			cl.srv.Shutdown()
 		})
@@ -399,7 +400,7 @@ func TestConcurrentVolatileApplyDeterministicAndFair(t *testing.T) {
 	const chunk = 16
 	const filesA, filesB = 64, 96
 
-	seed := func(p *sim.Proc, c *Client, path string, files int) error {
+	seed := func(p runtime.Task, c *Client, path string, files int) error {
 		if _, err := c.MkdirAll(p, path, 0755); err != nil {
 			return err
 		}
@@ -423,7 +424,7 @@ func TestConcurrentVolatileApplyDeterministicAndFair(t *testing.T) {
 		b := cl.clientCfg("c1", cfg)
 		var nA, nB int
 		var errA, errB error
-		cl.run(t, func(p *sim.Proc) {
+		cl.run(t, func(p runtime.Task) {
 			if err := seed(p, a, "/jobA", filesA); err != nil {
 				t.Errorf("seed a: %v", err)
 				return
@@ -432,9 +433,9 @@ func TestConcurrentVolatileApplyDeterministicAndFair(t *testing.T) {
 				t.Errorf("seed b: %v", err)
 				return
 			}
-			g := sim.NewGroup(cl.eng)
-			g.Go("merge.a", func(sp *sim.Proc) { nA, errA = a.VolatileApply(sp) })
-			g.Go("merge.b", func(sp *sim.Proc) { nB, errB = b.VolatileApply(sp) })
+			g := cl.eng.NewGroup()
+			g.Go("merge.a", func(sp runtime.Task) { nA, errA = a.VolatileApply(sp) })
+			g.Go("merge.b", func(sp runtime.Task) { nB, errB = b.VolatileApply(sp) })
 			g.Wait(p)
 		})
 		if errA != nil || nA != filesA {
@@ -466,7 +467,7 @@ func TestConcurrentVolatileApplyDeterministicAndFair(t *testing.T) {
 	// before the scheduler gets the CPU back; past that, round-robin
 	// interleaving must keep the unequal jobs within a couple of chunk
 	// services of each other.
-	limit := sim.Duration(chunkedConfig(chunk).MDSMergeSetup) + sim.Duration(30*time.Millisecond)
+	limit := runtime.Duration(chunkedConfig(chunk).MDSMergeSetup) + runtime.Duration(30*time.Millisecond)
 	if spread > limit {
 		t.Errorf("max chunk-wait spread = %v, want <= %v", spread, limit)
 	}
@@ -488,7 +489,7 @@ func TestNonvolatileApplyDeepAncestorChain(t *testing.T) {
 
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		if _, err := c.MkdirAll(p, deep, 0755); err != nil {
 			t.Errorf("mkdirall: %v", err)
 			return
@@ -544,7 +545,7 @@ func TestNonvolatileApplyAncestorCycle(t *testing.T) {
 
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		cl.obj.Write(p, rados.ObjectID{Pool: namespace.ObjectPool,
 			Name: namespace.DirObjectName(aIno)}, aData)
 		cl.obj.Write(p, rados.ObjectID{Pool: namespace.ObjectPool,

@@ -2,7 +2,7 @@ package client
 
 import (
 	"cudele/internal/mds"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // Namespace sync (paper §V-B3): a decoupled client periodically sends the
@@ -13,18 +13,18 @@ import (
 // network transfer.
 
 type syncState struct {
-	synced   int         // journal events already shipped
-	inFlight *sim.Signal // disk+network drain of the most recent sync
-	visible  *sim.Signal // MDS apply of the most recent sync
+	synced   int            // journal events already shipped
+	inFlight runtime.Signal // disk+network drain of the most recent sync
+	visible  runtime.Signal // MDS apply of the most recent sync
 	pauses   int
-	paused   sim.Duration
+	paused   runtime.Duration
 }
 
 // SyncNow forks a background drain of all journal events appended since
 // the previous sync. It returns the pause inflicted on the client and the
 // number of events shipped. The drain itself proceeds on an idle core and
 // completes asynchronously; drains are serialized with each other.
-func (c *Client) SyncNow(p *sim.Proc) (pause sim.Duration, synced int, err error) {
+func (c *Client) SyncNow(p runtime.Task) (pause runtime.Duration, synced int, err error) {
 	if c.dec == nil {
 		return 0, 0, ErrNotDecoupled
 	}
@@ -39,7 +39,7 @@ func (c *Client) SyncNow(p *sim.Proc) (pause sim.Duration, synced int, err error
 	bytes := int64(len(delta)) * int64(c.cfg.JournalEventBytes)
 
 	// The fork pause: base cost plus copying the journal pages.
-	pause = c.cfg.ForkBase + sim.Duration(float64(bytes)/c.cfg.ForkCopyBandwidth*1e9)
+	pause = c.cfg.ForkBase + runtime.Duration(float64(bytes)/c.cfg.ForkCopyBandwidth*1e9)
 	p.Sleep(pause)
 	c.sync.synced = len(events)
 	c.sync.pauses++
@@ -47,20 +47,20 @@ func (c *Client) SyncNow(p *sim.Proc) (pause sim.Duration, synced int, err error
 
 	prev := c.sync.inFlight
 	prevVisible := c.sync.visible
-	drained := sim.NewSignal(c.eng)
-	visible := sim.NewSignal(c.eng)
+	drained := c.eng.NewSignal()
+	visible := c.eng.NewSignal()
 	c.sync.inFlight = drained
 	c.sync.visible = visible
 	svc := c.svc
 	route := c.dec.path
-	c.eng.Go(c.name+".syncdrain", func(bp *sim.Proc) {
+	c.eng.Spawn(c.name+".syncdrain", func(bp runtime.Task) {
 		if prev != nil {
 			prev.Wait(bp) // drains are ordered
 		}
 		// Log the updates and push them over disk+network from the
 		// idle core. Once the bytes are at the metadata server the
 		// drain is complete; the MDS applies them at its own pace.
-		bp.Sleep(sim.Duration(float64(bytes) / c.cfg.SyncDrainBandwidth * 1e9))
+		bp.Sleep(runtime.Duration(float64(bytes) / c.cfg.SyncDrainBandwidth * 1e9))
 		drained.Fire(nil)
 		if prevVisible != nil {
 			prevVisible.Wait(bp) // applies are ordered too
@@ -78,7 +78,7 @@ func (c *Client) SyncNow(p *sim.Proc) (pause sim.Duration, synced int, err error
 // their disk+network transfer to the metadata server. The final drain at
 // job end is on the critical path, which is why very large sync intervals
 // cost more than the optimum (paper Fig 6c).
-func (c *Client) WaitSyncDrain(p *sim.Proc) error {
+func (c *Client) WaitSyncDrain(p runtime.Task) error {
 	if c.sync == nil || c.sync.inFlight == nil {
 		return nil
 	}
@@ -91,7 +91,7 @@ func (c *Client) WaitSyncDrain(p *sim.Proc) error {
 
 // WaitSyncVisible blocks until the most recent sync's updates have been
 // applied to the global namespace (end-users' ls sees them).
-func (c *Client) WaitSyncVisible(p *sim.Proc) error {
+func (c *Client) WaitSyncVisible(p runtime.Task) error {
 	if c.sync == nil || c.sync.visible == nil {
 		return nil
 	}
@@ -104,7 +104,7 @@ func (c *Client) WaitSyncVisible(p *sim.Proc) error {
 
 // SyncStats reports the number of sync pauses and the total time the
 // client spent paused.
-func (c *Client) SyncStats() (pauses int, paused sim.Duration) {
+func (c *Client) SyncStats() (pauses int, paused runtime.Duration) {
 	if c.sync == nil {
 		return 0, 0
 	}

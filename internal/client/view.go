@@ -6,7 +6,7 @@ import (
 
 	"cudele/internal/journal"
 	"cudele/internal/namespace"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // DeltaFS-style read-time views (paper §II-B): with invisible consistency
@@ -59,7 +59,7 @@ type ViewSource struct {
 // namespace remains untouched, exactly like DeltaFS resolving a view for
 // a reader or middleware. Conflicting creates resolve in favor of the
 // later journal (the decoupled results are authoritative, §III-C).
-func (c *Client) BuildView(p *sim.Proc, sources []ViewSource) (*namespace.Store, error) {
+func (c *Client) BuildView(p runtime.Task, sources []ViewSource) (*namespace.Store, error) {
 	// Start from a copy of the global namespace: walk it via RPCs the
 	// way a reader would. To keep RPC load realistic but bounded, the
 	// view copies the tree with one readdir per directory plus one
@@ -87,7 +87,7 @@ func (c *Client) BuildView(p *sim.Proc, sources []ViewSource) (*namespace.Store,
 
 // copyTree mirrors the directory subtree rooted at srcDir (a global
 // inode) into dst under dstDir, issuing the RPCs a real reader would.
-func (c *Client) copyTree(p *sim.Proc, dst *namespace.Store, srcDir, dstDir namespace.Ino) error {
+func (c *Client) copyTree(p runtime.Task, dst *namespace.Store, srcDir, dstDir namespace.Ino) error {
 	names, err := c.ReadDir(p, srcDir)
 	if err != nil {
 		return err

@@ -7,13 +7,13 @@ import (
 
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 func TestSnapshot(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		c.Decouple(p, "/job", decouplePolicy(policy.ConsInvisible, policy.DurNone, 100))
 		root, _ := c.DecoupledRoot()
@@ -53,7 +53,7 @@ func TestBuildViewOverlaysPersistedJournals(t *testing.T) {
 	a := cl.client("a")
 	b := cl.client("b")
 	reader := cl.client("reader")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		// Global namespace has some POSIX content.
 		home, _ := reader.MkdirAll(p, "/home", 0755)
 		reader.Create(p, home, "shared.txt", 0644)
@@ -101,7 +101,7 @@ func TestBuildViewOverlaysPersistedJournals(t *testing.T) {
 func TestBuildViewMissingSource(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		if _, err := c.BuildView(p, []ViewSource{{Owner: "ghost"}}); err == nil {
 			t.Error("view from missing journal succeeded")
 		}
@@ -111,7 +111,7 @@ func TestBuildViewMissingSource(t *testing.T) {
 func TestBuildViewEmptySources(t *testing.T) {
 	cl := newCluster()
 	c := cl.client("c0")
-	cl.run(t, func(p *sim.Proc) {
+	cl.run(t, func(p runtime.Task) {
 		dir, _ := c.MkdirAll(p, "/x/y", 0755)
 		c.Create(p, dir, "f", 0644)
 		view, err := c.BuildView(p, nil)

@@ -2,7 +2,7 @@ package mds
 
 import (
 	"cudele/internal/namespace"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // Capability state per directory inode. CephFS keeps clients and MDS
@@ -30,7 +30,7 @@ func (s *Server) dirCapsFor(ino namespace.Ino) *dirCaps {
 // updateCaps runs after a successful mutation in directory dir by client,
 // adjusting capability state and annotating the reply. Called with the
 // CPU held.
-func (s *Server) updateCaps(p *sim.Proc, dir namespace.Ino, client string, reply *Reply) {
+func (s *Server) updateCaps(p runtime.Task, dir namespace.Ino, client string, reply *Reply) {
 	if client == "" {
 		return
 	}
@@ -46,10 +46,10 @@ func (s *Server) updateCaps(p *sim.Proc, dir namespace.Ino, client string, reply
 	default:
 		// False sharing: revoke the holder's cap, mark the directory
 		// shared. Revocation is real MDS work (paper Fig 3c).
-		span := p.Engine().Tracer().Begin(int64(p.Now()),
+		span := p.Runtime().Tracer().Begin(int64(p.Now()),
 			s.ep.Name(), "caps", "cap.revoke")
 		p.Sleep(s.cfg.MDSCapRevokeTime)
-		p.Engine().Tracer().End(span, int64(p.Now()))
+		p.Runtime().Tracer().End(span, int64(p.Now()))
 		s.metrics.CapRevokes++
 		dc.holder = ""
 		dc.shared = true

@@ -6,7 +6,7 @@ import (
 	"cudele/internal/model"
 	"cudele/internal/namespace"
 	"cudele/internal/rados"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 	"cudele/internal/transport"
 )
 
@@ -17,7 +17,7 @@ import (
 // exactly the single-server system — the routing table is empty, every
 // message lands on rank 0, and no extra virtual time is charged.
 type Cluster struct {
-	eng *sim.Engine
+	eng runtime.Runtime
 	cfg model.Config
 	obj *rados.Cluster
 
@@ -31,7 +31,7 @@ type Cluster struct {
 
 // NewCluster builds n metadata ranks over one object store. n < 1 is
 // treated as 1.
-func NewCluster(eng *sim.Engine, cfg model.Config, obj *rados.Cluster, n int) *Cluster {
+func NewCluster(eng runtime.Runtime, cfg model.Config, obj *rados.Cluster, n int) *Cluster {
 	if n < 1 {
 		n = 1
 	}
@@ -89,7 +89,7 @@ func (c *Cluster) CloseSession(client string) {
 // source rank keeps its copy, which becomes stale and unreachable once
 // routing points at the new owner — exactly how CephFS subtree exports
 // hand off authority.
-func (c *Cluster) Place(p *sim.Proc, path string, rank int) error {
+func (c *Cluster) Place(p runtime.Task, path string, rank int) error {
 	if rank < 0 || rank >= len(c.ranks) {
 		return fmt.Errorf("mds: place %s: rank %d out of range [0,%d)", path, rank, len(c.ranks))
 	}
@@ -178,10 +178,10 @@ func (pt *Portal) Table() *transport.Table { return pt.table }
 func (pt *Portal) Name() string { return pt.router.Name() }
 
 // Call implements transport.Endpoint.
-func (pt *Portal) Call(p *sim.Proc, msg any) any { return pt.router.Call(p, msg) }
+func (pt *Portal) Call(p runtime.Task, msg any) any { return pt.router.Call(p, msg) }
 
 // Post implements transport.Endpoint.
-func (pt *Portal) Post(p *sim.Proc, msg any) any { return pt.router.Post(p, msg) }
+func (pt *Portal) Post(p runtime.Task, msg any) any { return pt.router.Post(p, msg) }
 
 // OpenSession opens the client's session on every rank.
 func (pt *Portal) OpenSession(client string) { pt.cl.OpenSession(client) }

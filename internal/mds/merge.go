@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"cudele/internal/journal"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // mergeChunk bounds how many events are applied per CPU acquisition
@@ -54,7 +54,7 @@ func (s *sliceSource) Next(max int) []*journal.Event {
 // The call blocks the client process until the merge completes and
 // returns the number of events applied. It is a convenience wrapper that
 // posts a MergeMsg to the rank's own endpoint.
-func (s *Server) VolatileApply(p *sim.Proc, events []*journal.Event, nominalBytes int64) (int, error) {
+func (s *Server) VolatileApply(p runtime.Task, events []*journal.Event, nominalBytes int64) (int, error) {
 	r := s.ep.Post(p, &MergeMsg{Events: events, NominalBytes: nominalBytes}).(*MergeReply)
 	return r.Applied, r.Err
 }
@@ -65,7 +65,7 @@ func (s *Server) VolatileApply(p *sim.Proc, events []*journal.Event, nominalByte
 // until its last event applies. This is the arrival model the paper's
 // Fig 6a was calibrated against; the streamed path (scheduler.go) is the
 // opt-in alternative.
-func (s *Server) volatileApply(p *sim.Proc, src eventSource, nominalBytes int64) (int, error) {
+func (s *Server) volatileApply(p runtime.Task, src eventSource, nominalBytes int64) (int, error) {
 	if s.stopped {
 		return 0, ErrShutdown
 	}
@@ -93,7 +93,7 @@ func (s *Server) volatileApply(p *sim.Proc, src eventSource, nominalBytes int64)
 		per := s.mergeApplyCost()
 
 		s.cpu.Acquire(p)
-		p.Sleep(per * sim.Duration(len(chunk)))
+		p.Sleep(per * runtime.Duration(len(chunk)))
 		for _, ev := range chunk {
 			if err := s.store.ApplyEvent(ev); err != nil {
 				s.cpu.Release()
@@ -111,8 +111,8 @@ func (s *Server) volatileApply(p *sim.Proc, src eventSource, nominalBytes int64)
 // merge concurrency. One-shot and streamed merges share it — and share
 // mergeQueue — so mixing arrival models keeps the congestion economics
 // consistent.
-func (s *Server) mergeApplyCost() sim.Duration {
-	return sim.Duration(float64(s.cfg.MDSApplyTime) *
+func (s *Server) mergeApplyCost() runtime.Duration {
+	return runtime.Duration(float64(s.cfg.MDSApplyTime) *
 		(1 + float64(s.mergeQueue-1)*s.cfg.MDSMergeCongestion))
 }
 

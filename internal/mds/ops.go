@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"cudele/internal/namespace"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // opInfo is one row of the op registry: everything the pipeline needs to
@@ -15,7 +15,7 @@ type opInfo struct {
 	name    string
 	mutates bool
 	lookup  bool // billed at MDSLookupTime instead of MDSOpTime
-	handler func(s *Server, p *sim.Proc, req *Request) *Reply
+	handler func(s *Server, p runtime.Task, req *Request) *Reply
 }
 
 // opTable is the single source of truth for op metadata. Every Op below
@@ -44,7 +44,7 @@ func (o Op) String() string {
 // journals, and is subject to the interfere policy).
 func (o Op) Mutates() bool { return o < opMax && opTable[o].mutates }
 
-func handleLookup(s *Server, p *sim.Proc, req *Request) *Reply {
+func handleLookup(s *Server, p runtime.Task, req *Request) *Reply {
 	in, err := s.store.Lookup(req.Parent, req.Name)
 	if err != nil {
 		return &Reply{Err: err}
@@ -52,7 +52,7 @@ func handleLookup(s *Server, p *sim.Proc, req *Request) *Reply {
 	return inodeReply(in)
 }
 
-func handleResolve(s *Server, p *sim.Proc, req *Request) *Reply {
+func handleResolve(s *Server, p runtime.Task, req *Request) *Reply {
 	in, err := s.store.Resolve(req.Path)
 	if err != nil {
 		return &Reply{Err: err}
@@ -60,7 +60,7 @@ func handleResolve(s *Server, p *sim.Proc, req *Request) *Reply {
 	return inodeReply(in)
 }
 
-func handleGetAttr(s *Server, p *sim.Proc, req *Request) *Reply {
+func handleGetAttr(s *Server, p runtime.Task, req *Request) *Reply {
 	in, err := s.store.Get(req.Ino)
 	if err != nil {
 		return &Reply{Err: err}
@@ -68,7 +68,7 @@ func handleGetAttr(s *Server, p *sim.Proc, req *Request) *Reply {
 	return inodeReply(in)
 }
 
-func handleReadDir(s *Server, p *sim.Proc, req *Request) *Reply {
+func handleReadDir(s *Server, p runtime.Task, req *Request) *Reply {
 	names, err := s.store.ReadDir(req.Parent)
 	if err != nil {
 		return &Reply{Err: err}
@@ -78,7 +78,7 @@ func handleReadDir(s *Server, p *sim.Proc, req *Request) *Reply {
 
 // handleCreate serves both OpCreate and OpMkdir; the two differ only in
 // the inode type inserted.
-func handleCreate(s *Server, p *sim.Proc, req *Request) *Reply {
+func handleCreate(s *Server, p runtime.Task, req *Request) *Reply {
 	attrs := namespace.CreateAttrs{
 		Mode: req.Mode, UID: req.UID, GID: req.GID,
 		Mtime: int64(p.Now()),
@@ -98,14 +98,14 @@ func handleCreate(s *Server, p *sim.Proc, req *Request) *Reply {
 	return reply
 }
 
-func handleSetAttr(s *Server, p *sim.Proc, req *Request) *Reply {
+func handleSetAttr(s *Server, p runtime.Task, req *Request) *Reply {
 	if err := s.store.SetAttr(req.Ino, req.Mode, req.UID, req.GID, req.Size, req.Mtime); err != nil {
 		return &Reply{Err: err}
 	}
 	return &Reply{Ino: req.Ino}
 }
 
-func handleUnlink(s *Server, p *sim.Proc, req *Request) *Reply {
+func handleUnlink(s *Server, p runtime.Task, req *Request) *Reply {
 	if err := s.store.Unlink(req.Parent, req.Name); err != nil {
 		return &Reply{Err: err}
 	}
@@ -114,14 +114,14 @@ func handleUnlink(s *Server, p *sim.Proc, req *Request) *Reply {
 	return reply
 }
 
-func handleRmdir(s *Server, p *sim.Proc, req *Request) *Reply {
+func handleRmdir(s *Server, p runtime.Task, req *Request) *Reply {
 	if err := s.store.Rmdir(req.Parent, req.Name); err != nil {
 		return &Reply{Err: err}
 	}
 	return &Reply{}
 }
 
-func handleRename(s *Server, p *sim.Proc, req *Request) *Reply {
+func handleRename(s *Server, p runtime.Task, req *Request) *Reply {
 	if err := s.store.Rename(req.Parent, req.Name, req.NewParent, req.NewName); err != nil {
 		return &Reply{Err: err}
 	}

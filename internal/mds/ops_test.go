@@ -7,6 +7,7 @@ import (
 	"cudele/internal/model"
 	"cudele/internal/namespace"
 	"cudele/internal/rados"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 	"cudele/internal/transport"
 )
@@ -57,7 +58,7 @@ func TestOpTableComplete(t *testing.T) {
 	}
 }
 
-func newTestCluster(seed int64, ranks int) (*sim.Engine, *Cluster) {
+func newTestCluster(seed int64, ranks int) (runtime.Runtime, *Cluster) {
 	eng := sim.NewEngine(seed)
 	obj := rados.New(eng, model.Default())
 	return eng, NewCluster(eng, model.Default(), obj, ranks)
@@ -68,7 +69,7 @@ func newTestCluster(seed int64, ranks int) (*sim.Engine, *Cluster) {
 func TestClusterRoutesPlacedSubtree(t *testing.T) {
 	eng, cl := newTestCluster(7, 3)
 	cl.OpenSession("c0")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		if _, err := cl.Rank(0).Store().MkdirAll("/proj", namespace.CreateAttrs{Mode: 0755}); err != nil {
 			t.Fatalf("mkdir: %v", err)
 		}
@@ -116,7 +117,7 @@ func TestClusterRoutesPlacedSubtree(t *testing.T) {
 func TestClusterRankInoBandsDisjoint(t *testing.T) {
 	eng, cl := newTestCluster(8, 2)
 	cl.OpenSession("c0")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		if _, err := cl.Rank(0).Store().MkdirAll("/b", namespace.CreateAttrs{Mode: 0755}); err != nil {
 			t.Fatalf("mkdir: %v", err)
 		}
@@ -146,7 +147,7 @@ func TestClusterRankInoBandsDisjoint(t *testing.T) {
 func TestPortalReplicaRouting(t *testing.T) {
 	eng, cl := newTestCluster(9, 2)
 	cl.OpenSession("c0")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		if _, err := cl.Rank(0).Store().MkdirAll("/d", namespace.CreateAttrs{Mode: 0755}); err != nil {
 			t.Fatalf("mkdir: %v", err)
 		}
@@ -179,10 +180,10 @@ func TestPortalReplicaRouting(t *testing.T) {
 // identical virtual-time completion — the refactor's no-regression
 // contract for the default deployment.
 func TestClusterOneRankMatchesSingleServer(t *testing.T) {
-	script := func(submit func(p *sim.Proc, req *Request) *Reply) func(eng *sim.Engine) sim.Time {
-		return func(eng *sim.Engine) sim.Time {
-			var end sim.Time
-			eng.Go("script", func(p *sim.Proc) {
+	script := func(submit func(p runtime.Task, req *Request) *Reply) func(eng runtime.Runtime) runtime.Time {
+		return func(eng runtime.Runtime) runtime.Time {
+			var end runtime.Time
+			eng.Spawn("script", func(p runtime.Task) {
 				mk := submit(p, &Request{Op: OpMkdir, Client: "c0", Parent: namespace.RootIno, Name: "d", Mode: 0755, Route: "/"})
 				if mk.Err != nil {
 					t.Errorf("mkdir: %v", mk.Err)
@@ -206,12 +207,12 @@ func TestClusterOneRankMatchesSingleServer(t *testing.T) {
 	engA := sim.NewEngine(3)
 	srv := New(engA, model.Default(), rados.New(engA, model.Default()))
 	srv.OpenSession("c0")
-	single := script(func(p *sim.Proc, req *Request) *Reply { return srv.Submit(p, req) })(engA)
+	single := script(func(p runtime.Task, req *Request) *Reply { return srv.Submit(p, req) })(engA)
 
 	engB, cl := newTestCluster(3, 1)
 	cl.OpenSession("c0")
 	portal := cl.Portal()
-	viaPortal := script(func(p *sim.Proc, req *Request) *Reply {
+	viaPortal := script(func(p runtime.Task, req *Request) *Reply {
 		return transport.Endpoint(portal).Call(p, req).(*Reply)
 	})(engB)
 

@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"cudele/internal/namespace"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 	"cudele/internal/transport"
 )
 
@@ -29,8 +29,8 @@ type mergeJob struct {
 	err     error
 	last    bool // final chunk has been received
 	aborted bool // client abandoned the stream; discard and retire
-	done    *sim.Signal
-	maxWait sim.Duration // longest any of this job's chunks sat buffered
+	done    runtime.Signal
+	maxWait runtime.Duration // longest any of this job's chunks sat buffered
 }
 
 // mergeSched is one rank's merge scheduler.
@@ -47,8 +47,8 @@ type mergeSched struct {
 	// empty job list and the bound would admit all of them.
 	admitting int
 
-	running bool        // scheduler proc is alive
-	idle    *sim.Signal // non-nil while the proc is parked awaiting chunks
+	running bool           // scheduler proc is alive
+	idle    runtime.Signal // non-nil while the proc is parked awaiting chunks
 
 	// finished holds completed jobs until their MergeWaitMsg arrives.
 	finished map[uint64]*mergeJob
@@ -56,7 +56,7 @@ type mergeSched struct {
 	// waits collects each completed job's max chunk wait — the fairness
 	// record: round-robin interleaving keeps the spread between jobs
 	// small even when their journals differ in size.
-	waits    []sim.Duration
+	waits    []runtime.Duration
 	peakJobs int
 }
 
@@ -78,7 +78,7 @@ func (ms *mergeSched) find(id uint64) *mergeJob {
 // open costs the MDS nothing — the client pays the retry delay — so
 // bounded admission caps the congestion multiplier every admitted job's
 // events are priced at.
-func (s *Server) mergeOpen(p *sim.Proc, m *MergeOpenMsg) *MergeOpenReply {
+func (s *Server) mergeOpen(p runtime.Task, m *MergeOpenMsg) *MergeOpenReply {
 	if s.stopped {
 		return &MergeOpenReply{Err: ErrShutdown}
 	}
@@ -105,7 +105,7 @@ func (s *Server) mergeOpen(p *sim.Proc, m *MergeOpenMsg) *MergeOpenReply {
 		id:     ms.nextID,
 		client: m.Client,
 		win:    transport.NewWindow(win),
-		done:   sim.NewSignal(s.eng),
+		done:   s.eng.NewSignal(),
 	}
 	ms.jobs = append(ms.jobs, job)
 	if len(ms.jobs) > ms.peakJobs {
@@ -119,7 +119,7 @@ func (s *Server) mergeOpen(p *sim.Proc, m *MergeOpenMsg) *MergeOpenReply {
 // mergeChunk is the MergeChunkMsg handler: accept the chunk into the
 // job's window — charging the per-chunk wire cost on the shared fabric —
 // or answer with backpressure when the window is full.
-func (s *Server) mergeChunk(p *sim.Proc, m *MergeChunkMsg) *MergeChunkReply {
+func (s *Server) mergeChunk(p runtime.Task, m *MergeChunkMsg) *MergeChunkReply {
 	if s.stopped {
 		return &MergeChunkReply{Err: ErrShutdown}
 	}
@@ -156,7 +156,7 @@ func (s *Server) mergeChunk(p *sim.Proc, m *MergeChunkMsg) *MergeChunkReply {
 
 // mergeWait is the MergeWaitMsg handler: block the client until its
 // streamed merge drains, then surface the result.
-func (s *Server) mergeWait(p *sim.Proc, m *MergeWaitMsg) *MergeReply {
+func (s *Server) mergeWait(p runtime.Task, m *MergeWaitMsg) *MergeReply {
 	ms := s.merge
 	job := ms.find(m.ID)
 	if job == nil {
@@ -178,7 +178,7 @@ var ErrMergeAborted = errors.New("mds: merge aborted by client")
 // its buffered chunks and retires it, releasing the admission slot and
 // the merge-queue congestion share. It works on a stopped server too —
 // that is exactly when clients abort.
-func (s *Server) mergeAbort(p *sim.Proc, m *MergeAbortMsg) *MergeAbortReply {
+func (s *Server) mergeAbort(p runtime.Task, m *MergeAbortMsg) *MergeAbortReply {
 	p.Sleep(s.cfg.NetLatency)
 	ms := s.merge
 	if job := ms.find(m.ID); job != nil {
@@ -206,7 +206,7 @@ func (ms *mergeSched) ensureRunning() {
 		return
 	}
 	ms.running = true
-	ms.s.eng.Go(ms.s.ep.Name()+".mergesched", ms.run)
+	ms.s.eng.Spawn(ms.s.ep.Name()+".mergesched", ms.run)
 }
 
 // kick wakes a parked scheduler proc.
@@ -236,7 +236,7 @@ func (ms *mergeSched) pick() *mergeJob {
 // the congestion-priced per-event cost, until no admitted jobs remain.
 // The proc exits when the rank has no streamed merges, so an idle rank
 // leaks no goroutine (sim.Engine.LeakCheck stays clean).
-func (ms *mergeSched) run(p *sim.Proc) {
+func (ms *mergeSched) run(p runtime.Task) {
 	s := ms.s
 	for {
 		ms.retireAborted(p)
@@ -248,7 +248,7 @@ func (ms *mergeSched) run(p *sim.Proc) {
 			}
 			// Admitted jobs exist but every window is empty: park until
 			// the next chunk arrives.
-			ms.idle = sim.NewSignal(s.eng)
+			ms.idle = s.eng.NewSignal()
 			ms.idle.Wait(p)
 			continue
 		}
@@ -265,7 +265,7 @@ func (ms *mergeSched) run(p *sim.Proc) {
 			span := rec.Begin(int64(p.Now()), s.ep.Name(), "mds", "merge.apply")
 			per := s.mergeApplyCost()
 			s.cpu.Acquire(p)
-			p.Sleep(per * sim.Duration(len(chunk.Events)))
+			p.Sleep(per * runtime.Duration(len(chunk.Events)))
 			for _, ev := range chunk.Events {
 				if err := s.store.ApplyEvent(ev); err != nil {
 					job.err = fmt.Errorf("volatile apply: %w", err)
@@ -286,7 +286,7 @@ func (ms *mergeSched) run(p *sim.Proc) {
 // retireAborted discards and finishes jobs whose client abandoned the
 // stream, so their admission slots free up and the proc never parks on
 // chunks that will not come.
-func (ms *mergeSched) retireAborted(p *sim.Proc) {
+func (ms *mergeSched) retireAborted(p runtime.Task) {
 	for i := 0; i < len(ms.jobs); {
 		job := ms.jobs[i]
 		if !job.aborted {
@@ -323,7 +323,7 @@ func (ms *mergeSched) finish(job *mergeJob) {
 // per-job max chunk wait across completed streamed merges — the fairness
 // metric the round-robin scheduler bounds — and how many streamed jobs
 // completed. Zero jobs yields a zero spread.
-func (s *Server) MergeFairness() (spread sim.Duration, jobs int) {
+func (s *Server) MergeFairness() (spread runtime.Duration, jobs int) {
 	ws := s.merge.waits
 	if len(ws) == 0 {
 		return 0, 0

@@ -10,11 +10,12 @@ import (
 	"cudele/internal/model"
 	"cudele/internal/namespace"
 	"cudele/internal/rados"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 	"cudele/internal/transport"
 )
 
-func newTestServerCfg(cfg model.Config) (*sim.Engine, *Server) {
+func newTestServerCfg(cfg model.Config) (runtime.Runtime, *Server) {
 	eng := sim.NewEngine(17)
 	obj := rados.New(eng, cfg)
 	return eng, New(eng, cfg, obj)
@@ -45,7 +46,7 @@ func TestMergeStreamAdmissionBackpressure(t *testing.T) {
 	cfg := model.Default()
 	cfg.MergeAdmitMax = 1
 	eng, s := newTestServerCfg(cfg)
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		open1 := s.mergeOpen(p, &MergeOpenMsg{Client: "a", TotalEvents: 4})
 		if open1.Err != nil || open1.Backpressure {
 			t.Fatalf("first open = %+v", open1)
@@ -97,7 +98,7 @@ func TestMergeStreamWindowBackpressure(t *testing.T) {
 	cfg := model.Default()
 	cfg.MergeWindowChunks = 1
 	eng, s := newTestServerCfg(cfg)
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		open := s.mergeOpen(p, &MergeOpenMsg{Client: "a"})
 		if open.Err != nil || open.Window != 1 {
 			t.Fatalf("open = %+v, want window 1", open)
@@ -119,7 +120,7 @@ func TestMergeStreamWindowBackpressure(t *testing.T) {
 			t.Errorf("backpressured chunk advanced time by %v", p.Now()-before)
 		}
 		// Give the scheduler a moment to pop chunk 0, then retry.
-		p.Sleep(sim.Duration(time.Millisecond))
+		p.Sleep(runtime.Duration(time.Millisecond))
 		r = s.mergeChunk(p, chunkOf(open.ID, 1, streamEvents("a", 1<<42, 1), true))
 		if r.Err != nil || r.Backpressure {
 			t.Fatalf("retry = %+v", r)
@@ -135,7 +136,7 @@ func TestMergeStreamWindowBackpressure(t *testing.T) {
 
 func TestMergeStreamRoundRobinFairness(t *testing.T) {
 	eng, s := newTestServerCfg(model.Default())
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		openA := s.mergeOpen(p, &MergeOpenMsg{Client: "a"})
 		openB := s.mergeOpen(p, &MergeOpenMsg{Client: "b"})
 		if openA.Err != nil || openB.Err != nil {
@@ -174,7 +175,7 @@ func TestMergeStreamRoundRobinFairness(t *testing.T) {
 	// within one chunk-apply of each other (~21 ms at the calibrated
 	// 82 us/event), far under the ~84 ms a run-to-completion schedule
 	// would charge the second job.
-	if limit := sim.Duration(30 * time.Millisecond); spread > limit {
+	if limit := runtime.Duration(30 * time.Millisecond); spread > limit {
 		t.Errorf("chunk-wait spread = %v, want <= %v", spread, limit)
 	}
 	if got := s.MergePeakJobs(); got != 2 {
@@ -194,7 +195,7 @@ func TestMergeStreamWindowRaceBackpressure(t *testing.T) {
 	cfg := model.Default()
 	cfg.MergeWindowChunks = 1
 	eng, s := newTestServerCfg(cfg)
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		open := s.mergeOpen(p, &MergeOpenMsg{Client: "a"})
 		if open.Err != nil || open.Backpressure {
 			t.Fatalf("open = %+v", open)
@@ -210,10 +211,10 @@ func TestMergeStreamWindowRaceBackpressure(t *testing.T) {
 				Events:     evs[i : i+1],
 			}
 		}
-		g := sim.NewGroup(eng)
+		g := eng.NewGroup()
 		for i := range msgs {
 			i := i
-			g.Go(fmt.Sprintf("send%d", i), func(sp *sim.Proc) {
+			g.Go(fmt.Sprintf("send%d", i), func(sp runtime.Task) {
 				replies[i] = s.mergeChunk(sp, msgs[i])
 			})
 		}
@@ -242,7 +243,7 @@ func TestMergeStreamWindowRaceBackpressure(t *testing.T) {
 			if !r.Backpressure {
 				break
 			}
-			p.Sleep(sim.Duration(time.Millisecond))
+			p.Sleep(runtime.Duration(time.Millisecond))
 		}
 		last := chunkOf(open.ID, 2, streamEvents("a", 1<<42, 1), true)
 		for {
@@ -253,7 +254,7 @@ func TestMergeStreamWindowRaceBackpressure(t *testing.T) {
 			if !r.Backpressure {
 				break
 			}
-			p.Sleep(sim.Duration(time.Millisecond))
+			p.Sleep(runtime.Duration(time.Millisecond))
 		}
 		if w := s.mergeWait(p, &MergeWaitMsg{ID: open.ID}); w.Err != nil || w.Applied != 3 {
 			t.Fatalf("wait = %+v, want 3 applied", w)
@@ -267,7 +268,7 @@ func TestMergeStreamAbortReleasesAdmission(t *testing.T) {
 	cfg := model.Default()
 	cfg.MergeAdmitMax = 1
 	eng, s := newTestServerCfg(cfg)
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		open := s.mergeOpen(p, &MergeOpenMsg{Client: "a"})
 		if open.Err != nil || open.Backpressure {
 			t.Fatalf("open = %+v", open)
@@ -279,7 +280,7 @@ func TestMergeStreamAbortReleasesAdmission(t *testing.T) {
 		if r := s.mergeAbort(p, &MergeAbortMsg{ID: open.ID}); r.Err != nil {
 			t.Fatalf("abort = %v", r.Err)
 		}
-		p.Sleep(sim.Duration(10 * time.Millisecond)) // let the scheduler retire the job
+		p.Sleep(runtime.Duration(10 * time.Millisecond)) // let the scheduler retire the job
 		if got := s.MergeQueue(); got != 0 {
 			t.Errorf("merge queue after abort = %d, want 0", got)
 		}
@@ -309,7 +310,7 @@ func TestMergeStreamAbortReleasesAdmission(t *testing.T) {
 
 func TestMergeStreamUnknownID(t *testing.T) {
 	eng, s := newTestServerCfg(model.Default())
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		r := s.mergeChunk(p, chunkOf(99, 0, streamEvents("x", 1<<41, 1), true))
 		if !errors.Is(r.Err, namespace.ErrInval) {
 			t.Errorf("chunk for unknown stream = %v, want ErrInval", r.Err)

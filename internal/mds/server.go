@@ -22,7 +22,7 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 	"cudele/internal/transport"
 )
 
@@ -114,13 +114,13 @@ type Metrics struct {
 
 // Server is one simulated metadata rank.
 type Server struct {
-	eng   *sim.Engine
+	eng   runtime.Runtime
 	cfg   model.Config
 	store *namespace.Store
 	obj   *rados.Cluster
 	rank  int
 
-	cpu *sim.Resource // single-threaded request pipeline, like CephFS
+	cpu runtime.Resource // single-threaded request pipeline, like CephFS
 
 	sessions map[string]bool
 
@@ -154,14 +154,14 @@ type Server struct {
 // New creates a single metadata rank (rank 0) over the given object
 // store. The store starts with just the root directory; use Recover to
 // load state from RADOS.
-func New(eng *sim.Engine, cfg model.Config, obj *rados.Cluster) *Server {
+func New(eng runtime.Runtime, cfg model.Config, obj *rados.Cluster) *Server {
 	return NewRank(eng, cfg, obj, 0)
 }
 
 // NewRank creates the metadata server for one rank of a multi-rank
 // deployment. Ranks other than 0 allocate server-assigned inode numbers
 // from a disjoint band so partitions of one namespace never collide.
-func NewRank(eng *sim.Engine, cfg model.Config, obj *rados.Cluster, rank int) *Server {
+func NewRank(eng runtime.Runtime, cfg model.Config, obj *rados.Cluster, rank int) *Server {
 	cpuName := "mds.cpu"
 	if rank > 0 {
 		cpuName = fmt.Sprintf("mds%d.cpu", rank)
@@ -172,7 +172,7 @@ func NewRank(eng *sim.Engine, cfg model.Config, obj *rados.Cluster, rank int) *S
 		store:    namespace.NewStore(),
 		obj:      obj,
 		rank:     rank,
-		cpu:      sim.NewResource(eng, cpuName, 1),
+		cpu:      eng.NewResource(cpuName, 1),
 		sessions: make(map[string]bool),
 		caps:     make(map[namespace.Ino]*dirCaps),
 		owners:   make(map[namespace.Ino]string),
@@ -231,11 +231,11 @@ func (s *Server) Name() string { return s.ep.Name() }
 
 // Call implements transport.Endpoint: one network hop in, pipeline
 // service, one network hop back.
-func (s *Server) Call(p *sim.Proc, msg any) any { return s.ep.Call(p, msg) }
+func (s *Server) Call(p runtime.Task, msg any) any { return s.ep.Call(p, msg) }
 
 // Post implements transport.Endpoint: the message handler charges its
 // own calibrated costs (bulk merges, control traffic).
-func (s *Server) Post(p *sim.Proc, msg any) any { return s.ep.Post(p, msg) }
+func (s *Server) Post(p runtime.Task, msg any) any { return s.ep.Post(p, msg) }
 
 // Endpoint returns the rank's wire endpoint.
 func (s *Server) Endpoint() transport.Endpoint { return s.ep }
@@ -246,7 +246,7 @@ func (s *Server) Endpoint() transport.Endpoint { return s.ep }
 func (s *Server) InjectFaults(ic transport.Interceptor) { s.ep.Wrap(ic) }
 
 // handle is the rank's message dispatcher behind the wire.
-func (s *Server) handle(p *sim.Proc, msg any) any {
+func (s *Server) handle(p runtime.Task, msg any) any {
 	switch m := msg.(type) {
 	case *Request:
 		return s.rpc(p, m)
@@ -279,7 +279,7 @@ func (s *Server) handle(p *sim.Proc, msg any) any {
 func (s *Server) Store() *namespace.Store { return s.store }
 
 // CPU exposes the MDS CPU resource for utilization reporting.
-func (s *Server) CPU() *sim.Resource { return s.cpu }
+func (s *Server) CPU() runtime.Resource { return s.cpu }
 
 // Metrics returns a snapshot of the server counters.
 func (s *Server) Metrics() Metrics { return s.metrics }
@@ -337,7 +337,7 @@ func (s *Server) Crash() {
 // RADOS (directory objects plus streamed journal replay) and the rank
 // accepts requests again. The fresh journal's segment objects continue
 // the rank's series after the recovered ones instead of overwriting them.
-func (s *Server) Restart(p *sim.Proc) error {
+func (s *Server) Restart(p runtime.Task) error {
 	if err := s.Recover(p); err != nil {
 		return err
 	}
@@ -368,18 +368,18 @@ func (s *Server) Sessions() int { return len(s.sessions) }
 
 // serviceTime is the MDS CPU cost of one request, with uniform noise of
 // +-MDSOpJitter to model cache misses and allocator variance.
-func (s *Server) serviceTime(op Op) sim.Duration {
+func (s *Server) serviceTime(op Op) runtime.Duration {
 	base := s.cfg.MDSOpTime
 	if op < opMax && opTable[op].lookup {
 		base = s.cfg.MDSLookupTime
 	}
 	n := len(s.sessions)
 	if n > 1 {
-		base += sim.Duration(n-1) * s.cfg.MDSSessionOverhead
+		base += runtime.Duration(n-1) * s.cfg.MDSSessionOverhead
 	}
 	if j := s.cfg.MDSOpJitter; j > 0 {
 		noise := 1 + j*(2*s.eng.Rand().Float64()-1)
-		base = sim.Duration(float64(base) * noise)
+		base = runtime.Duration(float64(base) * noise)
 	}
 	return base
 }
@@ -388,7 +388,7 @@ func (s *Server) serviceTime(op Op) sim.Duration {
 // network hop in, FIFO service on the MDS CPU, one network hop back
 // (paper §II: the RPCs mechanism). It is a convenience wrapper over the
 // rank's endpoint.
-func (s *Server) Submit(p *sim.Proc, req *Request) *Reply {
+func (s *Server) Submit(p runtime.Task, req *Request) *Reply {
 	return s.ep.Call(p, req).(*Reply)
 }
 
@@ -396,7 +396,7 @@ func (s *Server) Submit(p *sim.Proc, req *Request) *Reply {
 
 // admission rejects requests once the server is shut down.
 func (s *Server) admission(next transport.Handler) transport.Handler {
-	return func(p *sim.Proc, msg any) any {
+	return func(p runtime.Task, msg any) any {
 		if s.stopped {
 			return &Reply{Err: ErrShutdown}
 		}
@@ -406,7 +406,7 @@ func (s *Server) admission(next transport.Handler) transport.Handler {
 
 // accounting counts requests by op.
 func (s *Server) accounting(next transport.Handler) transport.Handler {
-	return func(p *sim.Proc, msg any) any {
+	return func(p runtime.Task, msg any) any {
 		req := msg.(*Request)
 		s.metrics.Requests++
 		if int(req.Op) < len(s.metrics.ByOp) {
@@ -421,7 +421,7 @@ func (s *Server) accounting(next transport.Handler) transport.Handler {
 // (MDSJournalOpTime), and the client additionally waits for the safe ack
 // (MDSJournalLatency, latency only).
 func (s *Server) journaling(next transport.Handler) transport.Handler {
-	return func(p *sim.Proc, msg any) any {
+	return func(p runtime.Task, msg any) any {
 		req := msg.(*Request)
 		reply := next(p, msg).(*Reply)
 		if reply.Err == nil && s.stream.enabled && req.Op.Mutates() {
@@ -439,7 +439,7 @@ func (s *Server) journaling(next transport.Handler) transport.Handler {
 // time, interference check, op handler — like CephFS's single-threaded
 // pipeline.
 func (s *Server) execution(next transport.Handler) transport.Handler {
-	return func(p *sim.Proc, msg any) any {
+	return func(p runtime.Task, msg any) any {
 		req := msg.(*Request)
 		s.cpu.Acquire(p)
 		p.Sleep(s.serviceTime(req.Op))
@@ -453,7 +453,7 @@ func (s *Server) execution(next transport.Handler) transport.Handler {
 // subtree owned by a different client may be rejected with -EBUSY (paper
 // §III-C).
 func (s *Server) interference(next transport.Handler) transport.Handler {
-	return func(p *sim.Proc, msg any) any {
+	return func(p runtime.Task, msg any) any {
 		req := msg.(*Request)
 		if req.Op.Mutates() {
 			if rej := s.checkInterfere(p, req); rej != nil {
@@ -465,7 +465,7 @@ func (s *Server) interference(next transport.Handler) transport.Handler {
 }
 
 // dispatchOp is the pipeline's terminal stage: the table-driven handler.
-func (s *Server) dispatchOp(p *sim.Proc, msg any) any {
+func (s *Server) dispatchOp(p runtime.Task, msg any) any {
 	req := msg.(*Request)
 	if req.Op >= opMax || opTable[req.Op].handler == nil {
 		return &Reply{Err: fmt.Errorf("mds: %v: %w", req.Op, namespace.ErrInval)}
@@ -482,7 +482,7 @@ func inodeReply(in *namespace.Inode) *Reply {
 }
 
 // checkInterfere rejects mutations into a blocked decoupled subtree.
-func (s *Server) checkInterfere(p *sim.Proc, req *Request) *Reply {
+func (s *Server) checkInterfere(p runtime.Task, req *Request) *Reply {
 	parent := req.Parent
 	if parent == 0 {
 		return nil
@@ -509,13 +509,13 @@ func (s *Server) checkInterfere(p *sim.Proc, req *Request) *Reply {
 // Decouple attaches pol to the subtree at path, records client as its
 // owner, and reserves an inode range for it. It is invoked via the
 // monitor. The returned lo is the first inode of the grant.
-func (s *Server) Decouple(p *sim.Proc, path string, pol *policy.Policy, client string) (lo namespace.Ino, n uint64, err error) {
+func (s *Server) Decouple(p runtime.Task, path string, pol *policy.Policy, client string) (lo namespace.Ino, n uint64, err error) {
 	r := s.ep.Post(p, &DecoupleMsg{Path: path, Policy: pol, Client: client}).(*DecoupleReply)
 	return r.Lo, r.N, r.Err
 }
 
 // decouple is the DecoupleMsg handler body.
-func (s *Server) decouple(p *sim.Proc, path string, pol *policy.Policy, client string) (lo namespace.Ino, n uint64, err error) {
+func (s *Server) decouple(p runtime.Task, path string, pol *policy.Policy, client string) (lo namespace.Ino, n uint64, err error) {
 	s.cpu.Acquire(p)
 	defer s.cpu.Release()
 	p.Sleep(s.serviceTime(OpResolve))
@@ -542,12 +542,12 @@ func (s *Server) decouple(p *sim.Proc, path string, pol *policy.Policy, client s
 }
 
 // Recouple clears the subtree's policy and owner registration.
-func (s *Server) Recouple(p *sim.Proc, path string) error {
+func (s *Server) Recouple(p runtime.Task, path string) error {
 	return s.ep.Post(p, &RecoupleMsg{Path: path}).(*RecoupleReply).Err
 }
 
 // recouple is the RecoupleMsg handler body.
-func (s *Server) recouple(p *sim.Proc, path string) error {
+func (s *Server) recouple(p runtime.Task, path string) error {
 	s.cpu.Acquire(p)
 	defer s.cpu.Release()
 	p.Sleep(s.serviceTime(OpResolve))

@@ -11,25 +11,26 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
-func newTestServer() (*sim.Engine, *Server) {
+func newTestServer() (runtime.Runtime, *Server) {
 	eng := sim.NewEngine(17)
 	obj := rados.New(eng, model.Default())
 	return eng, New(eng, model.Default(), obj)
 }
 
-func run(t *testing.T, eng *sim.Engine, fn func(p *sim.Proc)) {
+func run(t *testing.T, eng runtime.Runtime, fn func(p runtime.Task)) {
 	t.Helper()
-	eng.Go("test", fn)
+	eng.Spawn("test", fn)
 	eng.RunAll()
 }
 
 func TestSubmitCreateLookup(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("c0")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		r := s.Submit(p, &Request{Op: OpCreate, Client: "c0", Parent: namespace.RootIno, Name: "f", Mode: 0644})
 		if r.Err != nil {
 			t.Errorf("create: %v", r.Err)
@@ -55,7 +56,7 @@ func TestSubmitCreateLookup(t *testing.T) {
 func TestSubmitAllOps(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("c0")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		mk := s.Submit(p, &Request{Op: OpMkdir, Client: "c0", Parent: namespace.RootIno, Name: "d", Mode: 0755})
 		if mk.Err != nil || !mk.IsDir {
 			t.Fatalf("mkdir = %+v", mk)
@@ -105,7 +106,7 @@ func TestSubmitAllOps(t *testing.T) {
 func TestSubmitAfterShutdown(t *testing.T) {
 	eng, s := newTestServer()
 	s.Shutdown()
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		r := s.Submit(p, &Request{Op: OpLookup, Parent: namespace.RootIno, Name: "x"})
 		if !errors.Is(r.Err, ErrShutdown) {
 			t.Errorf("err = %v, want ErrShutdown", r.Err)
@@ -119,8 +120,8 @@ func TestSingleClientRPCRate(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("c0")
 	const n = 2000
-	var elapsed sim.Time
-	run(t, eng, func(p *sim.Proc) {
+	var elapsed runtime.Time
+	run(t, eng, func(p runtime.Task) {
 		p.Sleep(s.cfg.ClientOpOverhead) // warm-up alignment, negligible
 		start := p.Now()
 		for i := 0; i < n; i++ {
@@ -147,8 +148,8 @@ func TestSingleClientJournalOnRate(t *testing.T) {
 	s.OpenSession("c0")
 	s.SetStream(true)
 	const n = 2000
-	var elapsed sim.Time
-	run(t, eng, func(p *sim.Proc) {
+	var elapsed runtime.Time
+	run(t, eng, func(p runtime.Task) {
 		start := p.Now()
 		for i := 0; i < n; i++ {
 			p.Sleep(s.cfg.ClientOpOverhead)
@@ -171,11 +172,11 @@ func TestMDSSaturation(t *testing.T) {
 	eng, s := newTestServer()
 	const clients = 20
 	const per = 1000
-	g := sim.NewGroup(eng)
+	g := eng.NewGroup()
 	for c := 0; c < clients; c++ {
 		name := fmt.Sprintf("c%d", c)
 		s.OpenSession(name)
-		g.Go(name, func(p *sim.Proc) {
+		g.Go(name, func(p runtime.Task) {
 			dir := s.Submit(p, &Request{Op: OpMkdir, Client: name, Parent: namespace.RootIno, Name: name, Mode: 0755})
 			for i := 0; i < per; i++ {
 				p.Sleep(s.cfg.ClientOpOverhead)
@@ -183,8 +184,8 @@ func TestMDSSaturation(t *testing.T) {
 			}
 		})
 	}
-	var total sim.Time
-	eng.Go("wait", func(p *sim.Proc) {
+	var total runtime.Time
+	eng.Spawn("wait", func(p runtime.Task) {
 		g.Wait(p)
 		total = p.Now()
 	})
@@ -199,7 +200,7 @@ func TestCapGrantRevokeFlow(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("a")
 	s.OpenSession("b")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		d := s.Submit(p, &Request{Op: OpMkdir, Client: "a", Parent: namespace.RootIno, Name: "d", Mode: 0755})
 		// a is the sole writer: cap granted.
 		r1 := s.Submit(p, &Request{Op: OpCreate, Client: "a", Parent: d.Ino, Name: "f1"})
@@ -234,7 +235,7 @@ func TestCapGrantRevokeFlow(t *testing.T) {
 func TestCloseSessionDropsCaps(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("a")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		d := s.Submit(p, &Request{Op: OpMkdir, Client: "a", Parent: namespace.RootIno, Name: "d"})
 		s.Submit(p, &Request{Op: OpCreate, Client: "a", Parent: d.Ino, Name: "f"})
 		if _, ok := s.CapHolder(d.Ino); !ok {
@@ -258,7 +259,7 @@ func TestStreamDispatchAndFlush(t *testing.T) {
 	s.cfg.SegmentEvents = 100
 	s.stream.jrnl = journal.New(100)
 	const n = 950
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		for i := 0; i < n; i++ {
 			s.Submit(p, &Request{Op: OpCreate, Client: "c0", Parent: namespace.RootIno, Name: fmt.Sprintf("f%d", i)})
 		}
@@ -281,7 +282,7 @@ func TestSaveStoreRecover(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("c0")
 	var before *namespace.Store
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		d := s.Submit(p, &Request{Op: OpMkdir, Client: "c0", Parent: namespace.RootIno, Name: "proj", Mode: 0755})
 		for i := 0; i < 20; i++ {
 			s.Submit(p, &Request{Op: OpCreate, Client: "c0", Parent: d.Ino, Name: fmt.Sprintf("f%d", i), Mode: 0644})
@@ -315,7 +316,7 @@ func TestRecoverReplaysStreamedJournal(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("c0")
 	s.SetStream(true)
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		d := s.Submit(p, &Request{Op: OpMkdir, Client: "c0", Parent: namespace.RootIno, Name: "d", Mode: 0755})
 		s.Submit(p, &Request{Op: OpCreate, Client: "c0", Parent: d.Ino, Name: "before", Mode: 0644})
 		if err := s.SaveStore(p); err != nil {
@@ -341,7 +342,7 @@ func TestVolatileApplyMatchesRPC(t *testing.T) {
 	// Volatile Apply yields the same namespace as doing the ops via RPC.
 	engA, sA := newTestServer()
 	sA.OpenSession("c0")
-	run(t, engA, func(p *sim.Proc) {
+	run(t, engA, func(p runtime.Task) {
 		d := sA.Submit(p, &Request{Op: OpMkdir, Client: "c0", Parent: namespace.RootIno, Name: "job", Mode: 0755})
 		for i := 0; i < 100; i++ {
 			sA.Submit(p, &Request{Op: OpCreate, Client: "c0", Parent: d.Ino, Name: fmt.Sprintf("f%d", i), Mode: 0644})
@@ -349,7 +350,7 @@ func TestVolatileApplyMatchesRPC(t *testing.T) {
 	})
 
 	engB, sB := newTestServer()
-	run(t, engB, func(p *sim.Proc) {
+	run(t, engB, func(p runtime.Task) {
 		j := journal.New(1024)
 		j.Append(&journal.Event{Type: journal.EvMkdir, Client: "c0",
 			Parent: uint64(namespace.RootIno), Name: "job", Ino: 1 << 41, Mode: 0755})
@@ -381,8 +382,8 @@ func TestVolatileApplyRate(t *testing.T) {
 			Parent: uint64(namespace.RootIno), Name: fmt.Sprintf("f%d", i),
 			Ino: uint64(1<<41 + i), Mode: 0644})
 	}
-	var elapsed sim.Time
-	run(t, eng, func(p *sim.Proc) {
+	var elapsed runtime.Time
+	run(t, eng, func(p runtime.Task) {
 		start := p.Now()
 		if _, err := s.VolatileApply(p, events, int64(n)*2500); err != nil {
 			t.Errorf("apply: %v", err)
@@ -401,7 +402,7 @@ func TestVolatileApplyErrorStops(t *testing.T) {
 		{Type: journal.EvCreate, Parent: uint64(namespace.RootIno), Name: "ok", Ino: 1 << 41, Mode: 0644},
 		{Type: journal.EvUnlink, Parent: 999999, Name: "ghost"},
 	}
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		n, err := s.VolatileApply(p, events, 5000)
 		if err == nil || n != 1 {
 			t.Errorf("apply = %d, %v; want 1, error", n, err)
@@ -413,7 +414,7 @@ func TestDecoupleAndInterfereBlock(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("owner")
 	s.OpenSession("intruder")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		d := s.Submit(p, &Request{Op: OpMkdir, Client: "owner", Parent: namespace.RootIno, Name: "mine", Mode: 0755})
 		pol := &policy.Policy{
 			Consistency: policy.ConsInvisible, Durability: policy.DurLocal,
@@ -460,7 +461,7 @@ func TestDecoupleAllowLetsWritesThrough(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("owner")
 	s.OpenSession("other")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		s.Submit(p, &Request{Op: OpMkdir, Client: "owner", Parent: namespace.RootIno, Name: "mine", Mode: 0755})
 		pol := &policy.Policy{
 			Consistency: policy.ConsInvisible, Durability: policy.DurNone,
@@ -480,7 +481,7 @@ func TestDecoupleAllowLetsWritesThrough(t *testing.T) {
 
 func TestDecoupleErrors(t *testing.T) {
 	eng, s := newTestServer()
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		pol := policy.Default()
 		if _, _, err := s.Decouple(p, "/missing", pol, "c"); !errors.Is(err, namespace.ErrNotExist) {
 			t.Errorf("decouple missing path err = %v", err)
@@ -492,15 +493,15 @@ func TestDecoupleErrors(t *testing.T) {
 }
 
 func TestSessionOverheadSlowsOps(t *testing.T) {
-	timeFor := func(sessions int) sim.Time {
+	timeFor := func(sessions int) runtime.Time {
 		eng := sim.NewEngine(1)
 		obj := rados.New(eng, model.Default())
 		s := New(eng, model.Default(), obj)
 		for i := 0; i < sessions; i++ {
 			s.OpenSession(fmt.Sprintf("c%d", i))
 		}
-		var elapsed sim.Time
-		eng.Go("t", func(p *sim.Proc) {
+		var elapsed runtime.Time
+		eng.Spawn("t", func(p runtime.Task) {
 			start := p.Now()
 			for i := 0; i < 100; i++ {
 				s.Submit(p, &Request{Op: OpCreate, Client: "c0", Parent: namespace.RootIno, Name: fmt.Sprintf("f%d", i)})
@@ -531,10 +532,10 @@ func TestMergeCongestion(t *testing.T) {
 		obj := rados.New(eng, model.Default())
 		s := New(eng, model.Default(), obj)
 		const per = 5000
-		g := sim.NewGroup(eng)
+		g := eng.NewGroup()
 		for c := 0; c < jobs; c++ {
 			c := c
-			g.Go("merge", func(p *sim.Proc) {
+			g.Go("merge", func(p runtime.Task) {
 				events := make([]*journal.Event, 0, per)
 				base := uint64(1<<41) + uint64(c)<<24
 				events = append(events, &journal.Event{Type: journal.EvMkdir,
@@ -548,8 +549,8 @@ func TestMergeCongestion(t *testing.T) {
 				}
 			})
 		}
-		var total sim.Time
-		eng.Go("wait", func(p *sim.Proc) { g.Wait(p); total = p.Now() })
+		var total runtime.Time
+		eng.Spawn("wait", func(p runtime.Task) { g.Wait(p); total = p.Now() })
 		eng.RunAll()
 		return float64(jobs*per) / total.Seconds()
 	}
@@ -572,7 +573,7 @@ func TestOpString(t *testing.T) {
 func TestMetricsSnapshot(t *testing.T) {
 	eng, s := newTestServer()
 	s.OpenSession("c0")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		s.Submit(p, &Request{Op: OpCreate, Client: "c0", Parent: namespace.RootIno, Name: "f"})
 	})
 	m := s.Metrics()

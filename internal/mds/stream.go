@@ -7,7 +7,7 @@ import (
 	"cudele/internal/journal"
 	"cudele/internal/namespace"
 	"cudele/internal/rados"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 	"cudele/internal/trace"
 )
 
@@ -59,7 +59,7 @@ func newStreamState(s *Server) *streamState {
 // record converts a successful mutation into a journal event and appends
 // it. Sealed segments are queued for dispatch. Runs in the requesting
 // client's process, off the MDS CPU.
-func (st *streamState) record(p *sim.Proc, req *Request) {
+func (st *streamState) record(p runtime.Task, req *Request) {
 	ev := requestEvent(req)
 	if ev == nil {
 		return
@@ -69,7 +69,7 @@ func (st *streamState) record(p *sim.Proc, req *Request) {
 		return // invalid events are not journaled
 	}
 	st.s.metrics.Journaled++
-	if rec := p.Engine().Tracer(); rec != nil {
+	if rec := p.Runtime().Tracer(); rec != nil {
 		rec.Instant(int64(p.Now()), st.s.ep.Name(), "journal", "journal.append")
 	}
 	if seg != nil {
@@ -115,7 +115,7 @@ func (st *streamState) kick() {
 		return
 	}
 	st.dispatching = true
-	st.s.eng.Go("mds.dispatch", st.dispatchLoop)
+	st.s.eng.Spawn("mds.dispatch", st.dispatchLoop)
 }
 
 // dispatchLoop drains the segment queue in batches of up to DispatchSize.
@@ -124,7 +124,7 @@ func (st *streamState) kick() {
 // SegmentDispatchCPU*(1+(DispatchSize-1)*congestion). Those cycles come
 // off the request-processing CPU, which is why large dispatch sizes
 // degrade performance under load (Fig 3a).
-func (st *streamState) dispatchLoop(p *sim.Proc) {
+func (st *streamState) dispatchLoop(p runtime.Task) {
 	for len(st.queue) > 0 {
 		k := st.s.cfg.DispatchSize
 		if k > len(st.queue) {
@@ -133,7 +133,7 @@ func (st *streamState) dispatchLoop(p *sim.Proc) {
 		batch := st.queue[:k]
 		st.queue = st.queue[k:]
 
-		perSeg := sim.Duration(float64(st.s.cfg.MDSSegmentDispatchCPU) *
+		perSeg := runtime.Duration(float64(st.s.cfg.MDSSegmentDispatchCPU) *
 			(1 + float64(st.s.cfg.DispatchSize-1)*st.s.cfg.MDSDispatchCongestion))
 
 		// Management cycles contend with request processing.
@@ -143,18 +143,18 @@ func (st *streamState) dispatchLoop(p *sim.Proc) {
 
 		// The writes themselves go out in parallel ("dispatched at
 		// once") and do not hold the CPU.
-		g := sim.NewGroup(st.s.eng)
+		g := st.s.eng.NewGroup()
 		striper := rados.NewStriper(st.s.obj)
 		for _, seg := range batch {
 			seg := seg
-			g.Go("mds.segwrite", func(wp *sim.Proc) {
+			g.Go("mds.segwrite", func(wp runtime.Task) {
 				name := journalObjectName(st.s.rank, st.segBase+seg.Index)
 				nominal := int64(len(seg.Events)) * int64(st.s.cfg.JournalEventBytes)
 				data, err := st.enc.Encode(seg.Events)
 				if err != nil {
 					return
 				}
-				rec := wp.Engine().Tracer()
+				rec := wp.Runtime().Tracer()
 				span := trace.SpanID(-1)
 				if rec != nil {
 					span = rec.Begin(int64(wp.Now()),
@@ -185,14 +185,14 @@ func (st *streamState) dispatchLoop(p *sim.Proc) {
 
 // FlushJournal seals and dispatches any buffered segments, waiting until
 // the journal is safe in the object store.
-func (s *Server) FlushJournal(p *sim.Proc) {
+func (s *Server) FlushJournal(p runtime.Task) {
 	if seg := s.stream.jrnl.Seal(); seg != nil {
 		s.stream.queue = append(s.stream.queue, seg)
 	}
 	s.stream.kick()
 	// Wait for the dispatcher to drain.
 	for s.stream.dispatching {
-		p.Sleep(sim.Duration(1e6)) // 1 ms poll
+		p.Sleep(runtime.Duration(1e6)) // 1 ms poll
 	}
 }
 
@@ -209,7 +209,7 @@ func (s *Server) TrimJournal() {
 // SaveStore applies the in-memory metadata store to its RADOS
 // representation: one object per directory, dentries in omap-style
 // payloads (paper §IV-A). The journal can be trimmed afterwards.
-func (s *Server) SaveStore(p *sim.Proc) error {
+func (s *Server) SaveStore(p runtime.Task) error {
 	for _, ino := range s.store.Dirs() {
 		data, err := s.store.EncodeDir(ino)
 		if err != nil {
@@ -229,7 +229,7 @@ func (s *Server) SaveStore(p *sim.Proc) error {
 // Nonvolatile Apply relies on (paper §III-A): after a client pushes
 // updates into the object store, the restarted MDS notices and replays
 // them onto its in-memory store.
-func (s *Server) Recover(p *sim.Proc) error {
+func (s *Server) Recover(p runtime.Task) error {
 	fresh := namespace.NewStore()
 
 	// Load directory objects; parents may appear after children in the
@@ -261,11 +261,11 @@ func (s *Server) Recover(p *sim.Proc) error {
 	}
 
 	// Replay streamed journal segments from the object store.
-	replay := p.Engine().Tracer().Begin(int64(p.Now()),
+	replay := p.Runtime().Tracer().Begin(int64(p.Now()),
 		s.ep.Name(), "journal", "journal.replay")
 	defer func(rec *trace.Recorder) {
 		rec.End(replay, int64(p.Now()))
-	}(p.Engine().Tracer())
+	}(p.Runtime().Tracer())
 	striper := rados.NewStriper(s.obj)
 	nseg := 0
 	for idx := 0; ; idx++ {

@@ -17,7 +17,7 @@ import (
 	"cudele/internal/mds"
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 	"cudele/internal/transport"
 )
 
@@ -42,7 +42,7 @@ type Entry struct {
 
 // Monitor manages cluster state changes.
 type Monitor struct {
-	eng      *sim.Engine
+	eng      runtime.Runtime
 	cl       *mds.Cluster
 	epoch    uint64
 	subtrees map[string]*Entry
@@ -50,7 +50,7 @@ type Monitor struct {
 }
 
 // New creates a monitor governing a metadata cluster.
-func New(eng *sim.Engine, cl *mds.Cluster) *Monitor {
+func New(eng runtime.Runtime, cl *mds.Cluster) *Monitor {
 	return &Monitor{
 		eng:      eng,
 		cl:       cl,
@@ -88,7 +88,7 @@ func (m *Monitor) publish() {
 // Register parses policiesText (the policies.yml of §III-C), stamps it
 // with a new epoch, distributes it, and reserves the subtree's inode
 // grant. Registering the same path again replaces its policy.
-func (m *Monitor) Register(p *sim.Proc, path, policiesText, owner string) (*Entry, error) {
+func (m *Monitor) Register(p runtime.Task, path, policiesText, owner string) (*Entry, error) {
 	pol, err := policy.ParseFile(policiesText)
 	if err != nil {
 		return nil, err
@@ -100,7 +100,7 @@ func (m *Monitor) Register(p *sim.Proc, path, policiesText, owner string) (*Entr
 // registration is one cluster-map change: the epoch is bumped exactly
 // once, covering the policy distribution and any subtree placement it
 // implies, and the new map is pushed to every subscriber.
-func (m *Monitor) RegisterPolicy(p *sim.Proc, path string, pol *policy.Policy, owner string) (*Entry, error) {
+func (m *Monitor) RegisterPolicy(p runtime.Task, path string, pol *policy.Policy, owner string) (*Entry, error) {
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,7 +146,7 @@ func (m *Monitor) RegisterPolicy(p *sim.Proc, path string, pol *policy.Policy, o
 // Unregister removes the subtree's policy and returns it to the global
 // namespace's semantics. Placement is left alone: pinning a subtree to a
 // rank is orthogonal to its consistency/durability policy.
-func (m *Monitor) Unregister(p *sim.Proc, path string) error {
+func (m *Monitor) Unregister(p runtime.Task, path string) error {
 	if _, ok := m.subtrees[path]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownSubtree, path)
 	}
@@ -162,7 +162,7 @@ func (m *Monitor) Unregister(p *sim.Proc, path string) error {
 
 // Place pins the subtree at path to a metadata rank without touching its
 // policy — the explicit placement knob (ceph.dir.pin in CephFS terms).
-func (m *Monitor) Place(p *sim.Proc, path string, rank int) error {
+func (m *Monitor) Place(p runtime.Task, path string, rank int) error {
 	p.Sleep(commitLatency)
 	m.epoch++
 	if err := m.cl.Place(p, path, rank); err != nil {

@@ -10,30 +10,31 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
-func newTestMonitor() (*sim.Engine, *mds.Server, *Monitor) {
+func newTestMonitor() (runtime.Runtime, *mds.Server, *Monitor) {
 	eng, cl, m := newTestCluster(1)
 	return eng, cl.Rank(0), m
 }
 
-func newTestCluster(ranks int) (*sim.Engine, *mds.Cluster, *Monitor) {
+func newTestCluster(ranks int) (runtime.Runtime, *mds.Cluster, *Monitor) {
 	eng := sim.NewEngine(5)
 	obj := rados.New(eng, model.Default())
 	cl := mds.NewCluster(eng, model.Default(), obj, ranks)
 	return eng, cl, New(eng, cl)
 }
 
-func run(t *testing.T, eng *sim.Engine, fn func(p *sim.Proc)) {
+func run(t *testing.T, eng runtime.Runtime, fn func(p runtime.Task)) {
 	t.Helper()
-	eng.Go("test", fn)
+	eng.Spawn("test", fn)
 	eng.RunAll()
 }
 
-func mkdirs(t *testing.T, eng *sim.Engine, srv *mds.Server, path string) {
+func mkdirs(t *testing.T, eng runtime.Runtime, srv *mds.Server, path string) {
 	t.Helper()
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		if _, err := srv.Store().MkdirAll(path, namespace.CreateAttrs{Mode: 0755}); err != nil {
 			t.Fatalf("mkdirall: %v", err)
 		}
@@ -43,7 +44,7 @@ func mkdirs(t *testing.T, eng *sim.Engine, srv *mds.Server, path string) {
 func TestRegisterParsesAndGrants(t *testing.T) {
 	eng, srv, m := newTestMonitor()
 	mkdirs(t, eng, srv, "/msevilla/mydir")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		e, err := m.Register(p, "/msevilla/mydir",
 			"consistency: weak\ndurability: local\nallocated_inodes: 5000\ninterfere: block\n",
 			"client.0")
@@ -79,7 +80,7 @@ func TestRegisterEmptyPoliciesFileIsCephFS(t *testing.T) {
 	// application 100 inodes but stock CephFS behaviour.
 	eng, srv, m := newTestMonitor()
 	mkdirs(t, eng, srv, "/d")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		e, err := m.Register(p, "/d", "", "c0")
 		if err != nil {
 			t.Errorf("register: %v", err)
@@ -98,7 +99,7 @@ func TestRegisterEmptyPoliciesFileIsCephFS(t *testing.T) {
 func TestRegisterErrors(t *testing.T) {
 	eng, srv, m := newTestMonitor()
 	mkdirs(t, eng, srv, "/d")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		if _, err := m.Register(p, "/d", "bogus line", "c0"); err == nil {
 			t.Error("bad policies file accepted")
 		}
@@ -111,7 +112,7 @@ func TestRegisterErrors(t *testing.T) {
 func TestUnregister(t *testing.T) {
 	eng, srv, m := newTestMonitor()
 	mkdirs(t, eng, srv, "/d")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		if _, err := m.Register(p, "/d", "interfere: block", "c0"); err != nil {
 			t.Errorf("register: %v", err)
 			return
@@ -135,7 +136,7 @@ func TestSubtreesSortedAndDescribe(t *testing.T) {
 	eng, srv, m := newTestMonitor()
 	mkdirs(t, eng, srv, "/b")
 	mkdirs(t, eng, srv, "/a")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		m.Register(p, "/b", "consistency: weak\ndurability: local", "c1")
 		m.Register(p, "/a", "consistency: invisible\ndurability: none", "c0")
 	})
@@ -154,7 +155,7 @@ func TestSubtreesSortedAndDescribe(t *testing.T) {
 func TestLookup(t *testing.T) {
 	eng, srv, m := newTestMonitor()
 	mkdirs(t, eng, srv, "/d")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		m.Register(p, "/d", "", "c0")
 	})
 	if _, ok := m.Lookup("/d"); !ok {
@@ -174,7 +175,7 @@ func TestReRegisterMovesRankAndPropagates(t *testing.T) {
 	mkdirs(t, eng, cl.Rank(0), "/d")
 	portal := cl.Portal()
 	m.Subscribe("client.0", portal.Table())
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		if _, err := m.Register(p, "/d", "consistency: weak\ndurability: none", "c0"); err != nil {
 			t.Fatalf("register: %v", err)
 		}
@@ -224,7 +225,7 @@ func TestReRegisterMovesRankAndPropagates(t *testing.T) {
 func TestRegisterRankOutOfRange(t *testing.T) {
 	eng, cl, m := newTestCluster(1)
 	mkdirs(t, eng, cl.Rank(0), "/d")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		if _, err := m.Register(p, "/d", "mds_rank: 3", "c0"); err == nil {
 			t.Error("mds_rank 3 accepted by a 1-rank cluster")
 		}
@@ -239,7 +240,7 @@ func TestReRegisterReplacesPolicy(t *testing.T) {
 	// again with a different policy.
 	eng, srv, m := newTestMonitor()
 	mkdirs(t, eng, srv, "/d")
-	run(t, eng, func(p *sim.Proc) {
+	run(t, eng, func(p runtime.Task) {
 		m.Register(p, "/d", "consistency: invisible\ndurability: none", "c0")
 		e, err := m.Register(p, "/d", "consistency: strong\ndurability: global", "c0")
 		if err != nil {

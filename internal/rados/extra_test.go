@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cudele/internal/model"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
@@ -44,8 +45,8 @@ func TestReplicasClampedToOSDCount(t *testing.T) {
 func TestWriteBilledChargesNominal(t *testing.T) {
 	e, c := newTestCluster(t)
 	oid := ObjectID{Pool: "j", Name: "seg"}
-	var took sim.Time
-	run(t, e, func(p *sim.Proc) {
+	var took runtime.Time
+	run(t, e, func(p runtime.Task) {
 		start := p.Now()
 		c.WriteBilled(p, oid, []byte("tiny"), 8<<20) // bill 8 MB
 		took = p.Now() - start
@@ -66,7 +67,7 @@ func TestWriteBilledChargesNominal(t *testing.T) {
 func TestWriteBilledFloorsAtActualSize(t *testing.T) {
 	e, c := newTestCluster(t)
 	oid := ObjectID{Pool: "j", Name: "seg"}
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.WriteBilled(p, oid, make([]byte, 1000), 1) // billed < len(data)
 	})
 	if c.Stats().BytesWritten != 1000 {
@@ -78,7 +79,7 @@ func TestStriperWriteBilledRoundTrip(t *testing.T) {
 	e, c := newTestCluster(t)
 	s := NewStriper(c)
 	payload := []byte("real journal bytes")
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		s.WriteBilled(p, "j", "client0", payload, 10<<20) // 3 stripes of cost
 		got, err := s.Read(p, "j", "client0")
 		if err != nil || string(got) != string(payload) {
@@ -94,7 +95,7 @@ func TestStriperWriteBilledRoundTrip(t *testing.T) {
 func TestStriperWriteBilledZero(t *testing.T) {
 	e, c := newTestCluster(t)
 	s := NewStriper(c)
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		s.WriteBilled(p, "j", "empty", nil, 0)
 		got, err := s.Read(p, "j", "empty")
 		if err != nil || len(got) != 0 {

@@ -19,7 +19,7 @@ import (
 	"sort"
 
 	"cudele/internal/model"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 	"cudele/internal/trace"
 )
 
@@ -42,21 +42,26 @@ type object struct {
 // OSD is one simulated object storage daemon with its own disk channel.
 type OSD struct {
 	ID   int
-	Disk *sim.Pipe
+	Disk runtime.Pipe
 }
 
 // Cluster is the simulated object store.
 type Cluster struct {
-	eng  *sim.Engine
+	eng  runtime.Runtime
 	cfg  model.Config
 	osds []*OSD
-	net  *sim.Pipe
+	net  runtime.Pipe
 	pgs  uint32
 
 	objects map[ObjectID]*object
 
 	// faults, when non-nil, may fail or tear writes (see fault.go).
 	faults *FaultInjector
+
+	// store, when non-nil, write-through persists every object to real
+	// files (see filestore.go). Reads stay in memory; simulated device
+	// charges are skipped because the fsync is the real cost.
+	store *FileStore
 
 	// statistics
 	reads, writes, deletes uint64
@@ -65,18 +70,18 @@ type Cluster struct {
 }
 
 // New creates an object store with cfg.NumOSDs daemons on engine e.
-func New(e *sim.Engine, cfg model.Config) *Cluster {
+func New(e runtime.Runtime, cfg model.Config) *Cluster {
 	c := &Cluster{
 		eng:     e,
 		cfg:     cfg,
-		net:     sim.NewPipe(e, "rados.net", cfg.NetBandwidth),
+		net:     e.NewPipe("rados.net", cfg.NetBandwidth),
 		pgs:     128,
 		objects: make(map[ObjectID]*object),
 	}
 	for i := 0; i < cfg.NumOSDs; i++ {
 		c.osds = append(c.osds, &OSD{
 			ID:   i,
-			Disk: sim.NewPipe(e, fmt.Sprintf("osd.%d.disk", i), cfg.OSDDiskBandwidth),
+			Disk: e.NewPipe(fmt.Sprintf("osd.%d.disk", i), cfg.OSDDiskBandwidth),
 		})
 	}
 	return c
@@ -86,7 +91,7 @@ func New(e *sim.Engine, cfg model.Config) *Cluster {
 func (c *Cluster) OSDs() []*OSD { return c.osds }
 
 // Net returns the shared fabric pipe.
-func (c *Cluster) Net() *sim.Pipe { return c.net }
+func (c *Cluster) Net() runtime.Pipe { return c.net }
 
 // SetFaults installs (or, with nil, removes) a write-fault injector.
 func (c *Cluster) SetFaults(f *FaultInjector) { c.faults = f }
@@ -120,14 +125,17 @@ func (c *Cluster) replicas(oid ObjectID) []*OSD {
 // round trip plus a disk transfer on every replica. Replica transfers are
 // charged sequentially on their respective disks but those disks are
 // independent pipes, so different objects still proceed in parallel.
-func (c *Cluster) chargeWrite(p *sim.Proc, oid ObjectID, n int64) {
-	rec := p.Engine().Tracer()
+func (c *Cluster) chargeWrite(p runtime.Task, oid ObjectID, n int64) {
+	if c.store != nil {
+		return // the durable write itself is the cost
+	}
+	rec := p.Runtime().Tracer()
 	span := trace.SpanID(-1)
 	if rec != nil { // guard so oid.String() never runs when disabled
 		span = rec.Begin(int64(p.Now()), "rados", "rados", "rados.write",
 			trace.KV{Key: "object", Val: oid.String()})
 	}
-	p.Sleep(c.cfg.OSDOpLatency)
+	c.opLatency(p)
 	c.net.Transfer(p, n)
 	for _, osd := range c.replicas(oid) {
 		osd.Disk.Transfer(p, n)
@@ -136,17 +144,63 @@ func (c *Cluster) chargeWrite(p *sim.Proc, oid ObjectID, n int64) {
 }
 
 // chargeRead blocks p for the cost of reading n bytes from oid's primary.
-func (c *Cluster) chargeRead(p *sim.Proc, oid ObjectID, n int64) {
-	rec := p.Engine().Tracer()
+func (c *Cluster) chargeRead(p runtime.Task, oid ObjectID, n int64) {
+	if c.store != nil {
+		return // reads are served from memory on the real backend
+	}
+	rec := p.Runtime().Tracer()
 	span := trace.SpanID(-1)
 	if rec != nil {
 		span = rec.Begin(int64(p.Now()), "rados", "rados", "rados.read",
 			trace.KV{Key: "object", Val: oid.String()})
 	}
-	p.Sleep(c.cfg.OSDOpLatency)
+	c.opLatency(p)
 	c.primary(oid).Disk.Transfer(p, n)
 	c.net.Transfer(p, n)
 	rec.End(span, int64(p.Now()))
+}
+
+// opLatency charges one fixed round trip, skipped when a durable store
+// is attached (real operations carry their own cost).
+func (c *Cluster) opLatency(p runtime.Task) {
+	if c.store != nil {
+		return
+	}
+	p.Sleep(c.cfg.OSDOpLatency)
+}
+
+// persist write-through persists oid's current in-memory image. The
+// copies are taken under the runtime's single-task discipline; the
+// fsync runs outside it (Blocking) so other tasks overlap the I/O.
+func (c *Cluster) persist(p runtime.Task, oid ObjectID) error {
+	if c.store == nil {
+		return nil
+	}
+	o := c.get(oid)
+	if o == nil {
+		return nil
+	}
+	data := append([]byte(nil), o.data...)
+	var omap map[string][]byte
+	if o.omap != nil {
+		omap = make(map[string][]byte, len(o.omap))
+		for k, v := range o.omap {
+			omap[k] = append([]byte(nil), v...)
+		}
+	}
+	var err error
+	p.Runtime().Blocking(func() { err = c.store.Put(oid, data, omap) })
+	return err
+}
+
+// persistRemove durably removes oid's on-disk image.
+func (c *Cluster) persistRemove(p runtime.Task, oid ObjectID) error {
+	if c.store == nil {
+		return nil
+	}
+	var err error
+	p.Runtime().Blocking(func() { err = c.store.Remove(oid) })
+	return err
 }
 
 func (c *Cluster) get(oid ObjectID) *object {
@@ -165,7 +219,7 @@ func (c *Cluster) getOrCreate(oid ObjectID) *object {
 // Write stores data as the full contents of oid, creating it if needed.
 // An armed fault injector may fail the write cleanly (nothing persisted)
 // or tear it (a prefix persisted, then an error).
-func (c *Cluster) Write(p *sim.Proc, oid ObjectID, data []byte) error {
+func (c *Cluster) Write(p runtime.Task, oid ObjectID, data []byte) error {
 	c.writes++
 	c.bytesWrit += uint64(len(data))
 	c.chargeWrite(p, oid, int64(len(data)))
@@ -182,7 +236,7 @@ func (c *Cluster) Write(p *sim.Proc, oid ObjectID, data []byte) error {
 	}
 	o := c.getOrCreate(oid)
 	o.data = append(o.data[:0], data...)
-	return nil
+	return c.persist(p, oid)
 }
 
 // WriteBilled stores data as oid's contents but charges the devices as if
@@ -190,7 +244,7 @@ func (c *Cluster) Write(p *sim.Proc, oid ObjectID, data []byte) error {
 // footprint (paper §V-A) dwarfs its information content; billing lets the
 // simulation carry the paper's transfer costs without materializing
 // padding.
-func (c *Cluster) WriteBilled(p *sim.Proc, oid ObjectID, data []byte, billed int64) error {
+func (c *Cluster) WriteBilled(p runtime.Task, oid ObjectID, data []byte, billed int64) error {
 	if billed < int64(len(data)) {
 		billed = int64(len(data))
 	}
@@ -210,11 +264,11 @@ func (c *Cluster) WriteBilled(p *sim.Proc, oid ObjectID, data []byte, billed int
 	}
 	o := c.getOrCreate(oid)
 	o.data = append(o.data[:0], data...)
-	return nil
+	return c.persist(p, oid)
 }
 
 // Append appends data to oid, creating it if needed.
-func (c *Cluster) Append(p *sim.Proc, oid ObjectID, data []byte) error {
+func (c *Cluster) Append(p runtime.Task, oid ObjectID, data []byte) error {
 	c.writes++
 	c.bytesWrit += uint64(len(data))
 	c.chargeWrite(p, oid, int64(len(data)))
@@ -231,14 +285,14 @@ func (c *Cluster) Append(p *sim.Proc, oid ObjectID, data []byte) error {
 	}
 	o := c.getOrCreate(oid)
 	o.data = append(o.data, data...)
-	return nil
+	return c.persist(p, oid)
 }
 
 // Read returns a copy of oid's contents.
-func (c *Cluster) Read(p *sim.Proc, oid ObjectID) ([]byte, error) {
+func (c *Cluster) Read(p runtime.Task, oid ObjectID) ([]byte, error) {
 	o := c.get(oid)
 	if o == nil {
-		p.Sleep(c.cfg.OSDOpLatency) // a miss still costs a round trip
+		c.opLatency(p) // a miss still costs a round trip
 		return nil, fmt.Errorf("read %v: %w", oid, ErrNotFound)
 	}
 	c.reads++
@@ -250,8 +304,8 @@ func (c *Cluster) Read(p *sim.Proc, oid ObjectID) ([]byte, error) {
 }
 
 // Stat returns the byte size of oid.
-func (c *Cluster) Stat(p *sim.Proc, oid ObjectID) (int, error) {
-	p.Sleep(c.cfg.OSDOpLatency)
+func (c *Cluster) Stat(p runtime.Task, oid ObjectID) (int, error) {
+	c.opLatency(p)
 	o := c.get(oid)
 	if o == nil {
 		return 0, fmt.Errorf("stat %v: %w", oid, ErrNotFound)
@@ -260,19 +314,19 @@ func (c *Cluster) Stat(p *sim.Proc, oid ObjectID) (int, error) {
 }
 
 // Remove deletes oid. Removing a missing object returns ErrNotFound.
-func (c *Cluster) Remove(p *sim.Proc, oid ObjectID) error {
-	p.Sleep(c.cfg.OSDOpLatency)
+func (c *Cluster) Remove(p runtime.Task, oid ObjectID) error {
+	c.opLatency(p)
 	if c.get(oid) == nil {
 		return fmt.Errorf("remove %v: %w", oid, ErrNotFound)
 	}
 	c.deletes++
 	delete(c.objects, oid)
-	return nil
+	return c.persistRemove(p, oid)
 }
 
 // Exists reports whether oid exists, charging one round trip.
-func (c *Cluster) Exists(p *sim.Proc, oid ObjectID) bool {
-	p.Sleep(c.cfg.OSDOpLatency)
+func (c *Cluster) Exists(p runtime.Task, oid ObjectID) bool {
+	c.opLatency(p)
 	return c.get(oid) != nil
 }
 
@@ -280,7 +334,7 @@ func (c *Cluster) Exists(p *sim.Proc, oid ObjectID) bool {
 // needed. The cost is one write round trip plus the payload transfer.
 // Omap updates are atomic: an injected fault fails the whole batch
 // cleanly, never a torn subset.
-func (c *Cluster) OmapSet(p *sim.Proc, oid ObjectID, kv map[string][]byte) error {
+func (c *Cluster) OmapSet(p runtime.Task, oid ObjectID, kv map[string][]byte) error {
 	var n int64
 	for k, v := range kv {
 		n += int64(len(k) + len(v))
@@ -301,19 +355,19 @@ func (c *Cluster) OmapSet(p *sim.Proc, oid ObjectID, kv map[string][]byte) error
 		copy(val, v)
 		o.omap[k] = val
 	}
-	return nil
+	return c.persist(p, oid)
 }
 
 // OmapGet returns the value stored under key in oid's omap.
-func (c *Cluster) OmapGet(p *sim.Proc, oid ObjectID, key string) ([]byte, error) {
+func (c *Cluster) OmapGet(p runtime.Task, oid ObjectID, key string) ([]byte, error) {
 	o := c.get(oid)
 	if o == nil || o.omap == nil {
-		p.Sleep(c.cfg.OSDOpLatency)
+		c.opLatency(p)
 		return nil, fmt.Errorf("omap-get %v[%q]: %w", oid, key, ErrNotFound)
 	}
 	v, ok := o.omap[key]
 	if !ok {
-		p.Sleep(c.cfg.OSDOpLatency)
+		c.opLatency(p)
 		return nil, fmt.Errorf("omap-get %v[%q]: %w", oid, key, ErrNotFound)
 	}
 	c.reads++
@@ -325,8 +379,8 @@ func (c *Cluster) OmapGet(p *sim.Proc, oid ObjectID, key string) ([]byte, error)
 }
 
 // OmapRemove deletes key from oid's omap.
-func (c *Cluster) OmapRemove(p *sim.Proc, oid ObjectID, key string) error {
-	p.Sleep(c.cfg.OSDOpLatency)
+func (c *Cluster) OmapRemove(p runtime.Task, oid ObjectID, key string) error {
+	c.opLatency(p)
 	o := c.get(oid)
 	if o == nil || o.omap == nil {
 		return fmt.Errorf("omap-remove %v[%q]: %w", oid, key, ErrNotFound)
@@ -335,14 +389,14 @@ func (c *Cluster) OmapRemove(p *sim.Proc, oid ObjectID, key string) error {
 		return fmt.Errorf("omap-remove %v[%q]: %w", oid, key, ErrNotFound)
 	}
 	delete(o.omap, key)
-	return nil
+	return c.persist(p, oid)
 }
 
 // OmapList returns oid's omap keys in sorted order, charging a scan.
-func (c *Cluster) OmapList(p *sim.Proc, oid ObjectID) ([]string, error) {
+func (c *Cluster) OmapList(p runtime.Task, oid ObjectID) ([]string, error) {
 	o := c.get(oid)
 	if o == nil {
-		p.Sleep(c.cfg.OSDOpLatency)
+		c.opLatency(p)
 		return nil, fmt.Errorf("omap-list %v: %w", oid, ErrNotFound)
 	}
 	var n int64
@@ -358,8 +412,10 @@ func (c *Cluster) OmapList(p *sim.Proc, oid ObjectID) ([]string, error) {
 
 // List returns the names of all objects in pool, sorted. It charges one
 // round trip per placement-group scan, approximating a pool listing.
-func (c *Cluster) List(p *sim.Proc, pool string) []string {
-	p.Sleep(c.cfg.OSDOpLatency * sim.Duration(len(c.osds)))
+func (c *Cluster) List(p runtime.Task, pool string) []string {
+	if c.store == nil {
+		p.Sleep(c.cfg.OSDOpLatency * runtime.Duration(len(c.osds)))
+	}
 	var names []string
 	for oid := range c.objects {
 		if oid.Pool == pool {

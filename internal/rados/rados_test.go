@@ -7,29 +7,30 @@ import (
 	"testing/quick"
 
 	"cudele/internal/model"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
-func newTestCluster(t *testing.T) (*sim.Engine, *Cluster) {
+func newTestCluster(t *testing.T) (runtime.Runtime, *Cluster) {
 	t.Helper()
 	e := sim.NewEngine(7)
 	return e, New(e, model.Default())
 }
 
 // run executes fn as a sim process and drives the engine to completion.
-func run(t *testing.T, e *sim.Engine, fn func(p *sim.Proc)) {
+func run(t *testing.T, e runtime.Runtime, fn func(p runtime.Task)) {
 	t.Helper()
-	e.Go("test", fn)
+	e.Spawn("test", fn)
 	e.RunAll()
-	if e.LiveProcs() != 0 {
-		t.Fatalf("leaked %d procs", e.LiveProcs())
+	if err := e.LeakCheck(); err != nil {
+		t.Fatalf("leaked procs: %v", err)
 	}
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
 	e, c := newTestCluster(t)
 	oid := ObjectID{Pool: "meta", Name: "obj1"}
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.Write(p, oid, []byte("hello"))
 		got, err := c.Read(p, oid)
 		if err != nil {
@@ -45,7 +46,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 func TestWriteOverwrites(t *testing.T) {
 	e, c := newTestCluster(t)
 	oid := ObjectID{Pool: "meta", Name: "obj1"}
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.Write(p, oid, []byte("aaaa"))
 		c.Write(p, oid, []byte("bb"))
 		got, _ := c.Read(p, oid)
@@ -58,7 +59,7 @@ func TestWriteOverwrites(t *testing.T) {
 func TestAppend(t *testing.T) {
 	e, c := newTestCluster(t)
 	oid := ObjectID{Pool: "meta", Name: "log"}
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.Append(p, oid, []byte("ab"))
 		c.Append(p, oid, []byte("cd"))
 		got, _ := c.Read(p, oid)
@@ -70,7 +71,7 @@ func TestAppend(t *testing.T) {
 
 func TestReadMissing(t *testing.T) {
 	e, c := newTestCluster(t)
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		_, err := c.Read(p, ObjectID{Pool: "meta", Name: "nope"})
 		if !errors.Is(err, ErrNotFound) {
 			t.Errorf("err = %v, want ErrNotFound", err)
@@ -81,7 +82,7 @@ func TestReadMissing(t *testing.T) {
 func TestReadReturnsCopy(t *testing.T) {
 	e, c := newTestCluster(t)
 	oid := ObjectID{Pool: "meta", Name: "obj"}
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.Write(p, oid, []byte("orig"))
 		got, _ := c.Read(p, oid)
 		got[0] = 'X'
@@ -95,7 +96,7 @@ func TestReadReturnsCopy(t *testing.T) {
 func TestRemoveAndExists(t *testing.T) {
 	e, c := newTestCluster(t)
 	oid := ObjectID{Pool: "meta", Name: "obj"}
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.Write(p, oid, []byte("x"))
 		if !c.Exists(p, oid) {
 			t.Error("object missing after write")
@@ -115,7 +116,7 @@ func TestRemoveAndExists(t *testing.T) {
 func TestStat(t *testing.T) {
 	e, c := newTestCluster(t)
 	oid := ObjectID{Pool: "meta", Name: "obj"}
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.Write(p, oid, make([]byte, 123))
 		n, err := c.Stat(p, oid)
 		if err != nil || n != 123 {
@@ -131,7 +132,7 @@ func TestStat(t *testing.T) {
 func TestOmap(t *testing.T) {
 	e, c := newTestCluster(t)
 	oid := ObjectID{Pool: "meta", Name: "dir.1"}
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.OmapSet(p, oid, map[string][]byte{"b": []byte("2"), "a": []byte("1")})
 		v, err := c.OmapGet(p, oid, "a")
 		if err != nil || string(v) != "1" {
@@ -155,7 +156,7 @@ func TestOmap(t *testing.T) {
 
 func TestList(t *testing.T) {
 	e, c := newTestCluster(t)
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.Write(p, ObjectID{Pool: "a", Name: "x"}, nil)
 		c.Write(p, ObjectID{Pool: "a", Name: "y"}, nil)
 		c.Write(p, ObjectID{Pool: "b", Name: "z"}, nil)
@@ -192,8 +193,8 @@ func TestPlacementSpreads(t *testing.T) {
 
 func TestWriteChargesTime(t *testing.T) {
 	e, c := newTestCluster(t)
-	var took sim.Time
-	run(t, e, func(p *sim.Proc) {
+	var took runtime.Time
+	run(t, e, func(p runtime.Task) {
 		start := p.Now()
 		c.Write(p, ObjectID{Pool: "meta", Name: "big"}, make([]byte, 12<<20))
 		took = p.Now() - start
@@ -211,7 +212,7 @@ func TestStriperRoundTrip(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i * 31)
 	}
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		s.Write(p, "journal", "client0", data)
 		got, err := s.Read(p, "journal", "client0")
 		if err != nil {
@@ -236,8 +237,8 @@ func TestStriperParallelBeatsSerial(t *testing.T) {
 
 	e1 := sim.NewEngine(1)
 	c1 := New(e1, cfg)
-	var striped sim.Time
-	e1.Go("w", func(p *sim.Proc) {
+	var striped runtime.Time
+	e1.Spawn("w", func(p runtime.Task) {
 		start := p.Now()
 		NewStriper(c1).Write(p, "j", "x", data)
 		striped = p.Now() - start
@@ -246,8 +247,8 @@ func TestStriperParallelBeatsSerial(t *testing.T) {
 
 	e2 := sim.NewEngine(1)
 	c2 := New(e2, cfg)
-	var serial sim.Time
-	e2.Go("w", func(p *sim.Proc) {
+	var serial runtime.Time
+	e2.Spawn("w", func(p runtime.Task) {
 		start := p.Now()
 		c2.Write(p, ObjectID{Pool: "j", Name: "x"}, data)
 		serial = p.Now() - start
@@ -262,7 +263,7 @@ func TestStriperParallelBeatsSerial(t *testing.T) {
 func TestStriperRemove(t *testing.T) {
 	e, c := newTestCluster(t)
 	s := NewStriper(c)
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		s.Write(p, "j", "x", make([]byte, 9<<20))
 		if err := s.Remove(p, "j", "x"); err != nil {
 			t.Errorf("remove: %v", err)
@@ -279,7 +280,7 @@ func TestStriperRemove(t *testing.T) {
 func TestStriperEmptyWrite(t *testing.T) {
 	e, c := newTestCluster(t)
 	s := NewStriper(c)
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		s.Write(p, "j", "empty", nil)
 		got, err := s.Read(p, "j", "empty")
 		if err != nil || len(got) != 0 {
@@ -290,7 +291,7 @@ func TestStriperEmptyWrite(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	e, c := newTestCluster(t)
-	run(t, e, func(p *sim.Proc) {
+	run(t, e, func(p runtime.Task) {
 		c.Write(p, ObjectID{Pool: "a", Name: "x"}, make([]byte, 10))
 		c.Read(p, ObjectID{Pool: "a", Name: "x"})
 		c.Remove(p, ObjectID{Pool: "a", Name: "x"})
@@ -318,7 +319,7 @@ func TestStriperQuick(t *testing.T) {
 		c := New(e, cfg)
 		s := NewStriper(c)
 		ok := true
-		e.Go("w", func(p *sim.Proc) {
+		e.Spawn("w", func(p runtime.Task) {
 			s.Write(p, "j", "q", want)
 			got, err := s.Read(p, "j", "q")
 			if err != nil || !bytes.Equal(got, want) {

@@ -3,7 +3,7 @@ package rados
 import (
 	"fmt"
 
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // Striper splits large logical writes across fixed-size objects
@@ -31,9 +31,9 @@ func stripeName(name string, idx int) string {
 // objects written in parallel. It blocks p until every stripe is durable
 // and reports the first stripe failure, if any — later stripes may have
 // landed regardless, exactly like a real parallel push.
-func (s *Striper) Write(p *sim.Proc, pool, name string, data []byte) error {
-	eng := p.Engine()
-	g := sim.NewGroup(eng)
+func (s *Striper) Write(p runtime.Task, pool, name string, data []byte) error {
+	eng := p.Runtime()
+	g := eng.NewGroup()
 	var firstErr error
 	for idx, off := 0, 0; off < len(data); idx, off = idx+1, off+s.unit {
 		end := off + s.unit
@@ -42,7 +42,7 @@ func (s *Striper) Write(p *sim.Proc, pool, name string, data []byte) error {
 		}
 		oid := ObjectID{Pool: pool, Name: stripeName(name, idx)}
 		chunk := data[off:end]
-		g.Go("stripe-write", func(sp *sim.Proc) {
+		g.Go("stripe-write", func(sp runtime.Task) {
 			if err := s.c.Write(sp, oid, chunk); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -61,7 +61,7 @@ func (s *Striper) Write(p *sim.Proc, pool, name string, data []byte) error {
 // Write would stripe billed bytes. The real payload lands in the first
 // stripe; the remaining stripes exist only to carry their share of the
 // transfer cost, so Read reassembles the payload unchanged.
-func (s *Striper) WriteBilled(p *sim.Proc, pool, name string, data []byte, billed int64) error {
+func (s *Striper) WriteBilled(p runtime.Task, pool, name string, data []byte, billed int64) error {
 	if billed < int64(len(data)) {
 		billed = int64(len(data))
 	}
@@ -70,13 +70,13 @@ func (s *Striper) WriteBilled(p *sim.Proc, pool, name string, data []byte, bille
 		stripes = 1
 	}
 	per := billed / int64(stripes)
-	eng := p.Engine()
-	g := sim.NewGroup(eng)
+	eng := p.Runtime()
+	g := eng.NewGroup()
 	var firstErr error
 	for idx := 0; idx < stripes; idx++ {
 		idx := idx
 		oid := ObjectID{Pool: pool, Name: stripeName(name, idx)}
-		g.Go("stripe-write", func(sp *sim.Proc) {
+		g.Go("stripe-write", func(sp runtime.Task) {
 			var err error
 			if idx == 0 {
 				err = s.c.WriteBilled(sp, oid, data, per)
@@ -94,8 +94,8 @@ func (s *Striper) WriteBilled(p *sim.Proc, pool, name string, data []byte, bille
 
 // Read reassembles the logical object written by Write. Stripes are read
 // in parallel.
-func (s *Striper) Read(p *sim.Proc, pool, name string) ([]byte, error) {
-	eng := p.Engine()
+func (s *Striper) Read(p runtime.Task, pool, name string) ([]byte, error) {
+	eng := p.Runtime()
 
 	// Discover the stripe count first (cheap stats until a miss).
 	var n int
@@ -111,12 +111,12 @@ func (s *Striper) Read(p *sim.Proc, pool, name string) ([]byte, error) {
 		return nil, fmt.Errorf("striper read %s/%s: %w", pool, name, ErrNotFound)
 	}
 	chunks := make([][]byte, n)
-	g := sim.NewGroup(eng)
+	g := eng.NewGroup()
 	var firstErr error
 	for i := 0; i < n; i++ {
 		i := i
 		oid := ObjectID{Pool: pool, Name: stripeName(name, i)}
-		g.Go("stripe-read", func(sp *sim.Proc) {
+		g.Go("stripe-read", func(sp runtime.Task) {
 			b, err := s.c.Read(sp, oid)
 			if err != nil && firstErr == nil {
 				firstErr = err
@@ -136,7 +136,7 @@ func (s *Striper) Read(p *sim.Proc, pool, name string) ([]byte, error) {
 }
 
 // Remove deletes every stripe of the logical object.
-func (s *Striper) Remove(p *sim.Proc, pool, name string) error {
+func (s *Striper) Remove(p runtime.Task, pool, name string) error {
 	removed := 0
 	for i := 0; ; i++ {
 		oid := ObjectID{Pool: pool, Name: stripeName(name, i)}

@@ -1,0 +1,319 @@
+// Package realrt is the real execution backend: tasks are goroutines,
+// the clock is wall time, and sleeps and bandwidth charges take actual
+// wall-clock time. The protocol stack (client, mds, monitor, rados,
+// transport) runs on it unchanged through the interfaces in
+// internal/runtime.
+//
+// # Serialization discipline
+//
+// The protocol code was written for the simulator's cooperative model:
+// exactly one task executes at a time and every shared structure
+// (namespace stores, journals, session maps, merge scheduler state) is
+// mutated without locks, relying on yield points for atomicity. The
+// real backend preserves that contract with a run lock — a GIL — that
+// a task holds while executing and releases whenever it sleeps, blocks
+// on a signal or resource, or enters Runtime.Blocking for true I/O
+// (fsync, socket round trips). Tasks therefore interleave only at the
+// same points they could in the simulator, all protocol state stays
+// race-free under `go test -race`, and real concurrency still happens
+// where it matters: in the kernel, across sleeps and disk flushes.
+//
+// Sleeps are real: Duration values that the simulator charges as
+// virtual time become wall-clock time.Sleep here. That is load-bearing
+// beyond fidelity — protocol loops poll with short sleeps (journal
+// flush waits, merge window retries), and a no-op sleep would spin
+// forever while holding the run lock.
+package realrt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cudele/internal/runtime"
+	"cudele/internal/trace"
+)
+
+// errTaskKilled unwinds a task goroutine that Shutdown is reaping.
+var errTaskKilled = new(int)
+
+// Engine is the real backend's runtime: a wall clock, a run lock, and
+// a registry of live tasks.
+type Engine struct {
+	// mu is the run lock (the GIL): held by the one task currently
+	// executing protocol code. It guards no engine fields.
+	mu sync.Mutex
+
+	// state guards the task registry and the quiescence accounting, and
+	// is what cond waits on. It is separate from the run lock so that
+	// Spawn works from task context (realCall spawns a handler task
+	// while holding the run lock) — Spawn only needs state. Lock order
+	// is strictly mu → state; nothing takes mu while holding state.
+	state sync.Mutex
+	cond  *sync.Cond
+
+	start  time.Time
+	rng    *rand.Rand
+	tracer *trace.Recorder
+
+	live     map[*Task]struct{}
+	nlive    int // tasks spawned and not yet finished
+	nblocked int // tasks parked on a signal/resource with no timer pending
+
+	net *loopback // optional loopback-TCP round tripper, nil when off
+}
+
+// New returns an engine whose clock starts now and whose random source
+// is seeded with seed. Real runs are not deterministic — goroutine
+// wakeup order depends on the scheduler and wall time — but a seeded
+// source keeps workload shapes (jitter draws, service-time draws)
+// reproducible in distribution.
+func New(seed int64) *Engine {
+	e := &Engine{
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(seed)),
+		live:  make(map[*Task]struct{}),
+	}
+	e.cond = sync.NewCond(&e.state)
+	return e
+}
+
+// Kind implements runtime.Runtime.
+func (e *Engine) Kind() runtime.Kind { return runtime.RealKind }
+
+// Now returns wall-clock nanoseconds since the engine was created.
+func (e *Engine) Now() runtime.Time { return runtime.Time(time.Since(e.start)) }
+
+// Rand returns the engine's random source. Tasks run serialized under
+// the run lock, so task-context use needs no extra locking.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Tracer returns the span recorder; nil means tracing is off.
+func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
+
+// SetTracer installs a span recorder. Install before spawning tasks;
+// the recorder itself is safe for concurrent use.
+func (e *Engine) SetTracer(r *trace.Recorder) { e.tracer = r }
+
+// Spawn implements runtime.Runtime: fn runs as a goroutine that obeys
+// the run-lock discipline.
+func (e *Engine) Spawn(name string, fn func(t runtime.Task)) {
+	t := &Task{eng: e, name: name, resume: make(chan struct{}, 1)}
+	e.state.Lock()
+	e.nlive++
+	e.live[t] = struct{}{}
+	e.state.Unlock()
+	go func() {
+		e.mu.Lock()
+		defer func() {
+			r := recover()
+			e.mu.Unlock()
+			e.state.Lock()
+			e.nlive--
+			delete(e.live, t)
+			e.cond.Broadcast()
+			e.state.Unlock()
+			if r != nil && r != errTaskKilled {
+				panic(r)
+			}
+		}()
+		if t.killed.Load() {
+			return
+		}
+		fn(t)
+	}()
+}
+
+// Blocking implements runtime.Runtime: fn runs with the run lock
+// released, so real I/O overlaps other tasks' execution. fn must not
+// touch protocol state.
+func (e *Engine) Blocking(fn func()) {
+	e.mu.Unlock()
+	defer e.mu.Lock()
+	fn()
+}
+
+// NewSignal implements runtime.Runtime.
+func (e *Engine) NewSignal() runtime.Signal { return &Signal{eng: e} }
+
+// NewGroup implements runtime.Runtime.
+func (e *Engine) NewGroup() runtime.Group {
+	return &Group{eng: e, done: &Signal{eng: e}}
+}
+
+// NewResource implements runtime.Runtime.
+func (e *Engine) NewResource(name string, capacity int) runtime.Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("realrt: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{eng: e, name: name, capacity: capacity}
+}
+
+// NewPipe implements runtime.Runtime.
+func (e *Engine) NewPipe(name string, rate float64) runtime.Pipe {
+	if rate <= 0 {
+		panic(fmt.Sprintf("realrt: pipe %q rate %v <= 0", name, rate))
+	}
+	return &Pipe{res: &Resource{eng: e, name: name, capacity: 1}, rate: rate}
+}
+
+// RunAll blocks until every task has finished or the remaining tasks
+// are all parked on signals/resources with nothing left to wake them
+// (the real-backend analogue of the simulator draining its event queue
+// with processes still blocked). Tasks that are sleeping or doing
+// Blocking I/O count as runnable — they will make progress on their
+// own. It returns the wall time since the engine started.
+func (e *Engine) RunAll() runtime.Time {
+	e.state.Lock()
+	for e.nlive > 0 && e.nblocked < e.nlive {
+		e.cond.Wait()
+	}
+	e.state.Unlock()
+	return e.Now()
+}
+
+// LeakCheck returns nil when no tasks are live, and otherwise an error
+// naming the leaked tasks.
+func (e *Engine) LeakCheck() error {
+	e.state.Lock()
+	defer e.state.Unlock()
+	if e.nlive == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(e.live))
+	for t := range e.live {
+		names = append(names, t.name)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("realrt: %d leaked task(s): %s", e.nlive, strings.Join(names, ", "))
+}
+
+// Shutdown reaps every live task: blocked and sleeping tasks are woken
+// with a kill flag that unwinds their stacks, and the call blocks until
+// all task goroutines have exited. It also closes the loopback-TCP
+// endpoint if one was enabled. It returns the number of tasks that were
+// live when reaping began; a fully drained run returns 0.
+func (e *Engine) Shutdown() int {
+	e.state.Lock()
+	reaped := e.nlive
+	for e.nlive > 0 {
+		targets := make([]*Task, 0, len(e.live))
+		for t := range e.live {
+			targets = append(targets, t)
+		}
+		e.state.Unlock()
+		for _, t := range targets {
+			t.killed.Store(true)
+			t.wake()
+		}
+		e.state.Lock()
+		if e.nlive == 0 {
+			break
+		}
+		e.cond.Wait()
+	}
+	e.state.Unlock()
+	if e.net != nil {
+		e.net.close()
+		e.net = nil
+	}
+	return reaped
+}
+
+// Task is one goroutine obeying the engine's run-lock discipline. All
+// methods must be called from the task's own goroutine, which holds the
+// run lock except while parked.
+type Task struct {
+	eng  *Engine
+	name string
+	// resume carries wakeups (capacity 1: a parked task consumes at
+	// most one token per park, and duplicate wakes are dropped).
+	resume chan struct{}
+	// parked is true while the task is blocked on a signal/resource.
+	// Its waker clears it (and the engine's blocked count) under the
+	// state lock at wake time, so quiescence accounting never counts a
+	// task that already has a wakeup in flight.
+	parked bool
+	killed atomic.Bool
+}
+
+// Name returns the task name given to Spawn.
+func (t *Task) Name() string { return t.name }
+
+// Now returns wall-clock nanoseconds since the engine started.
+func (t *Task) Now() runtime.Time { return t.eng.Now() }
+
+// Runtime implements runtime.Task.
+func (t *Task) Runtime() runtime.Runtime { return t.eng }
+
+// Sleep suspends the task for wall duration d, releasing the run lock.
+func (t *Task) Sleep(d runtime.Duration) {
+	if t.killed.Load() {
+		panic(errTaskKilled)
+	}
+	e := t.eng
+	e.mu.Unlock()
+	if d <= 0 {
+		// Yield: hand the lock to whoever is waiting for it.
+		e.mu.Lock()
+		return
+	}
+	timer := time.NewTimer(d)
+	select {
+	case <-timer.C:
+	case <-t.resume: // Shutdown kill
+	}
+	timer.Stop()
+	e.mu.Lock()
+	if t.killed.Load() {
+		panic(errTaskKilled)
+	}
+}
+
+// Yield gives other runnable tasks a chance to take the run lock.
+func (t *Task) Yield() { t.Sleep(0) }
+
+// String implements fmt.Stringer.
+func (t *Task) String() string { return fmt.Sprintf("task(%s)", t.name) }
+
+// block parks the task until wake, releasing the run lock. The caller
+// must have registered the task somewhere a future wake will find it;
+// a task parked with no such registration only RunAll's quiescence
+// accounting and Shutdown can reach.
+func (t *Task) block() {
+	if t.killed.Load() {
+		panic(errTaskKilled)
+	}
+	e := t.eng
+	e.state.Lock()
+	t.parked = true
+	e.nblocked++
+	e.cond.Broadcast() // nblocked may now equal nlive: RunAll quiesces
+	e.state.Unlock()
+	e.mu.Unlock()
+	<-t.resume
+	e.mu.Lock()
+	if t.killed.Load() {
+		panic(errTaskKilled)
+	}
+}
+
+// wake unparks a blocked task; duplicate wakes are dropped. Safe to
+// call with or without the run lock (it takes only the state lock).
+func (t *Task) wake() {
+	e := t.eng
+	e.state.Lock()
+	if t.parked {
+		t.parked = false
+		e.nblocked--
+	}
+	e.state.Unlock()
+	select {
+	case t.resume <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,112 @@
+package realrt
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// frameSize is the fixed size of a loopback round-trip frame. Protocol
+// messages carry live pointers (journal events, namespace inodes) and
+// cannot be serialized, so the loopback option does not ship payloads;
+// it puts a real kernel socket round trip on every Call so measured
+// latency includes a real network stack instead of nothing.
+const frameSize = 64
+
+// loopback is a TCP echo endpoint on 127.0.0.1 plus a small pool of
+// client connections.
+type loopback struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// EnableLoopback starts a loopback-TCP echo listener and routes every
+// transport Call's round trip through it (see Wire). Call once, before
+// spawning tasks; Shutdown closes the listener.
+func (e *Engine) EnableLoopback() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	lb := &loopback{ln: ln}
+	go lb.serve()
+	e.net = lb
+	return nil
+}
+
+// NetRoundTrip sends one fixed-size frame to the loopback echo server
+// and waits for it to come back. It reports whether the loopback option
+// is enabled; callers must invoke it outside the run lock (inside
+// Runtime.Blocking), since it performs real socket I/O.
+func (e *Engine) NetRoundTrip() (bool, error) {
+	lb := e.net
+	if lb == nil {
+		return false, nil
+	}
+	c, err := lb.get()
+	if err != nil {
+		return true, err
+	}
+	var frame [frameSize]byte
+	if _, err := c.Write(frame[:]); err != nil {
+		c.Close()
+		return true, err
+	}
+	if _, err := io.ReadFull(c, frame[:]); err != nil {
+		c.Close()
+		return true, err
+	}
+	lb.put(c)
+	return true, nil
+}
+
+func (lb *loopback) serve() {
+	for {
+		c, err := lb.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			defer c.Close()
+			var frame [frameSize]byte
+			for {
+				if _, err := io.ReadFull(c, frame[:]); err != nil {
+					return
+				}
+				if _, err := c.Write(frame[:]); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (lb *loopback) get() (net.Conn, error) {
+	lb.mu.Lock()
+	if n := len(lb.conns); n > 0 {
+		c := lb.conns[n-1]
+		lb.conns = lb.conns[:n-1]
+		lb.mu.Unlock()
+		return c, nil
+	}
+	lb.mu.Unlock()
+	return net.Dial("tcp", lb.ln.Addr().String())
+}
+
+func (lb *loopback) put(c net.Conn) {
+	lb.mu.Lock()
+	lb.conns = append(lb.conns, c)
+	lb.mu.Unlock()
+}
+
+func (lb *loopback) close() {
+	lb.ln.Close()
+	lb.mu.Lock()
+	for _, c := range lb.conns {
+		c.Close()
+	}
+	lb.conns = nil
+	lb.mu.Unlock()
+}

@@ -1,0 +1,301 @@
+// Contract tests: every execution backend must present the same
+// semantics through the runtime interfaces — spawn, sleep ordering,
+// signal fire/wait, group join, resource FIFO queueing, pipe transfer,
+// leak accounting, shutdown reaping. The simulated backend additionally
+// guarantees exact virtual timestamps; these tests assert only what
+// both backends promise (ordering and completion), which is exactly the
+// contract the protocol stack is allowed to rely on.
+package runtime_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cudele/internal/realrt"
+	"cudele/internal/runtime"
+	"cudele/internal/sim"
+)
+
+// backends lists every runtime implementation under contract.
+func backends() map[string]func() runtime.Runtime {
+	return map[string]func() runtime.Runtime{
+		"sim":  func() runtime.Runtime { return sim.NewEngine(7) },
+		"real": func() runtime.Runtime { return realrt.New(7) },
+	}
+}
+
+func forEachBackend(t *testing.T, fn func(t *testing.T, rt runtime.Runtime)) {
+	for name, mk := range backends() {
+		t.Run(name, func(t *testing.T) {
+			fn(t, mk())
+		})
+	}
+}
+
+func TestContractKind(t *testing.T) {
+	if k := sim.NewEngine(1).Kind(); k != runtime.SimKind {
+		t.Fatalf("sim engine Kind = %v", k)
+	}
+	if k := realrt.New(1).Kind(); k != runtime.RealKind {
+		t.Fatalf("real engine Kind = %v", k)
+	}
+}
+
+func TestContractSpawnRuns(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		var ran atomic.Int64
+		for i := 0; i < 10; i++ {
+			rt.Spawn("w", func(p runtime.Task) { ran.Add(1) })
+		}
+		rt.RunAll()
+		if err := rt.LeakCheck(); err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 10 {
+			t.Fatalf("ran %d tasks, want 10", ran.Load())
+		}
+		rt.Shutdown()
+	})
+}
+
+func TestContractSleepOrdering(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		var order []string
+		rt.Spawn("slow", func(p runtime.Task) {
+			p.Sleep(30 * time.Millisecond)
+			order = append(order, "slow")
+		})
+		rt.Spawn("fast", func(p runtime.Task) {
+			p.Sleep(5 * time.Millisecond)
+			order = append(order, "fast")
+		})
+		rt.RunAll()
+		rt.Shutdown()
+		if len(order) != 2 || order[0] != "fast" || order[1] != "slow" {
+			t.Fatalf("completion order = %v, want [fast slow]", order)
+		}
+	})
+}
+
+func TestContractClockAdvances(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		var before, after runtime.Time
+		rt.Spawn("timer", func(p runtime.Task) {
+			before = p.Now()
+			p.Sleep(10 * time.Millisecond)
+			after = p.Now()
+		})
+		rt.RunAll()
+		rt.Shutdown()
+		if elapsed := after - before; elapsed < runtime.Time(10*time.Millisecond) {
+			t.Fatalf("sleep advanced the clock by %v, want >= 10ms", time.Duration(elapsed))
+		}
+	})
+}
+
+func TestContractSignal(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		sig := rt.NewSignal()
+		var got any
+		rt.Spawn("waiter", func(p runtime.Task) {
+			got = sig.Wait(p)
+		})
+		rt.Spawn("firer", func(p runtime.Task) {
+			p.Sleep(5 * time.Millisecond)
+			sig.Fire("payload")
+		})
+		rt.RunAll()
+		rt.Shutdown()
+		if got != "payload" {
+			t.Fatalf("waiter got %v, want payload", got)
+		}
+		if !sig.Fired() {
+			t.Fatal("signal not marked fired")
+		}
+	})
+}
+
+func TestContractSignalWaitAfterFire(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		sig := rt.NewSignal()
+		var got any
+		rt.Spawn("late", func(p runtime.Task) {
+			sig.Fire(42)
+			got = sig.Wait(p) // already fired: returns immediately
+		})
+		rt.RunAll()
+		rt.Shutdown()
+		if got != 42 {
+			t.Fatalf("late waiter got %v, want 42", got)
+		}
+	})
+}
+
+func TestContractGroup(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		g := rt.NewGroup()
+		var done atomic.Int64
+		for i := 0; i < 5; i++ {
+			d := time.Duration(i+1) * time.Millisecond
+			g.Go("worker", func(p runtime.Task) {
+				p.Sleep(d)
+				done.Add(1)
+			})
+		}
+		var sawAll bool
+		rt.Spawn("waiter", func(p runtime.Task) {
+			g.Wait(p)
+			sawAll = done.Load() == 5
+		})
+		rt.RunAll()
+		rt.Shutdown()
+		if !sawAll {
+			t.Fatalf("group Wait returned with %d/5 workers done", done.Load())
+		}
+	})
+}
+
+func TestContractResourceSerializes(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		res := rt.NewResource("cpu", 1)
+		var inside, maxInside atomic.Int64
+		for i := 0; i < 4; i++ {
+			rt.Spawn("w", func(p runtime.Task) {
+				res.Acquire(p)
+				if cur := inside.Add(1); cur > maxInside.Load() {
+					maxInside.Store(cur)
+				}
+				p.Sleep(2 * time.Millisecond)
+				inside.Add(-1)
+				res.Release()
+			})
+		}
+		rt.RunAll()
+		rt.Shutdown()
+		if maxInside.Load() != 1 {
+			t.Fatalf("capacity-1 resource admitted %d holders at once", maxInside.Load())
+		}
+		if res.Acquires() != 4 {
+			t.Fatalf("acquires = %d, want 4", res.Acquires())
+		}
+	})
+}
+
+func TestContractResourceFIFO(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		res := rt.NewResource("disk", 1)
+		var order []int
+		// Holder takes the unit first; contenders then queue in spawn
+		// order (they arrive separated by sleeps so arrival is ordered
+		// on both backends).
+		rt.Spawn("holder", func(p runtime.Task) {
+			res.Acquire(p)
+			p.Sleep(30 * time.Millisecond)
+			res.Release()
+		})
+		for i := 0; i < 3; i++ {
+			i := i
+			delay := time.Duration(i+1) * 5 * time.Millisecond
+			rt.Spawn("contender", func(p runtime.Task) {
+				p.Sleep(delay)
+				res.Acquire(p)
+				order = append(order, i)
+				res.Release()
+			})
+		}
+		rt.RunAll()
+		rt.Shutdown()
+		if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+			t.Fatalf("grant order = %v, want [0 1 2]", order)
+		}
+	})
+}
+
+func TestContractPipeTransfers(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		pipe := rt.NewPipe("net", 1<<20) // 1 MiB/s
+		var start, end runtime.Time
+		rt.Spawn("sender", func(p runtime.Task) {
+			start = p.Now()
+			pipe.Transfer(p, 1<<15) // 32 KiB -> ~31ms
+			end = p.Now()
+		})
+		rt.RunAll()
+		rt.Shutdown()
+		if pipe.Bytes() != 1<<15 {
+			t.Fatalf("pipe moved %d bytes, want %d", pipe.Bytes(), 1<<15)
+		}
+		if elapsed := time.Duration(end - start); elapsed < 25*time.Millisecond {
+			t.Fatalf("transfer took %v, want >= ~31ms of charged time", elapsed)
+		}
+	})
+}
+
+func TestContractBlocking(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		var ran bool
+		rt.Spawn("io", func(p runtime.Task) {
+			p.Runtime().Blocking(func() { ran = true })
+		})
+		rt.RunAll()
+		rt.Shutdown()
+		if !ran {
+			t.Fatal("Blocking body did not run")
+		}
+	})
+}
+
+func TestContractLeakCheckReportsParked(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		sig := rt.NewSignal() // never fired
+		rt.Spawn("stuck", func(p runtime.Task) {
+			sig.Wait(p)
+		})
+		rt.RunAll() // quiesces with one parked task
+		if err := rt.LeakCheck(); err == nil {
+			t.Fatal("LeakCheck = nil with a parked task, want error")
+		}
+		if n := rt.Shutdown(); n != 1 {
+			t.Fatalf("Shutdown reaped %d tasks, want 1", n)
+		}
+		if err := rt.LeakCheck(); err != nil {
+			t.Fatalf("LeakCheck after Shutdown: %v", err)
+		}
+	})
+}
+
+func TestContractShutdownReapsSleepers(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		sig := rt.NewSignal()
+		rt.Spawn("parked", func(p runtime.Task) { sig.Wait(p) })
+		rt.Spawn("deepsleep", func(p runtime.Task) {
+			sig.Wait(p)
+			p.Sleep(time.Hour)
+		})
+		rt.RunAll()
+		if n := rt.Shutdown(); n != 2 {
+			t.Fatalf("Shutdown reaped %d tasks, want 2", n)
+		}
+	})
+}
+
+func TestContractRandDeterministicPerSeed(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, rt runtime.Runtime) {
+		a := rt.Rand().Intn(1 << 30)
+		rt.Shutdown()
+
+		var again runtime.Runtime
+		switch rt.Kind() {
+		case runtime.SimKind:
+			again = sim.NewEngine(7)
+		default:
+			again = realrt.New(7)
+		}
+		b := again.Rand().Intn(1 << 30)
+		again.Shutdown()
+		if a != b {
+			t.Fatalf("same seed drew %d then %d", a, b)
+		}
+	})
+}

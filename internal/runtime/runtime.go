@@ -1,0 +1,203 @@
+// Package runtime is the execution seam between the Cudele protocol
+// stack and whatever actually runs it. The client, metadata service,
+// monitor, object store, and transport program against these interfaces
+// — spawn, sleep, now, block/wake, rand, tracer — and never against a
+// concrete engine, so the same protocol code runs on two backends:
+//
+//   - the deterministic discrete-event simulator (internal/sim), where
+//     tasks are coroutine-style processes on a virtual clock and device
+//     costs are charged by a calibrated model; and
+//   - the real backend (internal/realrt), where tasks are goroutines,
+//     the clock is wall time, and durability means fsynced files.
+//
+// The contract both backends honor (and that contract_test.go checks):
+// at most one task executes protocol code at a time. The simulator gets
+// this for free (the engine resumes one process at a time); the real
+// backend serializes tasks with a run lock that is released whenever a
+// task sleeps, blocks, or enters Blocking. Protocol state therefore
+// needs no fine-grained locking in either mode, and the simulated
+// schedule stays byte-identical to what it was before the seam existed.
+package runtime
+
+import (
+	"math/rand"
+	"time"
+
+	"cudele/internal/trace"
+)
+
+// Time is a point in time in nanoseconds since the runtime started:
+// virtual nanoseconds on the simulator, wall-clock nanoseconds on the
+// real backend.
+type Time int64
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Duration is a span of time in nanoseconds. It is time.Duration, so
+// literals and formatting work unchanged on both backends.
+type Duration = time.Duration
+
+// Kind discriminates the backends for the rare call sites that must
+// branch — e.g. transport.Wire substitutes a real message round trip
+// for the simulated latency charge — without import cycles or
+// type assertions on concrete engines.
+type Kind int
+
+const (
+	// SimKind is the deterministic discrete-event simulator.
+	SimKind Kind = iota
+	// RealKind runs tasks as goroutines on wall time.
+	RealKind
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == RealKind {
+		return "real"
+	}
+	return "sim"
+}
+
+// Clock is the read-only time source shared by every layer.
+type Clock interface {
+	// Now returns the current time (virtual or wall).
+	Now() Time
+}
+
+// Task is one logical thread of protocol execution: a simulation
+// process or a goroutine. All Task methods must be called from the
+// task's own execution context.
+type Task interface {
+	Clock
+	// Name returns the name given at spawn.
+	Name() string
+	// Sleep suspends the task for d (virtual or wall nanoseconds).
+	Sleep(d Duration)
+	// Yield gives other runnable tasks a chance to run.
+	Yield()
+	// Runtime returns the runtime that owns this task.
+	Runtime() Runtime
+}
+
+// Runtime is what a backend provides: task spawning, synchronization
+// primitives, device models, randomness, and observability.
+type Runtime interface {
+	Clock
+	// Kind reports which backend this is.
+	Kind() Kind
+	// Rand returns the runtime's deterministic random source. Both
+	// backends serialize task execution, so tasks may use it without
+	// extra locking; never use it from outside a task.
+	Rand() *rand.Rand
+	// Tracer returns the span recorder; nil means tracing is disabled.
+	Tracer() *trace.Recorder
+	// SetTracer installs a span recorder (nil disables tracing).
+	SetTracer(r *trace.Recorder)
+
+	// Spawn starts a new task executing fn.
+	Spawn(name string, fn func(t Task))
+	// NewSignal creates a one-shot condition.
+	NewSignal() Signal
+	// NewGroup creates a task completion group.
+	NewGroup() Group
+	// NewResource creates a FIFO server with the given capacity.
+	NewResource(name string, capacity int) Resource
+	// NewPipe creates a bandwidth pipe (rate in bytes per second).
+	NewPipe(name string, rate float64) Pipe
+
+	// Blocking runs fn outside the runtime's single-task discipline:
+	// the real backend releases its run lock around fn so true I/O
+	// (fsync, socket round trips) does not stall every other task; the
+	// simulator calls fn inline. fn must not touch protocol state.
+	Blocking(fn func())
+
+	// RunAll drives the runtime until no task can make further
+	// progress and returns the final time. On the simulator that means
+	// the event queue drained; on the real backend it means every task
+	// finished or is blocked with nothing left to wake it.
+	RunAll() Time
+	// LeakCheck returns an error naming any still-live tasks; call it
+	// after RunAll to assert the workload drained cleanly.
+	LeakCheck() error
+	// Shutdown reaps every live task (unwinding blocked ones) so no
+	// goroutine outlives the runtime, and returns the number reaped.
+	Shutdown() int
+}
+
+// Signal is a one-shot condition: tasks Wait on it and are all released
+// when Fire is called, receiving the fired value. Firing twice panics.
+type Signal interface {
+	Fire(val any)
+	Fired() bool
+	Wait(t Task) any
+}
+
+// Group waits for a set of tasks to finish, like a WaitGroup.
+type Group interface {
+	Add(delta int)
+	Done()
+	// Go spawns fn as a task tracked by the group.
+	Go(name string, fn func(t Task))
+	// Wait blocks t until the group count reaches zero.
+	Wait(t Task)
+}
+
+// Resource is a server with integer capacity and a FIFO queue; it
+// tracks busy time so utilization can be reported.
+type Resource interface {
+	Name() string
+	Capacity() int
+	InUse() int
+	QueueLen() int
+	// Acquire takes one unit, blocking t in FIFO order until one frees.
+	Acquire(t Task)
+	// TryAcquire takes a unit if immediately available.
+	TryAcquire() bool
+	// Release returns one unit, handing it to the head waiter if any.
+	Release()
+	// Use acquires, holds for service duration d, then releases.
+	Use(t Task, d Duration)
+	Utilization() float64
+	UtilizationMark() ResourceMark
+	UtilizationSince(mark ResourceMark) float64
+	Snapshot() ResourceSnapshot
+	Acquires() uint64
+	MeanWait() Duration
+}
+
+// Pipe models a store-and-forward link or device with fixed bandwidth
+// in bytes per second; transfers serialize FIFO through it.
+type Pipe interface {
+	// Transfer moves n bytes through the pipe, blocking t for queueing
+	// plus n/rate seconds of service time.
+	Transfer(t Task, n int64)
+	Rate() float64
+	Bytes() uint64
+	Utilization() float64
+	UtilizationMark() ResourceMark
+	UtilizationSince(mark ResourceMark) float64
+	Snapshot() ResourceSnapshot
+}
+
+// ResourceMark is a snapshot of resource accounting, for windowed
+// utilization measurements.
+type ResourceMark struct {
+	At       Time
+	BusyArea float64
+}
+
+// ResourceSnapshot is a copy of a resource's utilization accounting at
+// a point in time.
+type ResourceSnapshot struct {
+	Name     string
+	Capacity int
+	InUse    int
+	QueueLen int
+
+	Acquires    uint64
+	BusyArea    float64 // integral of in-use units over time, unit·seconds
+	WaitTotal   Duration
+	Utilization float64 // mean busy fraction since runtime start
+	At          Time    // when the snapshot was taken
+}

@@ -18,18 +18,18 @@ import (
 	"strings"
 	"time"
 
+	"cudele/internal/runtime"
 	"cudele/internal/trace"
 )
 
-// Time is a point in virtual time, in nanoseconds since simulation start.
-type Time int64
+// Time is a point in virtual time, in nanoseconds since simulation
+// start. It aliases runtime.Time so virtual timestamps flow through the
+// backend-neutral interfaces without conversion.
+type Time = runtime.Time
 
 // Duration is a span of virtual time in nanoseconds. It is convertible to
 // and from time.Duration.
 type Duration = time.Duration
-
-// Seconds converts t to floating-point seconds.
-func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 
 // event is a scheduled callback. Events are stored by value in the queue
 // so scheduling does not allocate (beyond amortized slice growth): the
@@ -196,6 +196,36 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
+// Kind implements runtime.Runtime: this is the simulated backend.
+func (e *Engine) Kind() runtime.Kind { return runtime.SimKind }
+
+// Spawn implements runtime.Runtime in terms of Go. Protocol code spawns
+// through this so it compiles against either backend; sim-specific
+// tests and harnesses keep using Go directly.
+func (e *Engine) Spawn(name string, fn func(t runtime.Task)) {
+	e.Go(name, func(p *Proc) { fn(p) })
+}
+
+// Blocking implements runtime.Runtime. The simulator has no real I/O
+// to overlap, so fn runs inline; it must not touch simulation state.
+func (e *Engine) Blocking(fn func()) { fn() }
+
+// NewSignal implements runtime.Runtime.
+func (e *Engine) NewSignal() runtime.Signal { return NewSignal(e) }
+
+// NewGroup implements runtime.Runtime.
+func (e *Engine) NewGroup() runtime.Group { return NewGroup(e) }
+
+// NewResource implements runtime.Runtime.
+func (e *Engine) NewResource(name string, capacity int) runtime.Resource {
+	return NewResource(e, name, capacity)
+}
+
+// NewPipe implements runtime.Runtime.
+func (e *Engine) NewPipe(name string, rate float64) runtime.Pipe {
+	return NewPipe(e, name, rate)
+}
+
 // Run drives the event loop until the queue is empty or the clock passes
 // until (use a huge value to run to completion). It returns the final
 // virtual time.
@@ -322,6 +352,9 @@ func (p *Proc) Name() string { return p.name }
 
 // Engine returns the engine that owns this process.
 func (p *Proc) Engine() *Engine { return p.eng }
+
+// Runtime implements runtime.Task.
+func (p *Proc) Runtime() runtime.Runtime { return p.eng }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }

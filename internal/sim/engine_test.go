@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"cudele/internal/runtime"
+
 	"testing"
 	"time"
 )
@@ -263,7 +265,7 @@ func TestGroupWait(t *testing.T) {
 	var doneAt Time
 	for i := 1; i <= 3; i++ {
 		d := time.Duration(i) * time.Millisecond
-		g.Go("worker", func(p *Proc) { p.Sleep(d) })
+		g.Go("worker", func(p runtime.Task) { p.Sleep(d) })
 	}
 	e.Go("waiter", func(p *Proc) {
 		g.Wait(p)

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"cudele/internal/runtime"
+
 	"strings"
 	"testing"
 	"time"
@@ -159,7 +161,7 @@ func TestGroupNegativeCounterPanics(t *testing.T) {
 func TestGroupWaitAfterDone(t *testing.T) {
 	e := NewEngine(1)
 	g := NewGroup(e)
-	g.Go("w", func(p *Proc) { p.Sleep(time.Millisecond) })
+	g.Go("w", func(p runtime.Task) { p.Sleep(time.Millisecond) })
 	waited := 0
 	e.Go("late", func(p *Proc) {
 		p.Sleep(10 * time.Millisecond)

@@ -1,5 +1,7 @@
 package sim
 
+import "cudele/internal/runtime"
+
 // Group waits for a set of simulation processes to finish, like a
 // sync.WaitGroup for virtual time. Add/Done/Wait must all be called from
 // simulation context (inside events or processes), never concurrently.
@@ -32,7 +34,7 @@ func (g *Group) Done() {
 }
 
 // Go spawns fn as a process tracked by the group.
-func (g *Group) Go(name string, fn func(p *Proc)) {
+func (g *Group) Go(name string, fn func(t runtime.Task)) {
 	g.Add(1)
 	g.eng.Go(name, func(p *Proc) {
 		defer g.Done()
@@ -40,10 +42,10 @@ func (g *Group) Go(name string, fn func(p *Proc)) {
 	})
 }
 
-// Wait blocks p until the group count reaches zero. A group that never had
+// Wait blocks t until the group count reaches zero. A group that never had
 // members fires immediately on the first Done... so Wait on an empty group
 // that was never used blocks forever; always pair Wait with prior Go/Add.
-func (g *Group) Wait(p *Proc) {
+func (g *Group) Wait(t runtime.Task) {
 	if g.n == 0 && g.done.Fired() {
 		return
 	}
@@ -51,5 +53,5 @@ func (g *Group) Wait(p *Proc) {
 		// Nothing pending and nothing ever registered: treat as done.
 		return
 	}
-	g.done.Wait(p)
+	g.done.Wait(t)
 }

@@ -1,6 +1,21 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"cudele/internal/runtime"
+)
+
+// task asserts a runtime.Task down to this engine's concrete process
+// type. Every blocking primitive goes through it, so handing a real
+// backend's task to a simulated resource fails loudly.
+func task(t runtime.Task) *Proc {
+	p, ok := t.(*Proc)
+	if !ok {
+		panic(fmt.Sprintf("sim: task %T is not a simulation process", t))
+	}
+	return p
+}
 
 // Signal is a one-shot condition: processes Wait on it and are all released
 // when Fire is called. Fire may be called before any Wait, in which case
@@ -33,9 +48,10 @@ func (s *Signal) Fire(val interface{}) {
 // Fired reports whether the signal has fired.
 func (s *Signal) Fired() bool { return s.fired }
 
-// Wait blocks p until the signal fires and returns the fired value.
-func (s *Signal) Wait(p *Proc) interface{} {
+// Wait blocks t until the signal fires and returns the fired value.
+func (s *Signal) Wait(t runtime.Task) interface{} {
 	if !s.fired {
+		p := task(t)
 		s.waiters = append(s.waiters, p)
 		p.block()
 	}
@@ -94,8 +110,9 @@ func (r *Resource) account() {
 	r.lastChange = now
 }
 
-// Acquire takes one unit, blocking p in FIFO order until one is free.
-func (r *Resource) Acquire(p *Proc) {
+// Acquire takes one unit, blocking t in FIFO order until one is free.
+func (r *Resource) Acquire(t runtime.Task) {
+	p := task(t)
 	r.acquires++
 	if r.inUse < r.capacity && len(r.queue) == 0 {
 		r.account()
@@ -139,9 +156,9 @@ func (r *Resource) Release() {
 
 // Use acquires one unit, holds it for service duration d, then releases.
 // This is the common "serve one request" pattern.
-func (r *Resource) Use(p *Proc, d Duration) {
-	r.Acquire(p)
-	p.Sleep(d)
+func (r *Resource) Use(t runtime.Task, d Duration) {
+	r.Acquire(t)
+	t.Sleep(d)
 	r.Release()
 }
 
@@ -160,24 +177,21 @@ func (r *Resource) Utilization() float64 {
 // where mark was obtained from UtilizationMark.
 func (r *Resource) UtilizationSince(mark ResourceMark) float64 {
 	r.account()
-	dt := (r.eng.now - mark.at).Seconds()
+	dt := (r.eng.now - mark.At).Seconds()
 	if dt <= 0 {
 		return 0
 	}
-	return (r.busyArea - mark.busyArea) / (dt * float64(r.capacity))
+	return (r.busyArea - mark.BusyArea) / (dt * float64(r.capacity))
 }
 
 // ResourceMark is a snapshot of resource accounting, for windowed
 // utilization measurements.
-type ResourceMark struct {
-	at       Time
-	busyArea float64
-}
+type ResourceMark = runtime.ResourceMark
 
 // UtilizationMark snapshots the accounting state at the current time.
 func (r *Resource) UtilizationMark() ResourceMark {
 	r.account()
-	return ResourceMark{at: r.eng.now, busyArea: r.busyArea}
+	return ResourceMark{At: r.eng.now, BusyArea: r.busyArea}
 }
 
 // Acquires returns the total number of Acquire/TryAcquire grants requested.
@@ -186,18 +200,7 @@ func (r *Resource) Acquires() uint64 { return r.acquires }
 // ResourceSnapshot is a copy of a resource's utilization accounting at a
 // point in virtual time, the public export surface for the busy-time
 // integral the resource has always tracked internally.
-type ResourceSnapshot struct {
-	Name     string
-	Capacity int
-	InUse    int
-	QueueLen int
-
-	Acquires    uint64
-	BusyArea    float64 // integral of in-use units over time, unit·seconds
-	WaitTotal   Duration
-	Utilization float64 // mean busy fraction since simulation start
-	At          Time    // when the snapshot was taken
-}
+type ResourceSnapshot = runtime.ResourceSnapshot
 
 // Snapshot finalizes the busy-time integral through the current virtual
 // time and returns a copy of the accounting state. Calling it at
@@ -246,15 +249,15 @@ func NewPipe(e *Engine, name string, rate float64) *Pipe {
 	return &Pipe{res: NewResource(e, name, 1), rate: rate}
 }
 
-// Transfer moves n bytes through the pipe, blocking p for queueing plus
+// Transfer moves n bytes through the pipe, blocking t for queueing plus
 // n/rate seconds of service time.
-func (pp *Pipe) Transfer(p *Proc, n int64) {
+func (pp *Pipe) Transfer(t runtime.Task, n int64) {
 	if n < 0 {
 		panic("sim: negative transfer size")
 	}
 	pp.sent += uint64(n)
 	d := Duration(float64(n) / pp.rate * 1e9)
-	pp.res.Use(p, d)
+	pp.res.Use(t, d)
 }
 
 // Rate returns the configured bandwidth in bytes per second.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,11 +13,21 @@ import (
 // ~19% relative resolution. It is cheap enough to sit on every client's
 // RPC path and supports approximate quantiles (upper bucket bounds),
 // which is what the tail-latency reporting in the benchmarks uses.
+//
+// All methods are safe for concurrent use: the real execution backend
+// runs clients as goroutines that observe latencies in parallel, so
+// every field is manipulated with sync/atomic operations. Plain uint64
+// fields with atomic functions (rather than atomic.Uint64 values) keep
+// the struct trivially copyable by value when quiesced, which is how the
+// bench harness embeds and snapshots it. Readers that combine several
+// fields (Mean, Quantile, String, Merge) are individually race-free but
+// see a possibly-inconsistent snapshot if samples arrive mid-read; call
+// them after the run quiesces for exact numbers.
 type Histogram struct {
 	counts [160]uint64 // 2^40 us ~= 12.7 days, plenty
 	total  uint64
-	sum    time.Duration
-	max    time.Duration
+	sum    int64 // nanoseconds
+	max    int64 // nanoseconds
 }
 
 // subBuckets is the number of buckets per power of two.
@@ -48,35 +59,40 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.counts[bucketOf(d)]++
-	h.total++
-	h.sum += d
-	if d > h.max {
-		h.max = d
+	atomic.AddUint64(&h.counts[bucketOf(d)], 1)
+	atomic.AddUint64(&h.total, 1)
+	atomic.AddInt64(&h.sum, int64(d))
+	for {
+		cur := atomic.LoadInt64(&h.max)
+		if int64(d) <= cur || atomic.CompareAndSwapInt64(&h.max, cur, int64(d)) {
+			break
+		}
 	}
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() uint64 { return h.total }
+func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.total) }
 
 // Sum returns the sum of all samples.
-func (h *Histogram) Sum() time.Duration { return h.sum }
+func (h *Histogram) Sum() time.Duration { return time.Duration(atomic.LoadInt64(&h.sum)) }
 
 // Mean returns the mean sample.
 func (h *Histogram) Mean() time.Duration {
-	if h.total == 0 {
+	total := atomic.LoadUint64(&h.total)
+	if total == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.total)
+	return time.Duration(atomic.LoadInt64(&h.sum)) / time.Duration(total)
 }
 
 // Max returns the largest sample.
-func (h *Histogram) Max() time.Duration { return h.max }
+func (h *Histogram) Max() time.Duration { return time.Duration(atomic.LoadInt64(&h.max)) }
 
 // Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
 // upper edge of the bucket containing it.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.total == 0 {
+	total := atomic.LoadUint64(&h.total)
+	if total == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -85,52 +101,66 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	target := uint64(math.Ceil(q * float64(h.total)))
+	max := time.Duration(atomic.LoadInt64(&h.max))
+	target := uint64(math.Ceil(q * float64(total)))
 	if target == 0 {
 		target = 1
 	}
 	var seen uint64
-	for i, c := range h.counts {
-		seen += c
+	for i := range h.counts {
+		seen += atomic.LoadUint64(&h.counts[i])
 		if seen >= target {
 			if i == len(h.counts)-1 {
 				// The top bucket absorbs samples clamped from beyond its
 				// nominal edge, so that edge is not an upper bound; the
 				// true max is the only honest answer.
-				return h.max
+				return max
 			}
 			upper := bucketUpper(i)
-			if upper > h.max && h.max > 0 {
-				return h.max
+			if upper > max && max > 0 {
+				return max
 			}
 			return upper
 		}
 	}
-	return h.max
+	return max
 }
 
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
-	for i, c := range other.counts {
-		h.counts[i] += c
+	for i := range other.counts {
+		if c := atomic.LoadUint64(&other.counts[i]); c != 0 {
+			atomic.AddUint64(&h.counts[i], c)
+		}
 	}
-	h.total += other.total
-	h.sum += other.sum
-	if other.max > h.max {
-		h.max = other.max
+	atomic.AddUint64(&h.total, atomic.LoadUint64(&other.total))
+	atomic.AddInt64(&h.sum, atomic.LoadInt64(&other.sum))
+	om := atomic.LoadInt64(&other.max)
+	for {
+		cur := atomic.LoadInt64(&h.max)
+		if om <= cur || atomic.CompareAndSwapInt64(&h.max, cur, om) {
+			break
+		}
 	}
 }
 
 // Reset clears the histogram.
-func (h *Histogram) Reset() { *h = Histogram{} }
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		atomic.StoreUint64(&h.counts[i], 0)
+	}
+	atomic.StoreUint64(&h.total, 0)
+	atomic.StoreInt64(&h.sum, 0)
+	atomic.StoreInt64(&h.max, 0)
+}
 
 // String summarizes count/mean/p50/p99/max.
 func (h *Histogram) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p99=%v max=%v",
-		h.total, h.Mean().Round(time.Microsecond),
+		h.Count(), h.Mean().Round(time.Microsecond),
 		h.Quantile(0.5).Round(time.Microsecond),
 		h.Quantile(0.99).Round(time.Microsecond),
-		h.max.Round(time.Microsecond))
+		h.Max().Round(time.Microsecond))
 	return b.String()
 }

@@ -67,7 +67,7 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	var spans []Span
 	var instants []Instant
 	if r != nil {
-		spans, instants = r.spans, r.instants
+		spans, instants = r.Spans(), r.Instants()
 	}
 
 	// Collect tracks and assign pids in sorted order.

@@ -14,6 +14,8 @@
 // do not depend on map iteration or goroutine completion order.
 package trace
 
+import "sync"
+
 // Time is a point in virtual time in nanoseconds since simulation start.
 // It mirrors sim.Time (also an int64 nanosecond count); the two convert
 // with a plain cast. trace keeps its own alias so the package has no
@@ -60,11 +62,14 @@ type SpanID int
 // does nothing, which is how call sites get a zero-overhead off switch —
 // no flags, no indirection, one nil check.
 //
-// A Recorder belongs to one simulation engine and therefore to one
-// goroutine at a time (the engine runs one process at a time); it needs
-// no locking. Merging recorders from concurrent runs is the caller's job
-// (see Merge).
+// All methods are safe for concurrent use. The simulated engine runs one
+// process at a time and never contends, but the real execution backend
+// records from many goroutines (handler tasks spawned per message), so
+// the buffers are guarded by a mutex. Readers (Spans, Instants) return
+// stable copies; recording while exporting is race-free, though spans
+// recorded after the snapshot are naturally absent from it.
 type Recorder struct {
+	mu       sync.Mutex
 	spans    []Span
 	instants []Instant
 }
@@ -80,6 +85,8 @@ func (r *Recorder) Begin(at Time, proc, cat, name string, args ...KV) SpanID {
 	if r == nil {
 		return -1
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.spans = append(r.spans, Span{Proc: proc, Cat: cat, Name: name, Begin: at, End: openEnd, Args: args})
 	return SpanID(len(r.spans) - 1)
 }
@@ -87,7 +94,12 @@ func (r *Recorder) Begin(at Time, proc, cat, name string, args ...KV) SpanID {
 // End closes a span opened by Begin. Ending the -1 id is a no-op, so
 // callers never need to branch on whether tracing was on at Begin time.
 func (r *Recorder) End(id SpanID, at Time) {
-	if r == nil || id < 0 || int(id) >= len(r.spans) {
+	if r == nil || id < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(id) >= len(r.spans) {
 		return
 	}
 	r.spans[id].End = at
@@ -98,6 +110,8 @@ func (r *Recorder) Add(begin, end Time, proc, cat, name string, args ...KV) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.spans = append(r.spans, Span{Proc: proc, Cat: cat, Name: name, Begin: begin, End: end, Args: args})
 }
 
@@ -106,24 +120,33 @@ func (r *Recorder) Instant(at Time, proc, cat, name string, args ...KV) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.instants = append(r.instants, Instant{Proc: proc, Cat: cat, Name: name, At: at, Args: args})
 }
 
-// Spans returns the recorded spans in recording order. The slice is the
-// recorder's own buffer; callers must not mutate it.
+// Spans returns a snapshot of the recorded spans in recording order.
 func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
-	return r.spans
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
 }
 
-// Instants returns the recorded instants in recording order.
+// Instants returns a snapshot of the recorded instants in recording order.
 func (r *Recorder) Instants() []Instant {
 	if r == nil {
 		return nil
 	}
-	return r.instants
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Instant, len(r.instants))
+	copy(out, r.instants)
+	return out
 }
 
 // Len returns the number of recorded spans.
@@ -131,6 +154,8 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return len(r.spans)
 }
 
@@ -142,11 +167,14 @@ func (r *Recorder) Merge(other *Recorder, prefix string) {
 	if r == nil || other == nil {
 		return
 	}
-	for _, s := range other.spans {
+	spans, instants := other.Spans(), other.Instants()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range spans {
 		s.Proc = prefix + s.Proc
 		r.spans = append(r.spans, s)
 	}
-	for _, i := range other.instants {
+	for _, i := range instants {
 		i.Proc = prefix + i.Proc
 		r.instants = append(r.instants, i)
 	}
@@ -160,6 +188,8 @@ func (r *Recorder) Cats() map[string]int {
 	if r == nil {
 		return out
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, s := range r.spans {
 		out[s.Cat]++
 	}

@@ -3,7 +3,7 @@ package transport
 import (
 	"math/rand"
 
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // FaultConfig tunes the message-fault interceptor. All probabilities
@@ -18,13 +18,13 @@ type FaultConfig struct {
 	// in the timing, never in the protocol's visible semantics — so runs
 	// always terminate.
 	DropProb        float64
-	MaxRetransmits  int          // per message; <=0 means 3
-	RetransmitDelay sim.Duration // per lost copy; <=0 means 2ms
+	MaxRetransmits  int              // per message; <=0 means 3
+	RetransmitDelay runtime.Duration // per lost copy; <=0 means 2ms
 
 	// DelayProb is the chance a message is delayed by a uniform extra
 	// latency in (0, MaxExtraDelay].
 	DelayProb     float64
-	MaxExtraDelay sim.Duration
+	MaxExtraDelay runtime.Duration
 
 	// DuplicateProb is the chance a message is delivered twice (the
 	// retransmission arriving after the original). Only messages
@@ -41,7 +41,7 @@ type FaultConfig struct {
 func NewFaultInterceptor(seed int64, cfg FaultConfig) Interceptor {
 	rng := rand.New(rand.NewSource(seed))
 	return func(next Handler) Handler {
-		return func(p *sim.Proc, msg any) any {
+		return func(p runtime.Task, msg any) any {
 			if cfg.DropProb > 0 {
 				max := cfg.MaxRetransmits
 				if max <= 0 {
@@ -49,14 +49,14 @@ func NewFaultInterceptor(seed int64, cfg FaultConfig) Interceptor {
 				}
 				delay := cfg.RetransmitDelay
 				if delay <= 0 {
-					delay = sim.Duration(2e6)
+					delay = runtime.Duration(2e6)
 				}
 				for i := 0; i < max && rng.Float64() < cfg.DropProb; i++ {
 					p.Sleep(delay)
 				}
 			}
 			if cfg.DelayProb > 0 && cfg.MaxExtraDelay > 0 && rng.Float64() < cfg.DelayProb {
-				p.Sleep(sim.Duration(rng.Int63n(int64(cfg.MaxExtraDelay)) + 1))
+				p.Sleep(runtime.Duration(rng.Int63n(int64(cfg.MaxExtraDelay)) + 1))
 			}
 			if cfg.DuplicateProb > 0 && cfg.DuplicateOK != nil &&
 				cfg.DuplicateOK(msg) && rng.Float64() < cfg.DuplicateProb {

@@ -4,7 +4,7 @@ import (
 	"sort"
 	"strings"
 
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // Table maps namespace subtrees to metadata ranks. The monitor owns the
@@ -137,7 +137,7 @@ func (r *Router) pick(msg any) Endpoint {
 }
 
 // Call implements Endpoint.
-func (r *Router) Call(p *sim.Proc, msg any) any { return r.pick(msg).Call(p, msg) }
+func (r *Router) Call(p runtime.Task, msg any) any { return r.pick(msg).Call(p, msg) }
 
 // Post implements Endpoint.
-func (r *Router) Post(p *sim.Proc, msg any) any { return r.pick(msg).Post(p, msg) }
+func (r *Router) Post(p runtime.Task, msg any) any { return r.pick(msg).Post(p, msg) }

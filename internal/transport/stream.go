@@ -13,7 +13,7 @@
 // SendWindowed is that retry loop.
 package transport
 
-import "cudele/internal/sim"
+import "cudele/internal/runtime"
 
 // StreamInfo identifies one chunk's position in a chunked stream.
 // Concrete chunk messages embed it so interceptors and schedulers can
@@ -40,7 +40,7 @@ type Flow interface{ Backpressured() bool }
 // SendWindowed posts msg until the receiver accepts it, sleeping
 // retryDelay between backpressured attempts, and returns the accepting
 // reply. Replies that do not implement Flow are accepted as-is.
-func SendWindowed(p *sim.Proc, ep Endpoint, msg any, retryDelay sim.Duration) any {
+func SendWindowed(p runtime.Task, ep Endpoint, msg any, retryDelay runtime.Duration) any {
 	for {
 		reply := ep.Post(p, msg)
 		if f, ok := reply.(Flow); !ok || !f.Backpressured() {
@@ -54,7 +54,7 @@ func SendWindowed(p *sim.Proc, ep Endpoint, msg any, retryDelay sim.Duration) an
 // scheduler can account how long chunks waited to be serviced.
 type windowEntry struct {
 	payload any
-	at      sim.Time
+	at      runtime.Time
 }
 
 // Window is the receiver side of one chunked stream: a bounded FIFO of
@@ -77,7 +77,7 @@ func NewWindow(limit int) *Window {
 
 // TryPush buffers a chunk, stamping its arrival time. It returns false
 // when the window is full — the caller should answer with backpressure.
-func (w *Window) TryPush(now sim.Time, payload any) bool {
+func (w *Window) TryPush(now runtime.Time, payload any) bool {
 	if len(w.q) >= w.limit {
 		return false
 	}
@@ -89,7 +89,7 @@ func (w *Window) TryPush(now sim.Time, payload any) bool {
 }
 
 // Pop removes the oldest buffered chunk and reports how long it waited.
-func (w *Window) Pop(now sim.Time) (payload any, waited sim.Duration, ok bool) {
+func (w *Window) Pop(now runtime.Time) (payload any, waited runtime.Duration, ok bool) {
 	if len(w.q) == 0 {
 		return nil, 0, false
 	}
@@ -99,7 +99,7 @@ func (w *Window) Pop(now sim.Time) (payload any, waited sim.Duration, ok bool) {
 	copy(w.q, w.q[1:])
 	w.q[len(w.q)-1] = windowEntry{}
 	w.q = w.q[:len(w.q)-1]
-	return e.payload, sim.Duration(now - e.at), true
+	return e.payload, runtime.Duration(now - e.at), true
 }
 
 // Len returns the number of buffered chunks.

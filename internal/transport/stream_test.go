@@ -4,35 +4,36 @@ import (
 	"testing"
 	"time"
 
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
 func TestWindowBoundsAndWaitAccounting(t *testing.T) {
 	w := NewWindow(2)
-	if !w.TryPush(sim.Time(100), "a") || !w.TryPush(sim.Time(200), "b") {
+	if !w.TryPush(runtime.Time(100), "a") || !w.TryPush(runtime.Time(200), "b") {
 		t.Fatal("pushes within the limit must succeed")
 	}
-	if w.TryPush(sim.Time(300), "c") {
+	if w.TryPush(runtime.Time(300), "c") {
 		t.Fatal("push beyond the limit must fail")
 	}
 	if w.Len() != 2 || w.Peak() != 2 || w.Limit() != 2 {
 		t.Fatalf("len=%d peak=%d limit=%d", w.Len(), w.Peak(), w.Limit())
 	}
-	payload, waited, ok := w.Pop(sim.Time(350))
-	if !ok || payload != "a" || waited != sim.Duration(250) {
+	payload, waited, ok := w.Pop(runtime.Time(350))
+	if !ok || payload != "a" || waited != runtime.Duration(250) {
 		t.Fatalf("pop = %v %v %v", payload, waited, ok)
 	}
 	// Space freed: the rejected chunk now fits.
-	if !w.TryPush(sim.Time(400), "c") {
+	if !w.TryPush(runtime.Time(400), "c") {
 		t.Fatal("push after pop must succeed")
 	}
-	if payload, _, _ := w.Pop(sim.Time(400)); payload != "b" {
+	if payload, _, _ := w.Pop(runtime.Time(400)); payload != "b" {
 		t.Fatalf("window is not FIFO: got %v", payload)
 	}
-	if _, _, ok := w.Pop(sim.Time(400)); !ok {
+	if _, _, ok := w.Pop(runtime.Time(400)); !ok {
 		t.Fatal("third pop must succeed")
 	}
-	if _, _, ok := w.Pop(sim.Time(400)); ok {
+	if _, _, ok := w.Pop(runtime.Time(400)); ok {
 		t.Fatal("empty pop must fail")
 	}
 	if NewWindow(0).Limit() != 1 {
@@ -49,9 +50,9 @@ func (r *flowReply) Backpressured() bool { return r.busy }
 // until accepted; non-Flow replies are returned as-is.
 func TestSendWindowedRetries(t *testing.T) {
 	eng := sim.NewEngine(1)
-	retry := sim.Duration(2 * time.Millisecond)
+	retry := runtime.Duration(2 * time.Millisecond)
 	attempts := 0
-	w := NewWire("mds.0", 0, func(p *sim.Proc, msg any) any {
+	w := NewWire("mds.0", 0, func(p runtime.Task, msg any) any {
 		attempts++
 		if attempts <= 3 {
 			return &flowReply{busy: true}
@@ -59,11 +60,11 @@ func TestSendWindowedRetries(t *testing.T) {
 		return &flowReply{busy: false}
 	})
 	var reply any
-	var elapsed sim.Duration
-	eng.Go("sender", func(p *sim.Proc) {
+	var elapsed runtime.Duration
+	eng.Spawn("sender", func(p runtime.Task) {
 		start := p.Now()
 		reply = SendWindowed(p, w, "chunk", retry)
-		elapsed = sim.Duration(p.Now() - start)
+		elapsed = runtime.Duration(p.Now() - start)
 	})
 	eng.RunAll()
 	if attempts != 4 {
@@ -76,8 +77,8 @@ func TestSendWindowedRetries(t *testing.T) {
 		t.Fatalf("elapsed = %v, want %v", elapsed, 3*retry)
 	}
 
-	plain := NewWire("mds.1", 0, func(p *sim.Proc, msg any) any { return "done" })
-	eng.Go("sender2", func(p *sim.Proc) {
+	plain := NewWire("mds.1", 0, func(p runtime.Task, msg any) any { return "done" })
+	eng.Spawn("sender2", func(p runtime.Task) {
 		if got := SendWindowed(p, plain, "chunk", retry); got != "done" {
 			t.Errorf("non-Flow reply = %v", got)
 		}
@@ -96,9 +97,9 @@ type testChunk struct {
 // introspect it through the StreamChunk interface.
 func TestChunksAreInterceptorVisible(t *testing.T) {
 	var seen []StreamInfo
-	h := Handler(func(p *sim.Proc, msg any) any { return nil })
+	h := Handler(func(p runtime.Task, msg any) any { return nil })
 	observe := Interceptor(func(next Handler) Handler {
-		return func(p *sim.Proc, msg any) any {
+		return func(p runtime.Task, msg any) any {
 			if c, ok := msg.(StreamChunk); ok {
 				seen = append(seen, c.Stream())
 			}
@@ -107,7 +108,7 @@ func TestChunksAreInterceptorVisible(t *testing.T) {
 	})
 	w := NewWire("mds.0", 0, Chain(h, observe))
 	eng := sim.NewEngine(1)
-	eng.Go("sender", func(p *sim.Proc) {
+	eng.Spawn("sender", func(p runtime.Task) {
 		for i := 0; i < 3; i++ {
 			w.Post(p, &testChunk{
 				StreamInfo: StreamInfo{ID: 7, Seq: i, Items: 10, Bytes: 25000, Last: i == 2},

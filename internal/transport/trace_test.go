@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 	"cudele/internal/trace"
 )
@@ -13,7 +14,7 @@ import (
 // same (Chain is variadic, so both arise in practice when a server's
 // interceptor pipeline is configuration-dependent).
 func TestChainEmpty(t *testing.T) {
-	h := Handler(func(p *sim.Proc, msg any) any { return msg.(int) * 2 })
+	h := Handler(func(p runtime.Task, msg any) any { return msg.(int) * 2 })
 	if out := Chain(h)(nil, 21); out != 42 {
 		t.Fatalf("empty chain reply = %v, want 42", out)
 	}
@@ -30,11 +31,11 @@ func TestTracingDisabledPassthrough(t *testing.T) {
 	eng := sim.NewEngine(1)
 	labeled := false
 	h := Chain(
-		func(p *sim.Proc, msg any) any { return "ok" },
+		func(p runtime.Task, msg any) any { return "ok" },
 		Tracing("mds.0", func(msg any) string { labeled = true; return "x" }),
 	)
 	var out any
-	eng.Go("caller", func(p *sim.Proc) { out = h(p, 7) })
+	eng.Spawn("caller", func(p runtime.Task) { out = h(p, 7) })
 	eng.RunAll()
 	if out != "ok" {
 		t.Fatalf("reply = %v", out)
@@ -55,12 +56,12 @@ func TestTracingRecordsSpan(t *testing.T) {
 	eng := sim.NewEngine(1)
 	rec := trace.New()
 	eng.SetTracer(rec)
-	work := sim.Duration(250 * time.Microsecond)
+	work := runtime.Duration(250 * time.Microsecond)
 	h := Chain(
-		func(p *sim.Proc, msg any) any { p.Sleep(work); return msg },
+		func(p runtime.Task, msg any) any { p.Sleep(work); return msg },
 		Tracing("mds.3", func(msg any) string { return "rpc.create" }),
 	)
-	eng.Go("caller", func(p *sim.Proc) {
+	eng.Spawn("caller", func(p runtime.Task) {
 		p.Sleep(time.Millisecond)
 		h(p, 1)
 		h(p, 2)

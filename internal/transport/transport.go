@@ -11,13 +11,15 @@
 package transport
 
 import (
-	"cudele/internal/sim"
+	"sync/atomic"
+
+	"cudele/internal/runtime"
 )
 
 // Handler processes one message inside the caller's simulation process
 // and returns the reply. Handlers and interceptors charge their own
 // virtual time (CPU, disk, queueing); the wire charges network time.
-type Handler func(p *sim.Proc, msg any) any
+type Handler func(p runtime.Task, msg any) any
 
 // Interceptor wraps a Handler with a cross-cutting concern. The
 // interceptor decides whether to invoke next and may rewrite the reply.
@@ -40,8 +42,8 @@ func Chain(h Handler, interceptors ...Interceptor) Handler {
 // dispatcher it spans every RPC and Post without touching op handlers.
 func Tracing(proc string, label func(msg any) string) Interceptor {
 	return func(next Handler) Handler {
-		return func(p *sim.Proc, msg any) any {
-			rec := p.Engine().Tracer()
+		return func(p runtime.Task, msg any) any {
+			rec := p.Runtime().Tracer()
 			if rec == nil {
 				return next(p, msg)
 			}
@@ -59,26 +61,42 @@ type Endpoint interface {
 	Name() string
 	// Call sends a request and waits for the reply, charging one network
 	// hop each way around the handler (the RPCs mechanism).
-	Call(p *sim.Proc, msg any) any
+	Call(p runtime.Task, msg any) any
 	// Post hands a message to the endpoint without charging wire
 	// latency; the handler manages all timing itself. Bulk transfers
 	// (journal merges, decouple control traffic) use Post so their
 	// calibrated cost model stays intact.
-	Post(p *sim.Proc, msg any) any
+	Post(p runtime.Task, msg any) any
 }
 
-// Wire is the concrete endpoint for one server: a simulated
-// request/reply link with symmetric latency.
+// Wire is the concrete endpoint for one server: a request/reply link
+// with symmetric latency. On the simulated backend, Call charges lat of
+// virtual time each way and runs the handler inline in the caller's
+// process — exactly the pre-seam behavior, so simulated schedules are
+// unchanged. On the real backend, Call is an in-process message
+// round trip: the handler runs in its own spawned task and the reply
+// comes back over a runtime signal (with an optional loopback-TCP
+// round trip when the engine has one enabled), so a handler that parks
+// mid-request — MergeWait does — never wedges the endpoint.
 type Wire struct {
 	name string
-	lat  sim.Duration
-	h    Handler
+	lat  runtime.Duration
+
+	// h is the interceptor-wrapped handler. It is an atomic pointer so
+	// Wrap — a mutation after construction — is safe against Calls
+	// already in flight on the real backend: a concurrent Call sees
+	// either the old or the new chain, never a torn one. Install
+	// interceptors before serving whenever possible; Wrap itself is not
+	// safe to call concurrently with another Wrap.
+	h atomic.Pointer[Handler]
 }
 
 // NewWire builds an endpoint that charges lat on each direction of a
 // Call and runs h in the calling process.
-func NewWire(name string, lat sim.Duration, h Handler) *Wire {
-	return &Wire{name: name, lat: lat, h: h}
+func NewWire(name string, lat runtime.Duration, h Handler) *Wire {
+	w := &Wire{name: name, lat: lat}
+	w.h.Store(&h)
+	return w
 }
 
 // Name implements Endpoint.
@@ -87,19 +105,65 @@ func (w *Wire) Name() string { return w.name }
 // Wrap composes an interceptor around the wire's handler, outermost.
 // Chaos harnesses use it to slide a fault interceptor under an already
 // constructed endpoint; with no interceptor installed the wire is
-// untouched.
-func (w *Wire) Wrap(ic Interceptor) { w.h = ic(w.h) }
+// untouched. Prefer installing interceptors before the endpoint starts
+// serving; when that is impossible (mid-run fault injection), the swap
+// is atomic with respect to concurrent Calls, but concurrent Wrap calls
+// must be externally serialized.
+func (w *Wire) Wrap(ic Interceptor) {
+	h := ic(*w.h.Load())
+	w.h.Store(&h)
+}
+
+// handler returns the current interceptor chain.
+func (w *Wire) handler() Handler { return *w.h.Load() }
 
 // Call implements Endpoint: request on the wire, handler, reply on the
 // wire.
-func (w *Wire) Call(p *sim.Proc, msg any) any {
+func (w *Wire) Call(p runtime.Task, msg any) any {
+	rt := p.Runtime()
+	if rt.Kind() == runtime.RealKind {
+		return w.realCall(p, msg)
+	}
 	p.Sleep(w.lat)
-	reply := w.h(p, msg)
+	reply := w.handler()(p, msg)
 	p.Sleep(w.lat)
 	return reply
 }
 
-// Post implements Endpoint: the handler self-charges all costs.
-func (w *Wire) Post(p *sim.Proc, msg any) any {
-	return w.h(p, msg)
+// netRoundTripper is implemented by real engines that can put a kernel
+// socket round trip on the wire (realrt's loopback-TCP option).
+type netRoundTripper interface {
+	NetRoundTrip() (bool, error)
+}
+
+// realCall is the real backend's Call: deliver the message to a
+// handler task, park until the reply signal fires. When the engine has
+// loopback TCP enabled, each direction additionally performs one real
+// socket round trip (outside the run lock); protocol messages carry
+// live pointers and are not serialized — the frame buys real network
+// stack latency, not transport of the payload.
+func (w *Wire) realCall(p runtime.Task, msg any) any {
+	rt := p.Runtime()
+	nrt, _ := rt.(netRoundTripper)
+	if nrt != nil {
+		rt.Blocking(func() { nrt.NetRoundTrip() })
+	}
+	h := w.handler()
+	reply := rt.NewSignal()
+	rt.Spawn(w.name+".handle", func(t runtime.Task) {
+		reply.Fire(h(t, msg))
+	})
+	out := reply.Wait(p)
+	if nrt != nil {
+		rt.Blocking(func() { nrt.NetRoundTrip() })
+	}
+	return out
+}
+
+// Post implements Endpoint: the handler self-charges all costs. It runs
+// the handler inline on both backends — on the real one, a handler that
+// parks simply parks the posting task, and the run lock is released at
+// every park and sleep, so other tasks keep the endpoint moving.
+func (w *Wire) Post(p runtime.Task, msg any) any {
+	return w.handler()(p, msg)
 }

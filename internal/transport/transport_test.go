@@ -4,23 +4,24 @@ import (
 	"testing"
 	"time"
 
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
 func TestChainOrderAndRewrite(t *testing.T) {
 	var order []string
-	h := Handler(func(p *sim.Proc, msg any) any {
+	h := Handler(func(p runtime.Task, msg any) any {
 		order = append(order, "handler")
 		return msg.(int) + 1
 	})
 	outer := Interceptor(func(next Handler) Handler {
-		return func(p *sim.Proc, msg any) any {
+		return func(p runtime.Task, msg any) any {
 			order = append(order, "outer")
 			return next(p, msg)
 		}
 	})
 	inner := Interceptor(func(next Handler) Handler {
-		return func(p *sim.Proc, msg any) any {
+		return func(p runtime.Task, msg any) any {
 			order = append(order, "inner")
 			return next(p, msg).(int) * 10
 		}
@@ -36,12 +37,12 @@ func TestChainOrderAndRewrite(t *testing.T) {
 }
 
 func TestChainShortCircuit(t *testing.T) {
-	h := Handler(func(p *sim.Proc, msg any) any {
+	h := Handler(func(p runtime.Task, msg any) any {
 		t.Fatal("handler must not run")
 		return nil
 	})
 	deny := Interceptor(func(next Handler) Handler {
-		return func(p *sim.Proc, msg any) any { return "denied" }
+		return func(p runtime.Task, msg any) any { return "denied" }
 	})
 	if out := Chain(h, deny)(nil, 1); out != "denied" {
 		t.Fatalf("reply = %v", out)
@@ -50,25 +51,25 @@ func TestChainShortCircuit(t *testing.T) {
 
 func TestWireTiming(t *testing.T) {
 	eng := sim.NewEngine(1)
-	lat := sim.Duration(50 * time.Microsecond)
-	work := sim.Duration(300 * time.Microsecond)
-	w := NewWire("mds.0", lat, func(p *sim.Proc, msg any) any {
+	lat := runtime.Duration(50 * time.Microsecond)
+	work := runtime.Duration(300 * time.Microsecond)
+	w := NewWire("mds.0", lat, func(p runtime.Task, msg any) any {
 		p.Sleep(work)
 		return msg
 	})
 	if w.Name() != "mds.0" {
 		t.Fatalf("name = %q", w.Name())
 	}
-	var callTook, postTook sim.Duration
-	eng.Go("t", func(p *sim.Proc) {
+	var callTook, postTook runtime.Duration
+	eng.Spawn("t", func(p runtime.Task) {
 		start := p.Now()
 		if out := w.Call(p, "m"); out != "m" {
 			t.Errorf("call reply = %v", out)
 		}
-		callTook = sim.Duration(p.Now() - start)
+		callTook = runtime.Duration(p.Now() - start)
 		start = p.Now()
 		w.Post(p, "m")
-		postTook = sim.Duration(p.Now() - start)
+		postTook = runtime.Duration(p.Now() - start)
 	})
 	eng.RunAll()
 	if want := 2*lat + work; callTook != want {
@@ -134,7 +135,7 @@ func TestRouterPicksOwningRank(t *testing.T) {
 	type msg struct{ route string }
 	var hits [2][]string
 	mk := func(rank int) Endpoint {
-		return NewWire("mds."+string(rune('0'+rank)), 0, func(p *sim.Proc, m any) any {
+		return NewWire("mds."+string(rune('0'+rank)), 0, func(p runtime.Task, m any) any {
 			hits[rank] = append(hits[rank], m.(*msg).route)
 			return rank
 		})
@@ -143,7 +144,7 @@ func TestRouterPicksOwningRank(t *testing.T) {
 	tb.Place("/b", 1)
 	r := NewRouter("mds", tb, []Endpoint{mk(0), mk(1)}, func(m any) string { return m.(*msg).route })
 	eng := sim.NewEngine(1)
-	eng.Go("t", func(p *sim.Proc) {
+	eng.Spawn("t", func(p runtime.Task) {
 		if out := r.Call(p, &msg{route: "/a/f"}); out != 0 {
 			t.Errorf("/a/f went to rank %v", out)
 		}

@@ -10,14 +10,14 @@ import (
 
 	"cudele/internal/client"
 	"cudele/internal/namespace"
-	"cudele/internal/sim"
+	"cudele/internal/runtime"
 )
 
 // CreateMany issues n file creates named <prefix>NNNNNN in dir via the
 // RPCs mechanism, the create-heavy pattern of §V-B1. It stops at the
 // first error other than EBUSY; EBUSY replies (blocked subtrees) are
 // counted and skipped, modeling an interferer that keeps trying.
-func CreateMany(p *sim.Proc, c *client.Client, dir namespace.Ino, n int, prefix string) (created, busy int, err error) {
+func CreateMany(p runtime.Task, c *client.Client, dir namespace.Ino, n int, prefix string) (created, busy int, err error) {
 	for i := 0; i < n; i++ {
 		_, cerr := c.Create(p, dir, fmt.Sprintf("%s%06d", prefix, i), 0644)
 		switch {
@@ -33,7 +33,7 @@ func CreateMany(p *sim.Proc, c *client.Client, dir namespace.Ino, n int, prefix 
 }
 
 // CreateManyLocal issues n decoupled creates (Append Client Journal).
-func CreateManyLocal(p *sim.Proc, c *client.Client, dir namespace.Ino, n int, prefix string) (int, error) {
+func CreateManyLocal(p runtime.Task, c *client.Client, dir namespace.Ino, n int, prefix string) (int, error) {
 	for i := 0; i < n; i++ {
 		if _, err := c.LocalCreate(p, dir, fmt.Sprintf("%s%06d", prefix, i), 0644); err != nil {
 			return i, err
@@ -45,7 +45,7 @@ func CreateManyLocal(p *sim.Proc, c *client.Client, dir namespace.Ino, n int, pr
 // Interfere creates perDir files in every listed directory — the
 // interfering client of Figures 3b, 3c, and 6b, which triggers capability
 // revocations and false sharing.
-func Interfere(p *sim.Proc, c *client.Client, dirs []namespace.Ino, perDir int) (created, busy int) {
+func Interfere(p runtime.Task, c *client.Client, dirs []namespace.Ino, perDir int) (created, busy int) {
 	for round := 0; round < perDir; round++ {
 		for di, dir := range dirs {
 			_, err := c.Create(p, dir, fmt.Sprintf("intruder-%d-%06d", di, round), 0644)
@@ -90,7 +90,7 @@ func CompilePhases() []Phase {
 // RunPhase executes one phase inside dir (the phase's working directory,
 // created by the caller so setup stays outside any measurement window).
 // It returns the number of metadata ops issued.
-func RunPhase(p *sim.Proc, c *client.Client, dir namespace.Ino, ph Phase) (int, error) {
+func RunPhase(p runtime.Task, c *client.Client, dir namespace.Ino, ph Phase) (int, error) {
 	ops := 0
 	for u := 0; u < ph.Units; u++ {
 		sub := dir

@@ -10,11 +10,12 @@ import (
 	"cudele/internal/namespace"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
+	"cudele/internal/runtime"
 	"cudele/internal/sim"
 )
 
 type harness struct {
-	eng *sim.Engine
+	eng runtime.Runtime
 	srv *mds.Server
 	obj *rados.Cluster
 }
@@ -32,16 +33,16 @@ func (h *harness) client(name string) *client.Client {
 	return c
 }
 
-func (h *harness) run(t *testing.T, fn func(p *sim.Proc)) {
+func (h *harness) run(t *testing.T, fn func(p runtime.Task)) {
 	t.Helper()
-	h.eng.Go("test", fn)
+	h.eng.Spawn("test", fn)
 	h.eng.RunAll()
 }
 
 func TestCreateMany(t *testing.T) {
 	h := newHarness()
 	c := h.client("c0")
-	h.run(t, func(p *sim.Proc) {
+	h.run(t, func(p runtime.Task) {
 		dir, _ := c.Mkdir(p, namespace.RootIno, "d", 0755)
 		created, busy, err := CreateMany(p, c, dir, 50, "f")
 		if err != nil || created != 50 || busy != 0 {
@@ -58,7 +59,7 @@ func TestCreateManyBusySkipped(t *testing.T) {
 	h := newHarness()
 	owner := h.client("owner")
 	intruder := h.client("intruder")
-	h.run(t, func(p *sim.Proc) {
+	h.run(t, func(p runtime.Task) {
 		owner.MkdirAll(p, "/mine", 0755)
 		pol := &policy.Policy{
 			Consistency: policy.ConsInvisible, Durability: policy.DurLocal,
@@ -76,7 +77,7 @@ func TestCreateManyBusySkipped(t *testing.T) {
 func TestCreateManyLocal(t *testing.T) {
 	h := newHarness()
 	c := h.client("c0")
-	h.run(t, func(p *sim.Proc) {
+	h.run(t, func(p runtime.Task) {
 		c.MkdirAll(p, "/job", 0755)
 		c.Decouple(p, "/job", &policy.Policy{
 			Consistency: policy.ConsInvisible, Durability: policy.DurNone,
@@ -98,7 +99,7 @@ func TestInterfereRevokesCaps(t *testing.T) {
 	h := newHarness()
 	a := h.client("a")
 	intr := h.client("intr")
-	h.run(t, func(p *sim.Proc) {
+	h.run(t, func(p runtime.Task) {
 		dirs := make([]namespace.Ino, 3)
 		for i := range dirs {
 			d, _ := a.Mkdir(p, namespace.RootIno, fmt.Sprintf("d%d", i), 0755)
@@ -143,7 +144,7 @@ func TestCompilePhases(t *testing.T) {
 func TestRunPhase(t *testing.T) {
 	h := newHarness()
 	c := h.client("c0")
-	h.run(t, func(p *sim.Proc) {
+	h.run(t, func(p runtime.Task) {
 		root, _ := c.Mkdir(p, namespace.RootIno, "build", 0755)
 		ph := Phase{Name: "mini", Creates: 3, Mkdirs: 1, Lookups: 2, ReadDirs: 1, Renames: 1, Units: 4}
 		phaseDir, _ := c.Mkdir(p, root, ph.Name, 0755)
@@ -171,7 +172,7 @@ func TestRunPhase(t *testing.T) {
 func TestRunAllCompilePhases(t *testing.T) {
 	h := newHarness()
 	c := h.client("c0")
-	h.run(t, func(p *sim.Proc) {
+	h.run(t, func(p runtime.Task) {
 		root, _ := c.Mkdir(p, namespace.RootIno, "linux", 0755)
 		for _, ph := range CompilePhases() {
 			dir, err := c.Mkdir(p, root, ph.Name, 0755)

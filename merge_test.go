@@ -22,7 +22,7 @@ func concurrentMergeRun(t *testing.T, filesA, filesB int) (elapsed float64, spre
 	a := cl.NewClient("client.a")
 	b := cl.NewClient("client.b")
 
-	cl.Run(func(p *Proc) {
+	cl.Run(func(p Proc) {
 		for _, setup := range []struct {
 			c    *Client
 			path string
@@ -39,8 +39,8 @@ func concurrentMergeRun(t *testing.T, filesA, filesB int) (elapsed float64, spre
 		}
 	})
 
-	merge := func(c *Client, files int) func(p *Proc) {
-		return func(p *Proc) {
+	merge := func(c *Client, files int) func(p Proc) {
+		return func(p Proc) {
 			root, _ := c.DecoupledRoot()
 			for i := 0; i < files; i++ {
 				if _, err := c.LocalCreate(p, root, fmt.Sprintf("f%d", i), 0644); err != nil {

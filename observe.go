@@ -14,7 +14,7 @@ type Recorder = trace.Recorder
 // see internal/trace.
 type Registry = trace.Registry
 
-// EnableTracing attaches a trace recorder to the cluster's engine and
+// EnableTracing attaches a trace recorder to the cluster's runtime and
 // returns it. Every RPC, journal operation, RADOS round trip, and
 // capability revocation records a span on the shared virtual clock.
 // Tracing never charges virtual time and never consumes randomness, so
@@ -22,12 +22,12 @@ type Registry = trace.Registry
 // Call before Run; call at most once per cluster.
 func (cl *Cluster) EnableTracing() *Recorder {
 	rec := trace.New()
-	cl.eng.SetTracer(rec)
+	cl.rt.SetTracer(rec)
 	return rec
 }
 
 // Tracer returns the cluster's trace recorder, nil when tracing is off.
-func (cl *Cluster) Tracer() *Recorder { return cl.eng.Tracer() }
+func (cl *Cluster) Tracer() *Recorder { return cl.rt.Tracer() }
 
 // CollectMetrics gathers every daemon's counters, histograms, and
 // device-utilization accounting into a fresh registry: all MDS ranks,
