@@ -38,7 +38,21 @@
 // policy-contract checker instead of the experiments, and exits non-zero
 // if any schedule violates its contract. A failing seed reproduces
 // exactly with -chaos-replay SEED, which runs that one schedule and
-// prints its fault plan.
+// prints its fault plan — and, since every schedule carries a flight
+// recorder, the failure report includes the last events (ops, faults,
+// crashes) each daemon saw before the violation. -chaos-dumps DIR
+// additionally writes one flight-dump file per failing seed.
+//
+// -heat enables per-subtree heat accounting on every run. Like -trace
+// and -metrics it is passive: tables are byte-identical with it on.
+//
+// -admin ADDR (real backend only) serves a live admin endpoint while the
+// experiments run: /metrics (Prometheus text), /heat (the decayed
+// per-subtree heat map as JSON), /healthz, and /debug/pprof. Each real
+// run installs itself as the scrape source for its duration; use :0 to
+// bind an ephemeral port (the bound address prints on stdout).
+// -admin-linger DUR keeps the endpoint serving that long after the last
+// experiment finishes, so CI can scrape a completed run.
 package main
 
 import (
@@ -54,6 +68,7 @@ import (
 	"cudele"
 	"cudele/internal/bench"
 	"cudele/internal/chaos"
+	"cudele/internal/obs"
 )
 
 // benchJSON is the schema of a BENCH_<id>.json baseline file.
@@ -81,8 +96,12 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a Prometheus text dump of every run's daemon metrics to this file")
 	chaosN := flag.Int("chaos", 0, "run N fault-injection schedules (seeds -seed..-seed+N-1) instead of experiments")
 	chaosReplay := flag.Int64("chaos-replay", 0, "replay one fault-injection schedule by seed and print its plan")
+	chaosDumps := flag.String("chaos-dumps", "", "chaos mode: write one flight-recorder dump file per failing seed into this directory")
 	backendName := flag.String("backend", "sim", "execution backend: sim (deterministic simulator) or real (goroutines, wall clock, fsync)")
 	dataDir := flag.String("datadir", "", "real backend: directory for fsynced object files (default: a fresh temp dir)")
+	heat := flag.Bool("heat", false, "enable per-subtree heat accounting on every run (passive: tables are byte-identical)")
+	adminAddr := flag.String("admin", "", "real backend: serve /metrics, /heat, /healthz, /debug/pprof on this address (:0 for an ephemeral port)")
+	adminLinger := flag.Duration("admin-linger", 0, "keep the -admin endpoint serving this long after the last experiment")
 	flag.Parse()
 
 	backend, err := cudele.ParseBackend(*backendName)
@@ -94,12 +113,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cudele-bench: -datadir requires -backend=real")
 		os.Exit(2)
 	}
+	if *adminAddr != "" && backend != cudele.BackendReal {
+		fmt.Fprintln(os.Stderr, "cudele-bench: -admin requires -backend=real (the simulator has no wall clock to serve on)")
+		os.Exit(2)
+	}
+	if *adminLinger != 0 && *adminAddr == "" {
+		fmt.Fprintln(os.Stderr, "cudele-bench: -admin-linger requires -admin")
+		os.Exit(2)
+	}
+	if *chaosDumps != "" && *chaosN == 0 && *chaosReplay == 0 {
+		fmt.Fprintln(os.Stderr, "cudele-bench: -chaos-dumps requires -chaos or -chaos-replay")
+		os.Exit(2)
+	}
 
 	if *chaosReplay != 0 {
-		os.Exit(runChaos(chaos.Seeds(*chaosReplay, 1), 1, true))
+		os.Exit(runChaos(chaos.Seeds(*chaosReplay, 1), 1, true, *chaosDumps))
 	}
 	if *chaosN > 0 {
-		os.Exit(runChaos(chaos.Seeds(*seed, *chaosN), *parallel, false))
+		os.Exit(runChaos(chaos.Seeds(*seed, *chaosN), *parallel, false, *chaosDumps))
 	}
 
 	if *list {
@@ -135,9 +166,19 @@ func main() {
 		}
 		ids = expanded
 	}
-	opts := bench.Options{Scale: *scale, Seed: *seed, Workers: *parallel}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Workers: *parallel, Heat: *heat}
 	if *tracePath != "" || *metricsPath != "" {
 		opts.Sink = bench.NewSink()
+	}
+	var admin *obs.Admin
+	if *adminAddr != "" {
+		admin, err = obs.NewAdmin(*adminAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cudele-bench: admin: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("admin: listening on http://%s (endpoints: /metrics /heat /healthz /debug/pprof/)\n", admin.Addr())
+		opts.Admin = admin
 	}
 	var tmpDataDir string
 	if backend == cudele.BackendReal {
@@ -200,6 +241,13 @@ func main() {
 			exit = 1
 		}
 	}
+	if admin != nil {
+		if *adminLinger > 0 {
+			fmt.Printf("admin: lingering %s on http://%s (last run stays scrapeable)\n", *adminLinger, admin.Addr())
+			time.Sleep(*adminLinger)
+		}
+		admin.Close()
+	}
 	if tmpDataDir != "" {
 		os.RemoveAll(tmpDataDir)
 	}
@@ -208,18 +256,51 @@ func main() {
 
 // runChaos executes the fault-injection schedules and reports verdicts.
 // With verbose set (replay mode) the plan prints even on success, so a
-// passing replay still shows what was exercised.
-func runChaos(seeds []int64, workers int, verbose bool) int {
+// passing replay still shows what was exercised. With dumpDir set, each
+// failing seed's fault plan, violations, and flight-recorder dump are
+// written to chaos-flight-<seed>.txt there (the CI failure artifact).
+func runChaos(seeds []int64, workers int, verbose bool, dumpDir string) int {
 	results := chaos.RunMany(seeds, workers)
 	if verbose {
 		for _, r := range results {
 			fmt.Printf("%s\n\n", r.PlanText)
 		}
 	}
-	if failed := chaos.Report(os.Stdout, results); failed > 0 {
+	failed := chaos.Report(os.Stdout, results)
+	if dumpDir != "" && failed > 0 {
+		if err := writeChaosDumps(dumpDir, results); err != nil {
+			fmt.Fprintf(os.Stderr, "cudele-bench: chaos dumps: %v\n", err)
+		}
+	}
+	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeChaosDumps writes one flight-dump file per failing schedule.
+func writeChaosDumps(dir string, results []chaos.Result) error {
+	if err := os.MkdirAll(dir, 0755); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Passed() {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s\n", r.PlanText)
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "violation: %s\n", v)
+		}
+		fmt.Fprintf(&b, "\nflight recorder (last events before the violation):\n%s", r.FlightDump)
+		fmt.Fprintf(&b, "\nreproduce: cudele-bench -chaos-replay %d\n", r.Seed)
+		path := filepath.Join(dir, fmt.Sprintf("chaos-flight-%d.txt", r.Seed))
+		if err := os.WriteFile(path, []byte(b.String()), 0644); err != nil {
+			return err
+		}
+		fmt.Printf("chaos: wrote %s\n", path)
+	}
+	return nil
 }
 
 // writeSink streams one sink export into path.

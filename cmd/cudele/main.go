@@ -35,6 +35,11 @@
 // wall clocks). With -backend=real, -datadir DIR keeps RADOS objects as
 // fsynced files under DIR, so object state (persisted client journals,
 // globally persisted metadata) survives across invocations.
+//
+// -admin ADDR (real backend only) serves the cluster's live admin
+// endpoint while the session runs: /metrics, /heat, /healthz, and
+// /debug/pprof. The bound address prints on stdout (use :0 for an
+// ephemeral port).
 package main
 
 import (
@@ -57,6 +62,7 @@ type options struct {
 	ranks       int
 	backend     cudele.Backend
 	dataDir     string
+	adminAddr   string
 	tracePath   string
 	metricsPath string
 	scripts     []string
@@ -70,6 +76,7 @@ func parseFlags(argv []string) (*options, error) {
 	fs.IntVar(&o.ranks, "ranks", 1, "metadata ranks")
 	backend := fs.String("backend", "sim", "execution backend: sim (deterministic simulator) or real (goroutines, wall clock)")
 	fs.StringVar(&o.dataDir, "datadir", "", "real backend only: directory for fsynced object files (RADOS object state survives across runs)")
+	fs.StringVar(&o.adminAddr, "admin", "", "real backend only: serve /metrics, /heat, /healthz, /debug/pprof on this address (:0 for an ephemeral port)")
 	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the session to this file")
 	fs.StringVar(&o.metricsPath, "metrics", "", "write a Prometheus text dump of daemon metrics to this file")
 	if err := fs.Parse(argv); err != nil {
@@ -86,6 +93,9 @@ func parseFlags(argv []string) (*options, error) {
 	if o.dataDir != "" && o.backend != cudele.BackendReal {
 		return nil, fmt.Errorf("-datadir requires -backend=real (the simulator keeps objects in memory)")
 	}
+	if o.adminAddr != "" && o.backend != cudele.BackendReal {
+		return nil, fmt.Errorf("-admin requires -backend=real (the simulator has no wall clock to serve on)")
+	}
 	o.scripts = fs.Args()
 	return o, nil
 }
@@ -93,6 +103,7 @@ func parseFlags(argv []string) (*options, error) {
 func main() {
 	opts, err := parseFlags(os.Args[1:])
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "cudele: %v\n", err)
 		os.Exit(2)
 	}
 	seed, ranks := &opts.seed, &opts.ranks
@@ -125,6 +136,17 @@ func main() {
 	if *tracePath != "" {
 		cl.EnableTracing()
 	}
+	var admin *cudele.Admin
+	if opts.adminAddr != "" {
+		cl.EnableHeat(0)
+		a, err := cl.ServeAdmin(opts.adminAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cudele: admin: %v\n", err)
+			os.Exit(1)
+		}
+		admin = a
+		fmt.Printf("admin: listening on http://%s (endpoints: /metrics /heat /healthz /debug/pprof/)\n", admin.Addr())
+	}
 	c := cl.NewClient("client.0")
 	exit := 0
 	cl.Run(func(p cudele.Proc) {
@@ -146,6 +168,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cudele: metrics: %v\n", err)
 			exit = 1
 		}
+	}
+	if admin != nil {
+		admin.Close()
 	}
 	cl.Close()
 	os.Exit(exit)

@@ -42,6 +42,7 @@ import (
 	"cudele/internal/model"
 	"cudele/internal/monitor"
 	"cudele/internal/namespace"
+	"cudele/internal/obs"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
 	"cudele/internal/realrt"
@@ -67,6 +68,9 @@ type (
 		mon     *monitor.Monitor
 
 		clients map[string]*client.Client
+
+		// heat is the per-subtree load accountant; nil until EnableHeat.
+		heat *obs.Heat
 	}
 
 	// Proc is a task handle — a simulation process or, on the real

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"cudele/internal/obs"
 )
 
 // Options scales experiments. Scale 1.0 is paper scale (100K creates per
@@ -30,6 +32,16 @@ type Options struct {
 	// from every simulation run (the -trace/-metrics flags). Observation
 	// is passive: tables are byte-identical with or without a sink.
 	Sink *Sink
+
+	// Heat, when true, enables per-subtree heat accounting on every run
+	// (the -heat flag). Like the sink, heat accounting is passive:
+	// tables stay byte-identical with it on (TestHeatDoesNotPerturb).
+	Heat bool
+
+	// Admin, when non-nil, is the live admin endpoint (-admin): each
+	// real-backend run installs itself as the endpoint's scrape source
+	// while it executes, so /metrics and /heat serve that run live.
+	Admin *obs.Admin
 
 	// DataDir, when non-empty, roots the real backend's durability: each
 	// real run gets its own subdirectory for fsynced object files and

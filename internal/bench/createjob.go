@@ -6,6 +6,7 @@ import (
 
 	"cudele"
 	"cudele/internal/namespace"
+	"cudele/internal/obs"
 	"cudele/internal/policy"
 	"cudele/internal/workload"
 )
@@ -35,7 +36,14 @@ type jobConfig struct {
 	// sink/run route this run's trace and metrics to the experiment's
 	// observability sink; a nil sink means observation is off.
 	sink *Sink
-	run  string
+
+	// heat enables per-subtree heat accounting on the run's cluster;
+	// admin, on the real backend, installs the run as the live admin
+	// endpoint's scrape source for its duration.
+	heat  bool
+	admin *obs.Admin
+
+	run string
 
 	// backend selects the execution backend; the zero value is the
 	// simulator, so every registered experiment is untouched. dataDir,
@@ -79,6 +87,12 @@ func runCreateJob(jc jobConfig) (*jobResult, error) {
 	}
 	cl := cudele.NewCluster(copts...)
 	jc.sink.start(jc.run, cl)
+	if jc.heat {
+		cl.EnableHeat(0)
+	}
+	if jc.admin != nil && jc.backend == cudele.BackendReal {
+		jc.admin.SetSource(cl.AdminSource())
+	}
 	cl.MDS().SetStream(jc.journal)
 
 	clients := make([]*cudele.Client, jc.clients)

@@ -55,7 +55,7 @@ func Fig3a(opts Options) (*Result, error) {
 	times, err := runGrid(opts, len(specs), func(i int) (float64, error) {
 		sp := specs[i]
 		jc := jobConfig{seed: opts.Seed, clients: sp.clients, perClient: perClient,
-			sink: opts.Sink, run: fmt.Sprintf("fig3a/run%03d", i)}
+			sink: opts.Sink, heat: opts.Heat, run: fmt.Sprintf("fig3a/run%03d", i)}
 		if i > 0 {
 			jc.journal = sp.cfg.journal
 			jc.dispatch = sp.cfg.dispatch
@@ -129,7 +129,7 @@ func fig3bRuns(opts Options, blockPolicy bool) (noInterf, interf map[int][]float
 		jc := jobConfig{
 			seed: opts.Seed + int64(sp.trial)*101, clients: sp.clients, perClient: perClient,
 			journal: true, dispatch: 40, segEvents: segEvents,
-			sink: opts.Sink, run: fmt.Sprintf("%s/run%03d", id, i),
+			sink: opts.Sink, heat: opts.Heat, run: fmt.Sprintf("%s/run%03d", id, i),
 		}
 		if i > 0 {
 			jc.jitter = time.Second

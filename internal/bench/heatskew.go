@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"cudele"
+	"cudele/internal/obs"
+	"cudele/internal/workload"
+)
+
+func init() {
+	register("heatskew", "per-rank heat imbalance under a skewed create storm", HeatSkew)
+}
+
+// heatSkewPlacement pins each client's private subtree to a rank: rank 0
+// owns five of the eight subtrees, the other three ranks one each — the
+// deliberately skewed placement whose imbalance the heat map must expose.
+var heatSkewPlacement = []int{0, 0, 0, 0, 0, 1, 2, 3}
+
+// heatSkewRanks is the cluster size (max placement rank + 1).
+const heatSkewRanks = 4
+
+// heatSkewOut is one run's measurements: total seconds, per-rank request
+// counts from the MDS metrics (the ground truth), and the decayed heat
+// report (the live signal the balancer would consume).
+type heatSkewOut struct {
+	total    float64
+	requests []uint64
+	report   obs.HeatReport
+}
+
+// heatSkewRun drives len(heatSkewPlacement) clients, each create-storming
+// its private subtree pinned per heatSkewPlacement, with heat accounting
+// on. The half-life is set long relative to the run so decay barely
+// discounts early operations and the heat shares line up with the raw
+// request shares — the cross-check the table reports.
+func heatSkewRun(sink *Sink, run string, seed int64, perClient int,
+	backend cudele.Backend, admin *obs.Admin, dataDir string) (heatSkewOut, error) {
+	copts := []cudele.Option{cudele.WithSeed(seed), cudele.WithMDSRanks(heatSkewRanks)}
+	if backend == cudele.BackendReal {
+		copts = append(copts, cudele.WithBackend(cudele.BackendReal))
+		if dataDir != "" {
+			copts = append(copts, cudele.WithDataDir(dataDir))
+		}
+	}
+	cl := cudele.NewCluster(copts...)
+	sink.start(run, cl)
+	cl.EnableHeat(10 * time.Minute)
+	if admin != nil && backend == cudele.BackendReal {
+		admin.SetSource(cl.AdminSource())
+	}
+
+	cs := make([]*cudele.Client, len(heatSkewPlacement))
+	for i := range cs {
+		cs[i] = cl.NewClient(fmt.Sprintf("client.%d", i))
+	}
+	var jobErr error
+	eng := cl.Runtime()
+	cl.Go("setup", func(p cudele.Proc) {
+		for i, c := range cs {
+			path := fmt.Sprintf("/job%d", i)
+			if _, err := c.MkdirAll(p, path, 0755); err != nil {
+				jobErr = err
+				return
+			}
+			if err := cl.Monitor().Place(p, path, heatSkewPlacement[i]); err != nil {
+				jobErr = err
+				return
+			}
+		}
+		for i, c := range cs {
+			i, c := i, c
+			eng.Spawn(c.Name(), func(cp cudele.Proc) {
+				dir, err := c.Resolve(cp, fmt.Sprintf("/job%d", i))
+				if err != nil {
+					jobErr = err
+					return
+				}
+				if _, _, err := workload.CreateMany(cp, c, dir, perClient, "f"); err != nil {
+					jobErr = err
+				}
+			})
+		}
+	})
+	out := heatSkewOut{total: cl.RunAll()}
+	if jobErr != nil {
+		return heatSkewOut{}, jobErr
+	}
+	out.report = cl.HeatReport()
+	out.requests = make([]uint64, heatSkewRanks)
+	for i := 0; i < heatSkewRanks; i++ {
+		out.requests[i] = cl.Metadata().Rank(i).Metrics().Requests
+	}
+	sink.finish(run, cl)
+	return out, reap(cl)
+}
+
+// subtreesOnRank counts how many placed subtrees heatSkewPlacement pins
+// to rank r.
+func subtreesOnRank(r int) int {
+	n := 0
+	for _, pr := range heatSkewPlacement {
+		if pr == r {
+			n++
+		}
+	}
+	return n
+}
+
+// HeatSkew is the heat-accounting experiment: a create storm over a
+// deliberately skewed subtree placement, with the per-rank heat shares
+// read off the accountant next to the raw request shares they must
+// track. The imbalance factor (max/mean rank load) is the number the
+// ROADMAP's future dynamic balancer would act on; "vs even" shows each
+// rank's load against a perfectly balanced placement.
+func HeatSkew(opts Options) (*Result, error) {
+	perClient := opts.scaled(20_000, 200)
+	out, err := heatSkewRun(opts.Sink, "heatskew", opts.Seed, perClient,
+		cudele.BackendSim, nil, "")
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{
+		ID: "heatskew",
+		Title: fmt.Sprintf("per-rank heat under a skewed create storm: %d clients x %d creates, subtrees placed %v",
+			len(heatSkewPlacement), perClient, heatSkewPlacement),
+		Columns: []string{"rank", "subtrees", "requests", "req share", "heat load", "heat share", "vs even"},
+	}
+	addHeatRows(r, out)
+	r.Notef("heat imbalance (max/mean rank load): %s — the signal a dynamic subtree balancer would act on", f2x(out.report.Imbalance))
+	r.Notef("runtime %.2fs; heat shares track raw request shares because the decay half-life dwarfs the run", out.total)
+	return r, nil
+}
+
+// addHeatRows renders one run's per-rank table rows.
+func addHeatRows(r *Result, out heatSkewOut) {
+	var totalReq uint64
+	for _, n := range out.requests {
+		totalReq += n
+	}
+	loads := make([]float64, heatSkewRanks)
+	shares := make([]float64, heatSkewRanks)
+	for _, rl := range out.report.Ranks {
+		if rl.Rank < heatSkewRanks {
+			loads[rl.Rank] = rl.Load
+			shares[rl.Rank] = rl.Share
+		}
+	}
+	even := 1.0 / float64(heatSkewRanks)
+	for rank := 0; rank < heatSkewRanks; rank++ {
+		reqShare := 0.0
+		if totalReq > 0 {
+			reqShare = float64(out.requests[rank]) / float64(totalReq)
+		}
+		r.AddRow(fmt.Sprintf("%d", rank), fmt.Sprintf("%d", subtreesOnRank(rank)),
+			fmt.Sprintf("%d", out.requests[rank]), pct(reqShare),
+			f0(loads[rank]), pct(shares[rank]), f2x(shares[rank]/even))
+	}
+}
+
+// heatSkewReal runs the skewed create storm on both backends: the sim
+// run is the prediction, the real run the measurement — and, when an
+// admin endpoint is armed, the live /heat source while it executes.
+func heatSkewReal(opts Options) (*Result, error) {
+	perClient := opts.scaled(20_000, 200)
+	sim, err := heatSkewRun(opts.Sink, "heatskew-real/sim", opts.Seed, perClient,
+		cudele.BackendSim, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	dataDir := ""
+	if opts.DataDir != "" {
+		dataDir = filepath.Join(opts.DataDir, "heatskew")
+	}
+	real, err := heatSkewRun(opts.Sink, "heatskew-real/real", opts.Seed, perClient,
+		cudele.BackendReal, opts.Admin, dataDir)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{
+		ID: "heatskew-real",
+		Title: fmt.Sprintf("heatskew on the real backend: %d clients x %d creates, subtrees placed %v",
+			len(heatSkewPlacement), perClient, heatSkewPlacement),
+		Columns: []string{"rank", "subtrees", "sim req share", "sim heat share", "real req share", "real heat share"},
+	}
+	simShares := rankShares(sim.report)
+	realShares := rankShares(real.report)
+	var simTot, realTot uint64
+	for i := 0; i < heatSkewRanks; i++ {
+		simTot += sim.requests[i]
+		realTot += real.requests[i]
+	}
+	for rank := 0; rank < heatSkewRanks; rank++ {
+		r.AddRow(fmt.Sprintf("%d", rank), fmt.Sprintf("%d", subtreesOnRank(rank)),
+			pct(share(sim.requests[rank], simTot)), pct(simShares[rank]),
+			pct(share(real.requests[rank], realTot)), pct(realShares[rank]))
+	}
+	r.Notef("heat imbalance: sim %s, real %s (max/mean rank load)", f2x(sim.report.Imbalance), f2x(real.report.Imbalance))
+	r.Notef("sim %.2fs virtual, real %.2fs wall; with -admin, /heat served the real run's live heat map while it executed", sim.total, real.total)
+	return r, nil
+}
+
+// rankShares indexes a report's per-rank shares by rank number.
+func rankShares(rep obs.HeatReport) []float64 {
+	out := make([]float64, heatSkewRanks)
+	for _, rl := range rep.Ranks {
+		if rl.Rank < heatSkewRanks {
+			out[rl.Rank] = rl.Share
+		}
+	}
+	return out
+}
+
+// share is n/total, 0 when total is 0.
+func share(n, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}

@@ -25,18 +25,23 @@ import (
 var realClientCounts = []int{1, 2, 5}
 
 // RealIDs lists the experiments RunReal supports.
-func RealIDs() []string { return []string{"fig3a"} }
+func RealIDs() []string { return []string{"fig3a", "heatskew"} }
 
 // RunReal executes an experiment on the real backend, side by side with
-// its simulated prediction. Only fig3a is supported: it is the paper's
-// central scaling figure and the one whose workload shape (create
-// storms under journal configurations) exercises every runtime seam —
-// transport, journal streaming, object store, client caps.
+// its simulated prediction. fig3a is the paper's central scaling figure
+// and the one whose workload shape (create storms under journal
+// configurations) exercises every runtime seam — transport, journal
+// streaming, object store, client caps. heatskew is the observability
+// workload: a skewed create storm whose live /heat map (with -admin)
+// must match the post-run tables.
 func RunReal(id string, opts Options) (*Result, error) {
-	if id != "fig3a" {
-		return nil, fmt.Errorf("bench: experiment %q has no real-backend mode (supported: %v)", id, RealIDs())
+	switch id {
+	case "fig3a":
+		return fig3aReal(opts)
+	case "heatskew":
+		return heatSkewReal(opts)
 	}
-	return fig3aReal(opts)
+	return nil, fmt.Errorf("bench: experiment %q has no real-backend mode (supported: %v)", id, RealIDs())
 }
 
 // fig3aReal runs the Fig 3a create workload on both backends and
@@ -71,12 +76,16 @@ func fig3aReal(opts Options) (*Result, error) {
 		jc := jobConfig{
 			seed: opts.Seed, clients: sp.clients, perClient: perClient,
 			journal: sp.cfg.journal, dispatch: sp.cfg.dispatch, segEvents: segEvents,
-			backend: backend,
+			backend: backend, heat: opts.Heat,
+			sink: opts.Sink, run: fmt.Sprintf("fig3a-real/%s/run%02d", backend, i),
 		}
-		if backend == cudele.BackendReal && opts.DataDir != "" {
-			// Each run owns a fresh subdirectory: recovery would
-			// otherwise reload the previous run's objects.
-			jc.dataDir = filepath.Join(opts.DataDir, fmt.Sprintf("run%02d", i))
+		if backend == cudele.BackendReal {
+			jc.admin = opts.Admin
+			if opts.DataDir != "" {
+				// Each run owns a fresh subdirectory: recovery would
+				// otherwise reload the previous run's objects.
+				jc.dataDir = filepath.Join(opts.DataDir, fmt.Sprintf("run%02d", i))
+			}
 		}
 		res, err := runCreateJob(jc)
 		if err != nil {

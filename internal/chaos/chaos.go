@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"cudele/internal/policy"
@@ -149,6 +150,12 @@ type Result struct {
 	VirtualSec  float64
 	Violations  []string
 	PlanText    string
+
+	// FlightDump is the flight recorder's rendering of the last events
+	// before the first violation — per-daemon rings of ops, faults,
+	// crashes, and merges — captured only for failed schedules so a
+	// `-chaos-replay <seed>` report shows what led up to the breakage.
+	FlightDump string
 }
 
 // Passed reports whether every contract and invariant held.
@@ -238,6 +245,12 @@ func Report(w io.Writer, results []Result) int {
 		fmt.Fprintf(w, "\nseed %d FAILED — %s\n", r.Seed, r.PlanText)
 		for _, v := range r.Violations {
 			fmt.Fprintf(w, "  violation: %s\n", v)
+		}
+		if r.FlightDump != "" {
+			fmt.Fprintf(w, "  flight recorder (last events before the violation):\n")
+			for _, line := range strings.Split(strings.TrimRight(r.FlightDump, "\n"), "\n") {
+				fmt.Fprintf(w, "    %s\n", line)
+			}
 		}
 		fmt.Fprintf(w, "  reproduce: cudele-bench -chaos-replay %d\n", r.Seed)
 	}

@@ -88,3 +88,48 @@ func TestReportFailureBlock(t *testing.T) {
 		}
 	}
 }
+
+// TestFlightDumpOnFailure forces a violation and asserts the failed
+// result carries a flight-recorder dump naming the daemons, recent ops,
+// and the violation itself — the "last events before the breakage" block
+// a -chaos-replay report shows.
+func TestFlightDumpOnFailure(t *testing.T) {
+	forceViolation = true
+	defer func() { forceViolation = false }()
+	res := Run(1)
+	if res.Passed() {
+		t.Fatal("forced violation did not fail the schedule")
+	}
+	if res.FlightDump == "" {
+		t.Fatal("failed schedule has no flight dump")
+	}
+	for _, want := range []string{
+		"[chaos]",   // the oracle's ring
+		"[mds.0]",   // the MDS op ring
+		"violation", // the violation event itself
+		"forced violation (test hook) after op",
+	} {
+		if !strings.Contains(res.FlightDump, want) {
+			t.Errorf("flight dump missing %q:\n%s", want, res.FlightDump)
+		}
+	}
+
+	var buf bytes.Buffer
+	Report(&buf, []Result{res})
+	if !strings.Contains(buf.String(), "flight recorder (last events before the violation):") {
+		t.Errorf("report missing flight-recorder block:\n%s", buf.String())
+	}
+}
+
+// TestFlightDumpOnlyOnFailure asserts passing schedules carry no dump —
+// the recorder is observation-only and its output appears exclusively in
+// failure reports.
+func TestFlightDumpOnlyOnFailure(t *testing.T) {
+	res := Run(1)
+	if !res.Passed() {
+		t.Fatalf("seed 1 unexpectedly failed: %v", res.Violations)
+	}
+	if res.FlightDump != "" {
+		t.Errorf("passing schedule has a flight dump:\n%s", res.FlightDump)
+	}
+}

@@ -10,12 +10,19 @@ import (
 	"cudele/internal/client"
 	"cudele/internal/mds"
 	"cudele/internal/namespace"
+	"cudele/internal/obs"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
 	"cudele/internal/runtime"
 	"cudele/internal/sim"
 	"cudele/internal/transport"
 )
+
+// forceViolation is a test hook: when set, finalVerify records one
+// synthetic violation so tests can exercise the failure path — flight
+// dump capture and report rendering — without hunting for a genuinely
+// broken seed.
+var forceViolation bool
 
 // Workload subtrees. Both are created and made durable (SaveStore)
 // before any fault can fire, so recovery always has roots to attach to.
@@ -62,6 +69,7 @@ type driver struct {
 	bg   *cudele.Client
 	rng  *rand.Rand
 	o    *oracle
+	fl   *obs.Flight
 	res  Result
 
 	inj     *rados.FaultInjector
@@ -111,6 +119,10 @@ func newDriver(plan *Plan) *driver {
 	if plan.Background {
 		d.bg = cl.NewClient("chaos-bg")
 	}
+	// The flight recorder rides along on every schedule: fixed-size rings
+	// that never touch virtual time or the engine's rand stream, dumped
+	// only when a contract breaks.
+	d.fl = cl.EnableFlightRecorder(obs.DefaultFlightEvents)
 	return d
 }
 
@@ -123,6 +135,9 @@ func (d *driver) run() Result {
 	if err := d.cl.Engine().LeakCheck(); err != nil {
 		d.violate("%v", err)
 	}
+	if !d.res.Passed() {
+		d.res.FlightDump = d.fl.Dump()
+	}
 	d.cl.Engine().Shutdown()
 	return d.res
 }
@@ -131,7 +146,11 @@ func (d *driver) violate(format string, args ...any) {
 	if len(d.res.Violations) >= maxViolations {
 		return
 	}
-	d.res.Violations = append(d.res.Violations, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	d.res.Violations = append(d.res.Violations, msg)
+	// Stamp the violation into the ring so the dump shows it in sequence
+	// with the ops and faults that preceded it.
+	d.fl.Record(int64(d.cl.Runtime().Now()), "chaos", "oracle", "violation", msg)
 }
 
 func (d *driver) strong() bool { return d.plan.Cons == policy.ConsStrong }
@@ -275,6 +294,7 @@ func (d *driver) drain(p runtime.Task) {
 		f := d.pending[0]
 		d.pending = d.pending[1:]
 		d.res.CrashFaults++
+		d.fl.Record(int64(p.Now()), "chaos", "fault", f.Kind, f.Target)
 		switch f.Kind {
 		case FaultClientCrash:
 			d.crashClient(p)
@@ -596,6 +616,9 @@ func (d *driver) checkInvisible() {
 // each policy guarantees, then sweep the namespace for phantoms, grant
 // violations, structural damage, and leaked merge slots.
 func (d *driver) finalVerify(p runtime.Task) {
+	if forceViolation {
+		d.violate("forced violation (test hook) after op %06d", d.nameSeq-1)
+	}
 	d.checkInvisible()
 	if !d.strong() {
 		// Persist the tail so the global image covers the whole run,

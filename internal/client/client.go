@@ -195,6 +195,9 @@ type grantStub struct {
 // global objects. The MDS-side session is reaped as a real MDS would
 // time it out.
 func (c *Client) Crash() {
+	if fl := c.eng.Flight(); fl != nil {
+		fl.Record(int64(c.eng.Now()), c.name, "client", "crash", "")
+	}
 	c.svc.CloseSession(c.name)
 	c.caps = make(map[namespace.Ino]bool)
 	c.shared = make(map[namespace.Ino]bool)
@@ -218,6 +221,9 @@ func (c *Client) Crash() {
 // it. The journal starts empty; RecoverLocal reloads a locally persisted
 // image into it.
 func (c *Client) Restart(p runtime.Task) error {
+	if fl := c.eng.Flight(); fl != nil {
+		fl.Record(int64(p.Now()), c.name, "client", "restart", "")
+	}
 	c.Mount()
 	stub := c.crashed
 	c.crashed = nil

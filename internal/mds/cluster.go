@@ -5,6 +5,7 @@ import (
 
 	"cudele/internal/model"
 	"cudele/internal/namespace"
+	"cudele/internal/obs"
 	"cudele/internal/rados"
 	"cudele/internal/runtime"
 	"cudele/internal/transport"
@@ -63,6 +64,15 @@ func (c *Cluster) Endpoint() transport.Endpoint { return c.router }
 func (c *Cluster) SetStream(on bool) {
 	for _, s := range c.ranks {
 		s.SetStream(on)
+	}
+}
+
+// SetHeat installs one heat accountant on every rank, keyed by the
+// cluster's authoritative placement table so cells aggregate per placed
+// subtree. Pass nil to disable accounting.
+func (c *Cluster) SetHeat(h *obs.Heat) {
+	for _, s := range c.ranks {
+		s.SetHeat(h, c.table.SubtreeFor)
 	}
 }
 

@@ -264,6 +264,7 @@ func (ms *mergeSched) run(p runtime.Task) {
 			rec := s.eng.Tracer()
 			span := rec.Begin(int64(p.Now()), s.ep.Name(), "mds", "merge.apply")
 			per := s.mergeApplyCost()
+			before := job.applied
 			s.cpu.Acquire(p)
 			p.Sleep(per * runtime.Duration(len(chunk.Events)))
 			for _, ev := range chunk.Events {
@@ -276,6 +277,10 @@ func (ms *mergeSched) run(p runtime.Task) {
 			}
 			s.cpu.Release()
 			rec.End(span, int64(p.Now()))
+			if s.heat != nil && job.applied > before {
+				s.heat.RecordMerge(int64(p.Now()), s.heatSubtree(chunk.Route), s.rank,
+					job.applied-before, chunk.Bytes)
+			}
 		}
 		if job.last && job.win.Len() == 0 {
 			ms.finish(job)

@@ -20,6 +20,7 @@ import (
 
 	"cudele/internal/model"
 	"cudele/internal/namespace"
+	"cudele/internal/obs"
 	"cudele/internal/policy"
 	"cudele/internal/rados"
 	"cudele/internal/runtime"
@@ -138,6 +139,13 @@ type Server struct {
 
 	metrics Metrics
 
+	// heat is the per-subtree load accountant; nil (the default) means
+	// heat accounting is off and the record sites cost one nil check.
+	// subtreeOf maps a request route to its placed subtree (the heat
+	// cell key); nil folds everything into "/".
+	heat      *obs.Heat
+	subtreeOf func(string) string
+
 	stopped bool
 
 	// recoveredSegs is how many streamed journal segment objects the last
@@ -217,6 +225,35 @@ func msgLabel(msg any) string {
 	return fmt.Sprintf("msg.%T", msg)
 }
 
+// flightDetail is the flight-recorder detail string for one endpoint
+// message. Only called when the flight recorder is enabled.
+func flightDetail(msg any) string {
+	if m, ok := msg.(*Request); ok {
+		if m.Route != "" {
+			return m.Client + " " + m.Route
+		}
+		return m.Client
+	}
+	return RouteOf(msg)
+}
+
+// SetHeat installs the heat accountant (nil disables accounting).
+// subtreeOf maps a request route to the placed subtree that owns it —
+// the heat cell key — so load aggregates per policy subtree; nil folds
+// every route into "/".
+func (s *Server) SetHeat(h *obs.Heat, subtreeOf func(string) string) {
+	s.heat = h
+	s.subtreeOf = subtreeOf
+}
+
+// heatSubtree resolves a route to its heat cell subtree.
+func (s *Server) heatSubtree(route string) string {
+	if s.subtreeOf == nil {
+		return "/"
+	}
+	return s.subtreeOf(route)
+}
+
 // rankInoFloor is the base of rank r's server-assigned inode band. Bands
 // are 2^32 inodes wide, far below the 2^40 client-grant space.
 func rankInoFloor(r int) namespace.Ino {
@@ -247,6 +284,9 @@ func (s *Server) InjectFaults(ic transport.Interceptor) { s.ep.Wrap(ic) }
 
 // handle is the rank's message dispatcher behind the wire.
 func (s *Server) handle(p runtime.Task, msg any) any {
+	if fl := s.eng.Flight(); fl != nil {
+		fl.Record(int64(p.Now()), s.ep.Name(), "mds", msgLabel(msg), flightDetail(msg))
+	}
 	switch m := msg.(type) {
 	case *Request:
 		return s.rpc(p, m)
@@ -256,6 +296,9 @@ func (s *Server) handle(p runtime.Task, msg any) any {
 			src = m.Source
 		}
 		applied, err := s.volatileApply(p, src, m.NominalBytes)
+		if s.heat != nil && applied > 0 {
+			s.heat.RecordMerge(int64(p.Now()), s.heatSubtree(m.Route), s.rank, applied, m.NominalBytes)
+		}
 		return &MergeReply{Applied: applied, Err: err}
 	case *MergeOpenMsg:
 		return s.mergeOpen(p, m)
@@ -303,6 +346,9 @@ func (s *Server) Shutdown() { s.stopped = true }
 // aborted so the scheduler retires them, freeing their admission slots
 // and unblocking any client parked in MergeWait with an error.
 func (s *Server) Crash() {
+	if fl := s.eng.Flight(); fl != nil {
+		fl.Record(int64(s.eng.Now()), s.ep.Name(), "mds", "crash", "")
+	}
 	s.stopped = true
 	s.sessions = make(map[string]bool)
 	s.caps = make(map[namespace.Ino]*dirCaps)
@@ -338,6 +384,9 @@ func (s *Server) Crash() {
 // accepts requests again. The fresh journal's segment objects continue
 // the rank's series after the recovered ones instead of overwriting them.
 func (s *Server) Restart(p runtime.Task) error {
+	if fl := s.eng.Flight(); fl != nil {
+		fl.Record(int64(p.Now()), s.ep.Name(), "mds", "restart", "")
+	}
 	if err := s.Recover(p); err != nil {
 		return err
 	}
@@ -441,7 +490,14 @@ func (s *Server) journaling(next transport.Handler) transport.Handler {
 func (s *Server) execution(next transport.Handler) transport.Handler {
 	return func(p runtime.Task, msg any) any {
 		req := msg.(*Request)
+		arrive := p.Now()
 		s.cpu.Acquire(p)
+		if s.heat != nil {
+			// Queue wait is the time spent behind other requests for the
+			// rank's CPU — the saturation signal a balancer watches.
+			s.heat.RecordOp(int64(p.Now()), s.heatSubtree(req.Route), s.rank,
+				req.Op.Mutates(), runtime.Duration(p.Now()-arrive))
+		}
 		p.Sleep(s.serviceTime(req.Op))
 		reply := next(p, msg)
 		s.cpu.Release()

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFlightRingEviction asserts the ring keeps exactly the last N
+// events per daemon, oldest-first.
+func TestFlightRingEviction(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record(int64(i), "mds.0", "mds", fmt.Sprintf("op%d", i), "")
+	}
+	evs := f.Events("mds.0")
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("op%d", 6+i); ev.Name != want {
+			t.Errorf("event %d is %q, want %q", i, ev.Name, want)
+		}
+	}
+}
+
+// TestFlightPartialRing asserts a ring that never filled returns only
+// what was recorded, in order.
+func TestFlightPartialRing(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(1, "client", "client", "crash", "")
+	f.Record(2, "client", "client", "restart", "")
+	evs := f.Events("client")
+	if len(evs) != 2 || evs[0].Name != "crash" || evs[1].Name != "restart" {
+		t.Fatalf("events = %+v, want [crash restart]", evs)
+	}
+}
+
+// TestFlightNilDisabled asserts the disabled recorder is a nil pointer
+// whose methods all no-op.
+func TestFlightNilDisabled(t *testing.T) {
+	var f *Flight
+	f.Record(0, "mds.0", "mds", "op", "")
+	if f.Events("mds.0") != nil || f.Procs() != nil || f.Dump() != "" {
+		t.Error("nil recorder returned data")
+	}
+}
+
+// TestFlightDump pins the dump rendering: daemons sorted, one header
+// per daemon, timestamped event lines with optional detail.
+func TestFlightDump(t *testing.T) {
+	f := NewFlight(0) // DefaultFlightEvents
+	f.Record(2_000_000, "mds.0", "mds", "create", "client chaos-main")
+	f.Record(3_000_000, "mds.0", "mds", "crash", "")
+	f.Record(1_000_000, "chaos", "fault", "client-crash", "client:main")
+	dump := f.Dump()
+	wantOrder := []string{
+		"[chaos]",
+		"t=1ms", "fault client-crash client:main",
+		"[mds.0]",
+		"t=2ms", "mds create client chaos-main",
+		"t=3ms", "mds crash",
+	}
+	pos := 0
+	for _, want := range wantOrder {
+		i := strings.Index(dump[pos:], want)
+		if i < 0 {
+			t.Fatalf("dump missing %q after offset %d:\n%s", want, pos, dump)
+		}
+		pos += i
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"cudele/internal/runtime"
 )
 
 // ErrIO is the error injected write faults surface. Callers that want to
@@ -87,4 +89,14 @@ func (f *FaultInjector) writeOutcome(oid ObjectID, n int) (faultOutcome, int) {
 
 func faultErrf(kind string, oid ObjectID) error {
 	return fmt.Errorf("%s %v: %w", kind, oid, ErrIO)
+}
+
+// recordFault notes one injected write fault in the flight recorder (all
+// injected store faults share the "rados" ring), so a chaos dump shows
+// which object writes failed just before a violation. One nil check when
+// the recorder is off.
+func (c *Cluster) recordFault(p runtime.Task, kind string, oid ObjectID) {
+	if fl := c.eng.Flight(); fl != nil {
+		fl.Record(int64(p.Now()), "rados", "rados", "fault."+kind, oid.String())
+	}
 }

@@ -227,9 +227,11 @@ func (c *Cluster) Write(p runtime.Task, oid ObjectID, data []byte) error {
 	switch outcome {
 	case faultError:
 		c.writeFaults++
+		c.recordFault(p, "write", oid)
 		return faultErrf("write", oid)
 	case faultTorn:
 		c.writeFaults++
+		c.recordFault(p, "torn-write", oid)
 		o := c.getOrCreate(oid)
 		o.data = append(o.data[:0], data[:torn]...)
 		return faultErrf("torn write", oid)
@@ -255,9 +257,11 @@ func (c *Cluster) WriteBilled(p runtime.Task, oid ObjectID, data []byte, billed 
 	switch outcome {
 	case faultError:
 		c.writeFaults++
+		c.recordFault(p, "write", oid)
 		return faultErrf("write", oid)
 	case faultTorn:
 		c.writeFaults++
+		c.recordFault(p, "torn-write", oid)
 		o := c.getOrCreate(oid)
 		o.data = append(o.data[:0], data[:torn]...)
 		return faultErrf("torn write", oid)
@@ -276,9 +280,11 @@ func (c *Cluster) Append(p runtime.Task, oid ObjectID, data []byte) error {
 	switch outcome {
 	case faultError:
 		c.writeFaults++
+		c.recordFault(p, "append", oid)
 		return faultErrf("append", oid)
 	case faultTorn:
 		c.writeFaults++
+		c.recordFault(p, "torn-append", oid)
 		o := c.getOrCreate(oid)
 		o.data = append(o.data, data[:torn]...)
 		return faultErrf("torn append", oid)
@@ -344,6 +350,7 @@ func (c *Cluster) OmapSet(p runtime.Task, oid ObjectID, kv map[string][]byte) er
 	c.chargeWrite(p, oid, n)
 	if outcome, _ := c.faults.writeOutcome(oid, 0); outcome != faultNone {
 		c.writeFaults++
+		c.recordFault(p, "omap-set", oid)
 		return faultErrf("omap-set", oid)
 	}
 	o := c.getOrCreate(oid)

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cudele/internal/obs"
 	"cudele/internal/runtime"
 	"cudele/internal/trace"
 )
@@ -59,6 +60,7 @@ type Engine struct {
 	start  time.Time
 	rng    *rand.Rand
 	tracer *trace.Recorder
+	flight *obs.Flight
 
 	live     map[*Task]struct{}
 	nlive    int // tasks spawned and not yet finished
@@ -98,6 +100,23 @@ func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
 // SetTracer installs a span recorder. Install before spawning tasks;
 // the recorder itself is safe for concurrent use.
 func (e *Engine) SetTracer(r *trace.Recorder) { e.tracer = r }
+
+// Flight returns the chaos flight recorder; nil means recording is off.
+func (e *Engine) Flight() *obs.Flight { return e.flight }
+
+// SetFlight installs a flight recorder. Install before spawning tasks;
+// the recorder itself is safe for concurrent use.
+func (e *Engine) SetFlight(f *obs.Flight) { e.flight = f }
+
+// Exclusive implements runtime.Runtime: fn runs holding the run lock,
+// so no task executes protocol code concurrently. For external callers
+// (admin scrape goroutines), never from task context — a task already
+// holds the run lock and would deadlock.
+func (e *Engine) Exclusive(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn()
+}
 
 // Spawn implements runtime.Runtime: fn runs as a goroutine that obeys
 // the run-lock discipline.

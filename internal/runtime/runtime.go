@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"time"
 
+	"cudele/internal/obs"
 	"cudele/internal/trace"
 )
 
@@ -94,6 +95,12 @@ type Runtime interface {
 	Tracer() *trace.Recorder
 	// SetTracer installs a span recorder (nil disables tracing).
 	SetTracer(r *trace.Recorder)
+	// Flight returns the chaos flight recorder; nil means recording is
+	// disabled (a nil *obs.Flight drops every Record call).
+	Flight() *obs.Flight
+	// SetFlight installs a flight recorder (nil disables recording).
+	// Like SetTracer, install it before spawning tasks.
+	SetFlight(f *obs.Flight)
 
 	// Spawn starts a new task executing fn.
 	Spawn(name string, fn func(t Task))
@@ -111,6 +118,15 @@ type Runtime interface {
 	// (fsync, socket round trips) does not stall every other task; the
 	// simulator calls fn inline. fn must not touch protocol state.
 	Blocking(fn func())
+
+	// Exclusive runs fn from OUTSIDE task context with the same
+	// exclusion guarantee tasks enjoy: no task executes protocol code
+	// while fn runs. The real backend takes the run lock around fn; the
+	// simulator calls fn inline (and panics if the event loop is
+	// running, since external callers cannot interleave with it safely).
+	// The admin endpoint uses this to scrape live cluster state from an
+	// HTTP handler goroutine.
+	Exclusive(fn func())
 
 	// RunAll drives the runtime until no task can make further
 	// progress and returns the final time. On the simulator that means

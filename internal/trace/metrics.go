@@ -30,12 +30,16 @@ type Registry struct {
 }
 
 // sample is one series: a value (or histogram snapshot) under a metric
-// family name with labels.
+// family name with labels. Labels are canonicalized (sorted by key) at
+// registration and the rendered signature cached, so two registrations
+// that permute the same label set are the same series everywhere —
+// lookup, sort, and text exposition.
 type sample struct {
 	name   string
 	help   string
 	typ    string // "counter", "gauge", "summary"
-	labels []KV
+	labels []KV   // canonical (key-sorted) order
+	sig    string // cached labelSignature(labels)
 	value  float64
 
 	// summary-only fields, captured from a stats.Histogram.
@@ -54,12 +58,14 @@ func NewRegistry() *Registry { return &Registry{} }
 
 // Counter records a monotonically accumulated total.
 func (reg *Registry) Counter(name, help string, value float64, labels ...KV) {
-	reg.samples = append(reg.samples, sample{name: name, help: help, typ: "counter", labels: labels, value: value})
+	l, sig := canonLabels(labels)
+	reg.samples = append(reg.samples, sample{name: name, help: help, typ: "counter", labels: l, sig: sig, value: value})
 }
 
 // Gauge records an instantaneous value (utilization, queue depth).
 func (reg *Registry) Gauge(name, help string, value float64, labels ...KV) {
-	reg.samples = append(reg.samples, sample{name: name, help: help, typ: "gauge", labels: labels, value: value})
+	l, sig := canonLabels(labels)
+	reg.samples = append(reg.samples, sample{name: name, help: help, typ: "gauge", labels: l, sig: sig, value: value})
 }
 
 // summaryQuantiles are the quantiles exported for every histogram.
@@ -70,7 +76,8 @@ var summaryQuantiles = []float64{0.5, 0.9, 0.99, 1.0}
 // that already sits on the client RPC paths. Values export in seconds,
 // the Prometheus base unit.
 func (reg *Registry) Histogram(name, help string, h *stats.Histogram, labels ...KV) {
-	s := sample{name: name, help: help, typ: "summary", labels: labels,
+	l, sig := canonLabels(labels)
+	s := sample{name: name, help: help, typ: "summary", labels: l, sig: sig,
 		sum: h.Sum().Seconds(), count: h.Count()}
 	for _, q := range summaryQuantiles {
 		s.quantiles = append(s.quantiles, quantile{q: q, v: h.Quantile(q).Seconds()})
@@ -90,7 +97,7 @@ func (reg *Registry) Append(other *Registry, labels ...KV) {
 			merged := make([]KV, 0, len(labels)+len(s.labels))
 			merged = append(merged, labels...)
 			merged = append(merged, s.labels...)
-			s.labels = merged
+			s.labels, s.sig = canonLabels(merged)
 		}
 		reg.samples = append(reg.samples, s)
 	}
@@ -102,9 +109,9 @@ func (reg *Registry) Len() int { return len(reg.samples) }
 // Value returns the value of the first series matching name and labels,
 // for tests and table cells. The bool reports whether it was found.
 func (reg *Registry) Value(name string, labels ...KV) (float64, bool) {
-	want := labelSignature(labels)
+	_, want := canonLabels(labels)
 	for _, s := range reg.samples {
-		if s.name == name && labelSignature(s.labels) == want {
+		if s.name == name && s.sig == want {
 			return s.value, true
 		}
 	}
@@ -120,6 +127,27 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// canonLabels copies labels into canonical (key, then value) order and
+// returns them with their rendered signature. Every registration path
+// funnels through here, so a label set's order at the call site can
+// never reach the exported text.
+func canonLabels(labels []KV) ([]KV, string) {
+	if len(labels) == 0 {
+		return nil, ""
+	}
+	l := make([]KV, len(labels))
+	copy(l, labels)
+	sort.SliceStable(l, func(i, j int) bool {
+		if l[i].Key != l[j].Key {
+			return l[i].Key < l[j].Key
+		}
+		return l[i].Val < l[j].Val
+	})
+	return l, labelSignature(l)
+}
+
+// labelSignature renders canonically ordered labels; callers outside
+// canonLabels must pass labels that are already canonical.
 func labelSignature(labels []KV) string {
 	if len(labels) == 0 {
 		return ""
@@ -128,7 +156,6 @@ func labelSignature(labels []KV) string {
 	for _, kv := range labels {
 		parts = append(parts, kv.Key+"="+strconv.Quote(kv.Val))
 	}
-	sort.Strings(parts)
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
@@ -136,7 +163,8 @@ func labelsWith(labels []KV, extra ...KV) string {
 	all := make([]KV, 0, len(labels)+len(extra))
 	all = append(all, labels...)
 	all = append(all, extra...)
-	return labelSignature(all)
+	_, sig := canonLabels(all)
+	return sig
 }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -160,7 +188,7 @@ func (reg *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "# HELP %s %s\n", name, series[0].help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", name, series[0].typ)
 		sort.SliceStable(series, func(i, j int) bool {
-			return labelSignature(series[i].labels) < labelSignature(series[j].labels)
+			return series[i].sig < series[j].sig
 		})
 		for _, s := range series {
 			if s.typ == "summary" {
@@ -169,11 +197,11 @@ func (reg *Registry) WritePrometheus(w io.Writer) error {
 						labelsWith(s.labels, KV{"quantile", strconv.FormatFloat(q.q, 'g', -1, 64)}),
 						formatValue(q.v))
 				}
-				fmt.Fprintf(&b, "%s_sum%s %s\n", name, labelSignature(s.labels), formatValue(s.sum))
-				fmt.Fprintf(&b, "%s_count%s %d\n", name, labelSignature(s.labels), s.count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, s.sig, formatValue(s.sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, s.sig, s.count)
 				continue
 			}
-			fmt.Fprintf(&b, "%s%s %s\n", name, labelSignature(s.labels), formatValue(s.value))
+			fmt.Fprintf(&b, "%s%s %s\n", name, s.sig, formatValue(s.value))
 		}
 	}
 	_, err := io.WriteString(w, b.String())

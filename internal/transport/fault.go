@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"math/rand"
 
 	"cudele/internal/runtime"
@@ -42,6 +43,7 @@ func NewFaultInterceptor(seed int64, cfg FaultConfig) Interceptor {
 	rng := rand.New(rand.NewSource(seed))
 	return func(next Handler) Handler {
 		return func(p runtime.Task, msg any) any {
+			fl := p.Runtime().Flight()
 			if cfg.DropProb > 0 {
 				max := cfg.MaxRetransmits
 				if max <= 0 {
@@ -52,14 +54,23 @@ func NewFaultInterceptor(seed int64, cfg FaultConfig) Interceptor {
 					delay = runtime.Duration(2e6)
 				}
 				for i := 0; i < max && rng.Float64() < cfg.DropProb; i++ {
+					if fl != nil {
+						fl.Record(int64(p.Now()), p.Name(), "net", "drop", fmt.Sprintf("%T", msg))
+					}
 					p.Sleep(delay)
 				}
 			}
 			if cfg.DelayProb > 0 && cfg.MaxExtraDelay > 0 && rng.Float64() < cfg.DelayProb {
+				if fl != nil {
+					fl.Record(int64(p.Now()), p.Name(), "net", "delay", fmt.Sprintf("%T", msg))
+				}
 				p.Sleep(runtime.Duration(rng.Int63n(int64(cfg.MaxExtraDelay)) + 1))
 			}
 			if cfg.DuplicateProb > 0 && cfg.DuplicateOK != nil &&
 				cfg.DuplicateOK(msg) && rng.Float64() < cfg.DuplicateProb {
+				if fl != nil {
+					fl.Record(int64(p.Now()), p.Name(), "net", "duplicate", fmt.Sprintf("%T", msg))
+				}
 				// First delivery; its reply is the one the network lost.
 				next(p, msg)
 			}

@@ -53,6 +53,21 @@ func (t *Table) RankFor(path string) int {
 	return best
 }
 
+// SubtreeFor returns the placed subtree that owns path — the longest
+// placed prefix, mirroring RankFor's resolution — or "/" when no
+// placement covers it. Heat accounting keys cells by this, so load
+// aggregates per policy subtree instead of per leaf path.
+func (t *Table) SubtreeFor(path string) string {
+	path = clean(path)
+	best, bestLen := "/", -1
+	for prefix := range t.places {
+		if len(prefix) > bestLen && hasPathPrefix(path, prefix) {
+			best, bestLen = prefix, len(prefix)
+		}
+	}
+	return best
+}
+
 // Placements returns a copy of the path→rank map, sorted iteration being
 // the caller's concern.
 func (t *Table) Placements() map[string]int {
