@@ -14,6 +14,7 @@
 //	                             durability=local inodes=1000 interfere=block
 //	                             rank=1)
 //	pin <path> <rank>            place a subtree on a metadata rank
+//	migrate <path> <rank>        online-export a subtree to another rank
 //	lcreate <name>               create in the decoupled subtree
 //	lmkdir <name>                mkdir in the decoupled subtree
 //	merge                        volatile-apply the client journal
@@ -40,6 +41,13 @@
 // endpoint while the session runs: /metrics, /heat, /healthz, and
 // /debug/pprof. The bound address prints on stdout (use :0 for an
 // ephemeral port).
+//
+// -rebalance (default off) enables per-subtree heat accounting and runs
+// the heat-driven balancer alongside the session: overloaded ranks
+// export subtrees to cold ones automatically, and the balancer's
+// convergence table prints when the session ends. Off by default so
+// scripted sessions (and committed baselines) never see a migration
+// they did not ask for.
 package main
 
 import (
@@ -63,6 +71,7 @@ type options struct {
 	backend     cudele.Backend
 	dataDir     string
 	adminAddr   string
+	rebalance   bool
 	tracePath   string
 	metricsPath string
 	scripts     []string
@@ -77,6 +86,7 @@ func parseFlags(argv []string) (*options, error) {
 	backend := fs.String("backend", "sim", "execution backend: sim (deterministic simulator) or real (goroutines, wall clock)")
 	fs.StringVar(&o.dataDir, "datadir", "", "real backend only: directory for fsynced object files (RADOS object state survives across runs)")
 	fs.StringVar(&o.adminAddr, "admin", "", "real backend only: serve /metrics, /heat, /healthz, /debug/pprof on this address (:0 for an ephemeral port)")
+	fs.BoolVar(&o.rebalance, "rebalance", false, "run the heat-driven subtree balancer during the session (default off; prints its convergence table at exit)")
 	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the session to this file")
 	fs.StringVar(&o.metricsPath, "metrics", "", "write a Prometheus text dump of daemon metrics to this file")
 	if err := fs.Parse(argv); err != nil {
@@ -147,6 +157,13 @@ func main() {
 		admin = a
 		fmt.Printf("admin: listening on http://%s (endpoints: /metrics /heat /healthz /debug/pprof/)\n", admin.Addr())
 	}
+	var balancer *cudele.Balancer
+	if opts.rebalance {
+		if cl.Heat() == nil {
+			cl.EnableHeat(0)
+		}
+		balancer = cl.StartBalancer(cudele.BalancerConfig{})
+	}
 	c := cl.NewClient("client.0")
 	exit := 0
 	cl.Run(func(p cudele.Proc) {
@@ -157,6 +174,9 @@ func main() {
 			}
 		}
 	})
+	if balancer != nil {
+		fmt.Print(balancer.String())
+	}
 	if *tracePath != "" {
 		if err := writeFile(*tracePath, cl.Tracer().WriteChrome); err != nil {
 			fmt.Fprintf(os.Stderr, "cudele: trace: %v\n", err)
@@ -345,6 +365,19 @@ func execute(cl *cudele.Cluster, c *cudele.Client, p cudele.Proc, line string) e
 			return err
 		}
 		fmt.Printf("pinned %s to rank %d\n", args[0], rank)
+	case "migrate":
+		if err := need(2); err != nil {
+			return err
+		}
+		rank, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("bad rank %q", args[1])
+		}
+		if err := cl.Migrate(p, args[0], rank); err != nil {
+			return err
+		}
+		st := cl.Metadata().SubtreeFor(args[0])
+		fmt.Printf("migrated %s to rank %d (epoch %d, move %d)\n", args[0], rank, st.Epoch, st.Moves)
 	case "recouple":
 		if err := need(1); err != nil {
 			return err

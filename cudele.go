@@ -104,6 +104,16 @@ type (
 
 	// Entry is a monitor registration for a decoupled subtree.
 	Entry = monitor.Entry
+
+	// Subtree is a first-class subtree ownership record: the unit of
+	// placement, migration, and balancing.
+	Subtree = mds.Subtree
+
+	// Balancer is a running heat-driven balancer (see StartBalancer).
+	Balancer = monitor.Balancer
+
+	// BalancerConfig tunes a balancer run; zero values pick defaults.
+	BalancerConfig = monitor.BalancerConfig
 )
 
 // Consistency levels (paper Table I columns).
@@ -347,6 +357,43 @@ func (cl *Cluster) DecouplePolicy(p Proc, c *Client, path string, pol *Policy) (
 func (cl *Cluster) Recouple(p Proc, path string) error {
 	return cl.mon.Unregister(p, path)
 }
+
+// Migrate moves ownership of the subtree at path to metadata rank dst
+// online: the source freezes and streams the subtree while clients keep
+// operating (bounced requests retry transparently), and ownership flips
+// only when the monitor publishes the new cluster-map epoch.
+func (cl *Cluster) Migrate(p Proc, path string, dst int) error {
+	return cl.mon.Migrate(p, path, dst)
+}
+
+// Reattach re-installs a registered subtree's policy, owner, and exact
+// inode grant on its current owning rank — the recovery step after that
+// rank restarted.
+func (cl *Cluster) Reattach(p Proc, path string) error {
+	return cl.mon.Reattach(p, path)
+}
+
+// SplitDir fragments the directory at dir across the given metadata
+// ranks by dentry hash — the single-hot-directory relief valve.
+func (cl *Cluster) SplitDir(p Proc, dir string, ranks []int) error {
+	return cl.mon.SplitDir(p, dir, ranks)
+}
+
+// StartBalancer spawns the monitor's heat-driven balancer, which
+// periodically samples the heat map and exports subtrees off overloaded
+// ranks. EnableHeat must have been called first. The balancer runs
+// cfg.Rounds rounds and stops; it is entirely opt-in, so runs that never
+// start one are unaffected.
+func (cl *Cluster) StartBalancer(cfg BalancerConfig) *Balancer {
+	if cl.heat == nil {
+		panic("cudele: StartBalancer requires EnableHeat")
+	}
+	return cl.mon.StartBalancer(cl.heat, cfg)
+}
+
+// Subtrees lists the metadata cluster's subtree ownership records,
+// sorted by path.
+func (cl *Cluster) Subtrees() []*Subtree { return cl.meta.Subtrees() }
 
 // MustComposition parses a mechanism-composition DSL string and panics on
 // error; it is a convenience for examples and tests.

@@ -54,7 +54,7 @@ func TestHeatSkewDeterministic(t *testing.T) {
 // on one of four ranks ≈ 2.5x even).
 func TestHeatSkewExposesImbalance(t *testing.T) {
 	opts := Options{Scale: 0.002, Seed: 1}
-	out, err := heatSkewRun(nil, "", opts.Seed, opts.scaled(20_000, 200), 0, nil, "")
+	out, err := heatSkewRun(nil, "", opts.Seed, opts.scaled(20_000, 200), 0, 0, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}

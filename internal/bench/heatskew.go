@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"cudele"
@@ -23,12 +24,20 @@ var heatSkewPlacement = []int{0, 0, 0, 0, 0, 1, 2, 3}
 const heatSkewRanks = 4
 
 // heatSkewOut is one run's measurements: total seconds, per-rank request
-// counts from the MDS metrics (the ground truth), and the decayed heat
-// report (the live signal the balancer would consume).
+// counts from the MDS metrics (the ground truth), the decayed heat
+// report (the live signal the balancer would consume), and — when
+// sampling is on — the imbalance factor's trajectory over the run.
 type heatSkewOut struct {
 	total    float64
 	requests []uint64
 	report   obs.HeatReport
+	samples  []heatSample
+}
+
+// heatSample is one periodic observation of the rank-load imbalance.
+type heatSample struct {
+	sec float64 // virtual time of the observation
+	imb float64 // max/mean rank load at that instant
 }
 
 // heatSkewRun drives len(heatSkewPlacement) clients, each create-storming
@@ -36,7 +45,13 @@ type heatSkewOut struct {
 // on. The half-life is set long relative to the run so decay barely
 // discounts early operations and the heat shares line up with the raw
 // request shares — the cross-check the table reports.
-func heatSkewRun(sink *Sink, run string, seed int64, perClient int,
+//
+// A positive sampleEvery additionally runs a sampler proc recording the
+// imbalance factor at that period, so the table can show the skew
+// building as the hot rank's backlog outlives the cold ranks'. The
+// sampler mutates shared state without locks, so it is sim-only; real
+// runs pass 0.
+func heatSkewRun(sink *Sink, run string, seed int64, perClient int, sampleEvery time.Duration,
 	backend cudele.Backend, admin *obs.Admin, dataDir string) (heatSkewOut, error) {
 	copts := []cudele.Option{cudele.WithSeed(seed), cudele.WithMDSRanks(heatSkewRanks)}
 	if backend == cudele.BackendReal {
@@ -57,6 +72,8 @@ func heatSkewRun(sink *Sink, run string, seed int64, perClient int,
 		cs[i] = cl.NewClient(fmt.Sprintf("client.%d", i))
 	}
 	var jobErr error
+	var finished int
+	var samples []heatSample
 	eng := cl.Runtime()
 	cl.Go("setup", func(p cudele.Proc) {
 		for i, c := range cs {
@@ -73,6 +90,9 @@ func heatSkewRun(sink *Sink, run string, seed int64, perClient int,
 		for i, c := range cs {
 			i, c := i, c
 			eng.Spawn(c.Name(), func(cp cudele.Proc) {
+				if sampleEvery > 0 {
+					defer func() { finished++ }()
+				}
 				dir, err := c.Resolve(cp, fmt.Sprintf("/job%d", i))
 				if err != nil {
 					jobErr = err
@@ -83,8 +103,28 @@ func heatSkewRun(sink *Sink, run string, seed int64, perClient int,
 				}
 			})
 		}
+		if sampleEvery > 0 {
+			eng.Spawn("heat.sampler", func(sp cudele.Proc) {
+				for {
+					sp.Sleep(sampleEvery)
+					loads := make([]float64, heatSkewRanks)
+					for _, cell := range cl.Heat().Snapshot(int64(sp.Now())) {
+						if cell.Rank >= 0 && cell.Rank < heatSkewRanks {
+							loads[cell.Rank] += cell.Load
+						}
+					}
+					samples = append(samples, heatSample{
+						sec: sp.Now().Seconds(), imb: imbalanceOf(loads),
+					})
+					if finished >= len(cs) {
+						return
+					}
+				}
+			})
+		}
 	})
 	out := heatSkewOut{total: cl.RunAll()}
+	out.samples = samples
 	if jobErr != nil {
 		return heatSkewOut{}, jobErr
 	}
@@ -117,7 +157,11 @@ func subtreesOnRank(r int) int {
 // rank's load against a perfectly balanced placement.
 func HeatSkew(opts Options) (*Result, error) {
 	perClient := opts.scaled(20_000, 200)
-	out, err := heatSkewRun(opts.Sink, "heatskew", opts.Seed, perClient,
+	// The run length scales with perClient (rank 0's serial backlog
+	// dominates), so a per-create sampling period keeps the trajectory at
+	// roughly ten points at any scale.
+	sampleEvery := time.Duration(perClient) * 200 * time.Microsecond
+	out, err := heatSkewRun(opts.Sink, "heatskew", opts.Seed, perClient, sampleEvery,
 		cudele.BackendSim, nil, "")
 	if err != nil {
 		return nil, err
@@ -130,9 +174,33 @@ func HeatSkew(opts Options) (*Result, error) {
 		Columns: []string{"rank", "subtrees", "requests", "req share", "heat load", "heat share", "vs even"},
 	}
 	addHeatRows(r, out)
-	r.Notef("heat imbalance (max/mean rank load): %s — the signal a dynamic subtree balancer would act on", f2x(out.report.Imbalance))
+	r.Notef("heat imbalance (max/mean rank load): %s — the signal the heat-driven balancer acts on (see the rebalance experiment)", f2x(out.report.Imbalance))
+	if len(out.samples) > 0 {
+		points := make([]string, len(out.samples))
+		for i, s := range out.samples {
+			points[i] = fmt.Sprintf("%.2fs %s", s.sec, f2x(s.imb))
+		}
+		r.Notef("imbalance over time: %s — rank 0 serves five concurrent client streams from the start, so the skew is visible by the first sample and holds for the whole storm",
+			strings.Join(points, ", "))
+	}
 	r.Notef("runtime %.2fs; heat shares track raw request shares because the decay half-life dwarfs the run", out.total)
 	return r, nil
+}
+
+// imbalanceOf is max/mean over a dense per-rank load vector, counting
+// idle ranks (the balancer's view of the same signal).
+func imbalanceOf(loads []float64) float64 {
+	max, total := 0.0, 0.0
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return max / (total / float64(len(loads)))
 }
 
 // addHeatRows renders one run's per-rank table rows.
@@ -166,7 +234,7 @@ func addHeatRows(r *Result, out heatSkewOut) {
 // admin endpoint is armed, the live /heat source while it executes.
 func heatSkewReal(opts Options) (*Result, error) {
 	perClient := opts.scaled(20_000, 200)
-	sim, err := heatSkewRun(opts.Sink, "heatskew-real/sim", opts.Seed, perClient,
+	sim, err := heatSkewRun(opts.Sink, "heatskew-real/sim", opts.Seed, perClient, 0,
 		cudele.BackendSim, nil, "")
 	if err != nil {
 		return nil, err
@@ -175,7 +243,7 @@ func heatSkewReal(opts Options) (*Result, error) {
 	if opts.DataDir != "" {
 		dataDir = filepath.Join(opts.DataDir, "heatskew")
 	}
-	real, err := heatSkewRun(opts.Sink, "heatskew-real/real", opts.Seed, perClient,
+	real, err := heatSkewRun(opts.Sink, "heatskew-real/real", opts.Seed, perClient, 0,
 		cudele.BackendReal, opts.Admin, dataDir)
 	if err != nil {
 		return nil, err

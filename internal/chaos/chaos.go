@@ -87,6 +87,19 @@ type Plan struct {
 
 	// Faults is the crash schedule.
 	Faults sim.FaultPlan
+
+	// Migrate runs the schedule on a two-rank cluster with a migrator
+	// proc exporting the main subtree back and forth at MigrateAt, so
+	// crashes and storage faults strike mid-handoff. The ownership flip
+	// must be invisible to every contract: the oracle is unchanged.
+	Migrate bool
+	// MigrateAt are the virtual times the migrator fires, drawn from the
+	// same window as the crash schedule so the two overlap.
+	MigrateAt []sim.Time
+	// TornCommit additionally arms the RADOS write-fault injector over
+	// the migration-record pool, so some export-commit records tear; a
+	// torn record must abort the migration with the source authoritative.
+	TornCommit bool
 }
 
 // NewPlan derives a schedule from a seed. The generator draws from its
@@ -124,6 +137,19 @@ func NewPlan(seed int64) *Plan {
 		return p.Faults.Faults[i].At < p.Faults.Faults[j].At
 	})
 	p.Background = p.Chunked && !mdsCrash
+	// Migration draws come strictly after every pre-existing draw, so the
+	// non-migrate three quarters of the seed space keeps byte-identical
+	// schedules (and verdicts) with earlier harness versions.
+	p.Migrate = rng.Float64() < 0.25
+	if p.Migrate {
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			p.MigrateAt = append(p.MigrateAt, sim.Time(500e3+rng.Int63n(8e6)))
+		}
+		sort.SliceStable(p.MigrateAt, func(i, j int) bool {
+			return p.MigrateAt[i] < p.MigrateAt[j]
+		})
+		p.TornCommit = rng.Float64() < 0.5
+	}
 	return p
 }
 
@@ -132,11 +158,15 @@ func (p *Plan) Cell() string { return p.Cons.String() + "/" + p.Dur.String() }
 
 // String renders the plan for failure reports.
 func (p *Plan) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"seed=%d cell=%s ops=%d chunked=%v background=%v transport=%v "+
 			"rados(err=%.2f torn=%.2f max=%d)\n%s",
 		p.Seed, p.Cell(), p.Ops, p.Chunked, p.Background, p.Transport,
 		p.WriteErrProb, p.TornProb, p.MaxWriteFaults, p.Faults.String())
+	if p.Migrate {
+		s += fmt.Sprintf("migrate: at=%v torn-commit=%v\n", p.MigrateAt, p.TornCommit)
+	}
+	return s
 }
 
 // Result is one schedule's verdict.
@@ -147,6 +177,7 @@ type Result struct {
 	CrashFaults int
 	WriteFaults int // RADOS write faults that actually fired
 	Merges      int
+	Migrations  int // subtree migrations that committed (aborts excluded)
 	VirtualSec  float64
 	Violations  []string
 	PlanText    string
@@ -225,8 +256,8 @@ func Seeds(base int64, n int) []int64 {
 // (fault plan, violations, replay command) for every failure. It
 // returns the number of failed schedules.
 func Report(w io.Writer, results []Result) int {
-	fmt.Fprintf(w, "%-8s %-18s %4s %6s %6s %6s %9s  %s\n",
-		"seed", "cell", "ops", "crash", "io", "merge", "virt(s)", "verdict")
+	fmt.Fprintf(w, "%-8s %-18s %4s %6s %6s %6s %4s %9s  %s\n",
+		"seed", "cell", "ops", "crash", "io", "merge", "mig", "virt(s)", "verdict")
 	failed := 0
 	for _, r := range results {
 		verdict := "ok"
@@ -234,9 +265,9 @@ func Report(w io.Writer, results []Result) int {
 			verdict = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
 			failed++
 		}
-		fmt.Fprintf(w, "%-8d %-18s %4d %6d %6d %6d %9.4f  %s\n",
+		fmt.Fprintf(w, "%-8d %-18s %4d %6d %6d %6d %4d %9.4f  %s\n",
 			r.Seed, r.Cell, r.Ops, r.CrashFaults, r.WriteFaults, r.Merges,
-			r.VirtualSec, verdict)
+			r.Migrations, r.VirtualSec, verdict)
 	}
 	for _, r := range results {
 		if r.Passed() {

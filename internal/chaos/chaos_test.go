@@ -22,6 +22,57 @@ func TestSmoke(t *testing.T) {
 	}
 }
 
+// TestMigrationSchedules hunts down seeds whose plans migrate the main
+// subtree mid-run — including ones that also crash the owning rank and
+// ones that tear the export-commit record — and runs them all. This is
+// the crash-matrix guarantee for online migration: whatever the handoff
+// was doing when the fault struck, every Table-I contract still holds.
+func TestMigrationSchedules(t *testing.T) {
+	want := 24
+	if testing.Short() {
+		want = 8
+	}
+	var seeds []int64
+	var withCrash, withTorn int
+	for s := int64(1); len(seeds) < want && s < 10000; s++ {
+		p := NewPlan(s)
+		if !p.Migrate {
+			continue
+		}
+		seeds = append(seeds, s)
+		if p.TornCommit {
+			withTorn++
+		}
+		for _, f := range p.Faults.Faults {
+			if f.Kind == FaultMDSCrash {
+				withCrash++
+				break
+			}
+		}
+	}
+	if len(seeds) < want {
+		t.Fatalf("found only %d migration plans in 10000 seeds", len(seeds))
+	}
+	if withCrash == 0 || withTorn == 0 {
+		t.Fatalf("coverage hole: %d plans with an MDS crash, %d with a torn commit record",
+			withCrash, withTorn)
+	}
+	results := RunMany(seeds, 0)
+	var buf bytes.Buffer
+	if failed := Report(&buf, results); failed > 0 {
+		t.Errorf("%d migration schedules failed:\n%s", failed, buf.String())
+	}
+	// At least some handoffs must actually commit, or the schedules are
+	// exercising nothing but aborts.
+	committed := 0
+	for _, r := range results {
+		committed += r.Migrations
+	}
+	if committed == 0 {
+		t.Errorf("no migration committed across %d schedules", len(seeds))
+	}
+}
+
 // TestDeterministicAcrossWorkers asserts the harness's core reproduction
 // promise: the same seeds yield a byte-identical report at any worker
 // count, so a CI failure replays exactly on a laptop.

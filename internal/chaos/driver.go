@@ -83,6 +83,7 @@ type driver struct {
 
 	pending    []sim.Fault // faults waiting for the next op boundary
 	bgDone     runtime.Signal
+	migDone    runtime.Signal
 	mdsCrashed bool
 
 	// seenIno is every inode number ever acked, by path — the
@@ -99,7 +100,14 @@ func newDriver(plan *Plan) *driver {
 		cfg.MergeWindowChunks = 2
 		cfg.MergeAdmitMax = 2
 	}
-	cl := cudele.NewCluster(cudele.WithSeed(plan.Seed), cudele.WithConfig(cfg))
+	opts := []cudele.Option{cudele.WithSeed(plan.Seed), cudele.WithConfig(cfg)}
+	if plan.Migrate {
+		// Migration schedules need a second rank to export to. Non-migrate
+		// plans keep the single-rank cluster so their schedules stay
+		// byte-identical with earlier harness versions.
+		opts = append(opts, cudele.WithMDSRanks(2))
+	}
+	cl := cudele.NewCluster(opts...)
 	d := &driver{
 		plan:    plan,
 		cl:      cl,
@@ -155,6 +163,30 @@ func (d *driver) violate(format string, args ...any) {
 
 func (d *driver) strong() bool { return d.plan.Cons == policy.ConsStrong }
 
+// mds returns the rank currently owning the main workload subtree — the
+// server every oracle touchpoint (visibility checks, journal flushes,
+// recovered-journal merges, namespace sweeps) must talk to. Ownership is
+// fixed at rank 0 unless the plan schedules migrations.
+func (d *driver) mds() *mds.Server {
+	if !d.plan.Migrate {
+		return d.srv
+	}
+	meta := d.cl.Metadata()
+	return meta.Rank(meta.Table().RankFor(mainPath))
+}
+
+// midMigration reports whether the main subtree is mid-handoff — frozen,
+// streaming, or in the prune-to-publish window. In that window no single
+// store is authoritative (the source may already be pruned while routing
+// still points at it), so store-reading checks defer to the next op
+// boundary after the handoff commits or aborts.
+func (d *driver) midMigration() bool {
+	if !d.plan.Migrate {
+		return false
+	}
+	return d.cl.Metadata().SubtreeFor(mainPath).State != mds.SubtreeOwned
+}
+
 func (d *driver) streamOn() bool {
 	return d.strong() && d.plan.Dur == policy.DurGlobal
 }
@@ -166,6 +198,9 @@ func (d *driver) main(p runtime.Task) {
 	}
 	if d.plan.Background {
 		d.startBG()
+	}
+	if d.plan.Migrate {
+		d.startMigrator()
 	}
 	for i := 0; i < d.plan.Ops; i++ {
 		d.drain(p)
@@ -185,6 +220,9 @@ func (d *driver) main(p runtime.Task) {
 	d.drain(p)
 	if d.bgDone != nil {
 		d.bgDone.Wait(p)
+	}
+	if d.migDone != nil {
+		d.migDone.Wait(p)
 	}
 	d.finalVerify(p)
 }
@@ -210,6 +248,11 @@ func (d *driver) setup(p runtime.Task) bool {
 	}
 	if d.streamOn() {
 		d.srv.SetStream(true)
+		// The subtree may migrate to any rank; journal streaming must be
+		// armed wherever its RPC updates could land.
+		for r := 1; r < d.cl.Metadata().Ranks(); r++ {
+			d.cl.Metadata().Rank(r).SetStream(true)
+		}
 	}
 
 	pol := &policy.Policy{
@@ -251,16 +294,27 @@ func (d *driver) setup(p runtime.Task) bool {
 		}
 	}
 
-	if d.plan.WriteErrProb > 0 || d.plan.TornProb > 0 {
+	tornCommit := d.plan.Migrate && d.plan.TornCommit
+	if d.plan.WriteErrProb > 0 || d.plan.TornProb > 0 || tornCommit {
 		d.inj = rados.NewFaultInjector(d.plan.Seed ^ 0x5eed)
 		d.inj.WriteErrorProb = d.plan.WriteErrProb
 		d.inj.TornWriteProb = d.plan.TornProb
 		d.inj.MaxFaults = d.plan.MaxWriteFaults
-		// Only Global Persist targets: MDS segment and store writes stay
-		// fault-free so a FlushJournal ack remains a sound durability
-		// point for the oracle.
+		if tornCommit && d.inj.TornWriteProb == 0 {
+			// Cells that never persist globally still tear migration
+			// records; give the injector a budget for that alone.
+			d.inj.TornWriteProb = 0.5
+			d.inj.MaxFaults = 1
+		}
+		// Only Global Persist targets — plus, for torn-commit schedules,
+		// the export-commit record pool. MDS segment and store writes stay
+		// fault-free so a FlushJournal ack (and an ExportSave ack) remains
+		// a sound durability point for the oracle.
 		d.inj.Match = func(oid rados.ObjectID) bool {
-			return oid.Pool == client.ClientJournalPool
+			if oid.Pool == client.ClientJournalPool {
+				return true
+			}
+			return tornCommit && oid.Pool == mds.MigrationPool
 		}
 		d.cl.Objects().SetFaults(d.inj)
 	}
@@ -334,19 +388,39 @@ func (d *driver) crashClient(p runtime.Task) {
 	}
 }
 
-// crashMDS kills and restarts the metadata server, replays the
-// registrations in their original order, and asserts each re-attach
-// reproduces the original inode grant.
+// crashMDS kills and restarts the rank owning the main subtree, replays
+// that rank's registrations in their original order, and asserts each
+// re-attach reproduces the original inode grant. On migration schedules
+// the crash follows ownership — a crash mid-handoff strikes the source
+// (routing has not flipped yet), one after commit strikes the importer.
 func (d *driver) crashMDS(p runtime.Task) {
 	d.mdsCrashed = true
-	d.srv.Crash()
+	srv := d.mds()
+	rank := 0
+	if d.plan.Migrate {
+		rank = d.cl.Metadata().Table().RankFor(mainPath)
+	}
+	srv.Crash()
 	d.o.mdsCrash()
-	if err := d.srv.Restart(p); err != nil {
+	if err := srv.Restart(p); err != nil {
 		d.violate("mds restart: %v", err)
 		return
 	}
 	for _, reg := range d.regs {
-		lo, n, err := d.srv.Decouple(p, reg.path, reg.pol, reg.owner)
+		if d.cl.Metadata().Table().RankFor(reg.path) != rank {
+			continue // registration lives on a rank that did not crash
+		}
+		if d.plan.Migrate {
+			// The grant may have been allocated by the other rank and
+			// carried over by a migration; a fresh Decouple on this rank
+			// could not reproduce it, so re-install it exactly — the same
+			// recovery path the monitor's Reattach uses.
+			if err := srv.Attach(p, reg.path, reg.pol, reg.owner, reg.lo, reg.n); err != nil {
+				d.violate("re-attach %s: %v", reg.path, err)
+			}
+			continue
+		}
+		lo, n, err := srv.Decouple(p, reg.path, reg.pol, reg.owner)
 		if err != nil {
 			d.violate("re-decouple %s: %v", reg.path, err)
 			continue
@@ -359,6 +433,15 @@ func (d *driver) crashMDS(p runtime.Task) {
 	// The client survived but its session and caps died with the MDS.
 	d.c.Unmount()
 	d.c.Mount()
+	if d.plan.Migrate {
+		// Remounting wiped the client's ino-to-path route hints; re-walk
+		// the workload root so ino-addressed RPCs route by path again.
+		// Without this they fall back to the default rank, which may have
+		// exported the subtree away.
+		if _, err := d.c.Resolve(p, mainPath); err != nil {
+			d.violate("re-resolve %s after mds restart: %v", mainPath, err)
+		}
+	}
 	d.scands = d.scands[:1]
 }
 
@@ -396,7 +479,7 @@ func (d *driver) stepStrong(p runtime.Task) {
 		d.opRPCMkdir(p)
 	default:
 		if d.streamOn() {
-			d.srv.FlushJournal(p)
+			d.mds().FlushJournal(p)
 			d.o.flushOK()
 		} else {
 			d.opRPCCreate(p)
@@ -577,11 +660,43 @@ func (d *driver) runBG(p runtime.Task) {
 	}
 }
 
+// startMigrator spawns the migration schedule: at each planned time the
+// main subtree is exported to the other rank, concurrent with the
+// workload, crash faults, and storage faults. Aborted handoffs (frozen
+// merges in flight, a rank crashing mid-stream, a torn commit record)
+// are tolerated — the contract under test is that every policy guarantee
+// survives the handoff or its abort, not that every handoff commits.
+func (d *driver) startMigrator() {
+	d.migDone = d.cl.Runtime().NewSignal()
+	d.cl.Go("chaos.migrate", func(p runtime.Task) {
+		defer d.migDone.Fire(nil)
+		meta := d.cl.Metadata()
+		for _, at := range d.plan.MigrateAt {
+			if now := p.Now(); now < at {
+				p.Sleep(runtime.Duration(at - now))
+			}
+			src := meta.Table().RankFor(mainPath)
+			dst := 1 - src
+			if err := d.cl.Migrate(p, mainPath, dst); err != nil {
+				d.fl.Record(int64(p.Now()), "chaos", "migrate", "abort", err.Error())
+				continue
+			}
+			d.res.Migrations++
+			d.fl.Record(int64(p.Now()), "chaos", "migrate", "commit",
+				fmt.Sprintf("%s rank %d -> %d", mainPath, src, dst))
+		}
+	})
+}
+
 // checkVisible asserts every update the oracle says is merged/visible
-// resolves in the MDS store with the acked inode (the ConsStrong and
-// post-merge contract). Pure in-memory reads: no simulated time.
+// resolves in the owning rank's store with the acked inode (the
+// ConsStrong and post-merge contract) — migrations must move the whole
+// visible set with ownership. Pure in-memory reads: no simulated time.
 func (d *driver) checkVisible() {
-	store := d.srv.Store()
+	if d.midMigration() {
+		return
+	}
+	store := d.mds().Store()
 	for _, path := range d.o.visiblePaths() {
 		u := d.o.mdsMem[path]
 		in, err := store.Resolve(path)
@@ -598,10 +713,10 @@ func (d *driver) checkVisible() {
 // checkInvisible asserts no unmerged update of an invisible subtree has
 // leaked into the global namespace.
 func (d *driver) checkInvisible() {
-	if d.plan.Cons != policy.ConsInvisible {
+	if d.plan.Cons != policy.ConsInvisible || d.midMigration() {
 		return
 	}
-	store := d.srv.Store()
+	store := d.mds().Store()
 	for _, path := range d.o.ackedPaths() {
 		if _, merged := d.o.mdsMem[path]; merged {
 			continue
@@ -632,10 +747,11 @@ func (d *driver) finalVerify(p runtime.Task) {
 		}
 	}
 	if d.streamOn() {
-		// DurGlobal probe for the streaming cell: flush, lose the MDS,
-		// and demand every flush-acked update come back from the
-		// recovered journal segments.
-		d.srv.FlushJournal(p)
+		// DurGlobal probe for the streaming cell: flush, lose the owning
+		// rank, and demand every flush-acked update come back from the
+		// recovered journal segments (and, post-migration, the saved
+		// subtree image).
+		d.mds().FlushJournal(p)
 		d.o.flushOK()
 		d.crashMDS(p)
 	}
@@ -645,8 +761,10 @@ func (d *driver) finalVerify(p runtime.Task) {
 	d.checkVisible()
 	d.checkBG()
 	d.checkNamespace()
-	if q := d.srv.MergeQueue(); q != 0 {
-		d.violate("merge queue not drained: %d jobs still accounted", q)
+	for r := 0; r < d.cl.Metadata().Ranks(); r++ {
+		if q := d.cl.Metadata().Rank(r).MergeQueue(); q != 0 {
+			d.violate("merge queue not drained: rank %d holds %d jobs still accounted", r, q)
+		}
 	}
 }
 
@@ -669,7 +787,7 @@ func (d *driver) verifyGlobal(p runtime.Task) {
 		// Tolerate replay errors too: a stale image can reference
 		// directories the crashed MDS no longer holds. Partial applies
 		// are bounded by the phantom walk.
-		_, _ = d.srv.VolatileApply(p, evs, int64(len(evs))*evBytes)
+		_, _ = d.mds().VolatileApply(p, evs, int64(len(evs))*evBytes)
 		return
 	}
 	if err != nil {
@@ -680,7 +798,7 @@ func (d *driver) verifyGlobal(p runtime.Task) {
 		d.violate("recovered global journal: %s", msg)
 		return
 	}
-	applied, merr := d.srv.VolatileApply(p, evs, int64(len(evs))*evBytes)
+	applied, merr := d.mds().VolatileApply(p, evs, int64(len(evs))*evBytes)
 	if merr != nil {
 		d.violate("merge recovered global journal: %v", merr)
 		return
@@ -722,13 +840,13 @@ func (d *driver) checkBG() {
 // the acked-update set, every granted inode inside its registration's
 // range, and a structurally clean store.
 func (d *driver) checkNamespace() {
-	store := d.srv.Store()
-	d.walkSubtree(store, mainPath, func(path string) (uint64, bool) {
+	d.walkSubtree(d.mds().Store(), mainPath, func(path string) (uint64, bool) {
 		u, ok := d.o.pset[path]
 		return u.ino, ok
 	})
 	if d.plan.Background {
-		d.walkSubtree(store, bgPath, func(path string) (uint64, bool) {
+		// The background subtree is never migrated; it stays on rank 0.
+		d.walkSubtree(d.srv.Store(), bgPath, func(path string) (uint64, bool) {
 			ino, ok := d.bgSet[path]
 			return ino, ok
 		})
@@ -761,13 +879,15 @@ func (d *driver) checkNamespace() {
 		}
 	}
 
-	problems := make([]string, 0)
-	for _, prob := range store.Check() {
-		problems = append(problems, prob.String())
-	}
-	sort.Strings(problems)
-	for _, prob := range problems {
-		d.violate("store check: %s", prob)
+	for r := 0; r < d.cl.Metadata().Ranks(); r++ {
+		problems := make([]string, 0)
+		for _, prob := range d.cl.Metadata().Rank(r).Store().Check() {
+			problems = append(problems, prob.String())
+		}
+		sort.Strings(problems)
+		for _, prob := range problems {
+			d.violate("store check (rank %d): %s", r, prob)
+		}
 	}
 }
 

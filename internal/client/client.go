@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	gopath "path"
+	"time"
 
 	"cudele/internal/journal"
 	"cudele/internal/mds"
@@ -26,15 +27,24 @@ import (
 )
 
 // Service is the client's contract with the metadata service: a message
-// endpoint plus session and stream control. Both a single *mds.Server
-// and a multi-rank *mds.Portal satisfy it; the client never holds a
-// concrete server, so it works unchanged against any number of ranks.
+// endpoint plus session, stream, and routing-refresh control. Both a
+// single *mds.Server and a multi-rank *mds.Portal satisfy it; the client
+// never holds a concrete server, so it works unchanged against any
+// number of ranks.
 type Service interface {
 	transport.Endpoint
 	OpenSession(client string)
 	CloseSession(client string)
 	SetStream(on bool)
+	// Refresh re-syncs the service's routing view after a redirect reply
+	// reported a newer cluster-map epoch. A single server no-ops.
+	Refresh()
 }
+
+// redirectRetryMax bounds retries of a bounced request, guarding against
+// a routing bug looping forever; a real migration resolves in a handful
+// of retry delays.
+const redirectRetryMax = 512
 
 // ErrNoInodes is returned when a decoupled client exhausts its allocated
 // inode grant (the "Allocated Inodes" contract of §III-C).
@@ -53,6 +63,7 @@ type Stats struct {
 	RPCs          uint64 // total RPCs sent
 	Appends       uint64 // journal events appended locally
 	Rejected      uint64 // -EBUSY replies from blocked subtrees
+	Redirects     uint64 // bounced requests retried after a table refresh
 
 	// PeakTransferBytes is the largest single buffer a durability
 	// mechanism has put on the wire or disk at once: the whole journal's
@@ -143,6 +154,15 @@ func New(eng runtime.Runtime, cfg model.Config, name string, svc Service, obj *r
 
 // Name returns the client's session name.
 func (c *Client) Name() string { return c.name }
+
+// redirectDelay is the pause before refreshing the routing table and
+// retrying a bounced request.
+func (c *Client) redirectDelay() runtime.Duration {
+	if d := c.cfg.MigrateRetryDelay; d > 0 {
+		return d
+	}
+	return 2 * time.Millisecond
+}
 
 // noteTransfer records one transfer buffer's size for the peak stat.
 func (c *Client) noteTransfer(bytes int64) {
@@ -279,6 +299,19 @@ func (c *Client) submit(p runtime.Task, req *mds.Request) *mds.Reply {
 	req.Client = c.name
 	c.stats.RPCs++
 	reply := c.svc.Call(p, req).(*mds.Reply)
+	// A bounced request — the subtree is frozen mid-migration, or our
+	// routing table is stale — is retried after a short delay and a
+	// table refresh, the paper's client-transparent handoff.
+	for tries := 0; tries < redirectRetryMax; tries++ {
+		if _, ok := transport.IsRedirect(reply.Err); !ok {
+			break
+		}
+		c.stats.Redirects++
+		p.Sleep(c.redirectDelay())
+		c.svc.Refresh()
+		c.stats.RPCs++
+		reply = c.svc.Call(p, req).(*mds.Reply)
+	}
 	rec.End(span, int64(p.Now()))
 	c.latency.Observe(runtime.Duration(p.Now() - start))
 	if reply.CapGranted {

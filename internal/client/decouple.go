@@ -222,11 +222,25 @@ func (c *Client) VolatileApply(p runtime.Task) (int, error) {
 		return c.volatileApplyChunked(p, chunk)
 	}
 	c.noteTransfer(c.JournalNominalBytes())
-	r := c.svc.Post(p, &mds.MergeMsg{
-		Source:       c.dec.jrnl.InlineCursor(),
-		NominalBytes: c.JournalNominalBytes(),
-		Route:        c.dec.path,
-	}).(*mds.MergeReply)
+	merge := func() *mds.MergeReply {
+		return c.svc.Post(p, &mds.MergeMsg{
+			Source:       c.dec.jrnl.InlineCursor(),
+			NominalBytes: c.JournalNominalBytes(),
+			Route:        c.dec.path,
+		}).(*mds.MergeReply)
+	}
+	r := merge()
+	// A bounce means the subtree is frozen or has migrated; the handler
+	// never ran, so the journal cursor is untouched — refresh and retry.
+	for tries := 0; tries < redirectRetryMax; tries++ {
+		if _, ok := transport.IsRedirect(r.Err); !ok {
+			break
+		}
+		c.stats.Redirects++
+		p.Sleep(c.redirectDelay())
+		c.svc.Refresh()
+		r = merge()
+	}
 	if r.Err != nil {
 		return r.Applied, r.Err
 	}
@@ -238,12 +252,27 @@ func (c *Client) VolatileApply(p runtime.Task) (int, error) {
 // backpressure), send windowed chunks, wait for the drain.
 func (c *Client) volatileApplyChunked(p runtime.Task, chunk int) (int, error) {
 	evBytes := int64(c.cfg.JournalEventBytes)
-	open := transport.SendWindowed(p, c.svc, &mds.MergeOpenMsg{
-		Client:      c.name,
-		Route:       c.dec.path,
-		TotalEvents: c.dec.jrnl.Len(),
-		TotalBytes:  c.JournalNominalBytes(),
-	}, c.cfg.MergeRetryDelay).(*mds.MergeOpenReply)
+	openMerge := func() *mds.MergeOpenReply {
+		return transport.SendWindowed(p, c.svc, &mds.MergeOpenMsg{
+			Client:      c.name,
+			Route:       c.dec.path,
+			TotalEvents: c.dec.jrnl.Len(),
+			TotalBytes:  c.JournalNominalBytes(),
+		}, c.cfg.MergeRetryDelay).(*mds.MergeOpenReply)
+	}
+	open := openMerge()
+	// A bounced open retries against refreshed routing; once admitted the
+	// stream cannot be bounced mid-flight (a merge in progress blocks the
+	// subtree's freeze).
+	for tries := 0; tries < redirectRetryMax; tries++ {
+		if _, ok := transport.IsRedirect(open.Err); !ok {
+			break
+		}
+		c.stats.Redirects++
+		p.Sleep(c.redirectDelay())
+		c.svc.Refresh()
+		open = openMerge()
+	}
 	if open.Err != nil {
 		return 0, open.Err
 	}

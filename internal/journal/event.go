@@ -30,6 +30,7 @@ const (
 	EvRename               // move a dentry
 	EvSetAttr              // update inode attributes
 	EvAllocRange           // record an inode-number range grant
+	EvExport               // subtree export-commit record (migration)
 	evMax
 )
 
@@ -42,6 +43,7 @@ var eventTypeNames = [...]string{
 	EvRename:     "rename",
 	EvSetAttr:    "setattr",
 	EvAllocRange: "alloc",
+	EvExport:     "export",
 }
 
 func (t EventType) String() string {
@@ -62,6 +64,10 @@ func (t EventType) Valid() bool { return t > EvInvalid && t < evMax }
 //	Rename: Parent+Name is the source, NewParent+NewName the destination.
 //	SetAttr: Ino is the target; Mode/UID/GID/Size/Mtime are new values.
 //	AllocRange: Ino..Ino+Size is the granted inode range for Client.
+//	Export: Name is the migrated subtree path, Ino its root inode,
+//	  Parent the source rank, NewParent the destination rank, Seq the
+//	  monitor-assigned migration sequence. Written as the export-commit
+//	  record; a namespace store treats it as a no-op on replay.
 type Event struct {
 	Type      EventType
 	Seq       uint64 // per-producer sequence number
@@ -109,6 +115,10 @@ func (e *Event) Validate() error {
 		if e.Size == 0 {
 			return fmt.Errorf("%w: empty alloc range", ErrBadEvent)
 		}
+	case EvExport:
+		if e.Name == "" {
+			return fmt.Errorf("%w: export with empty path", ErrBadEvent)
+		}
 	}
 	return nil
 }
@@ -131,6 +141,9 @@ func (e *Event) String() string {
 	case EvAllocRange:
 		return fmt.Sprintf("%-7s seq=%d client=%s range=[%d,%d)",
 			e.Type, e.Seq, e.Client, e.Ino, e.Ino+e.Size)
+	case EvExport:
+		return fmt.Sprintf("%-7s seq=%d subtree=%q root=%d rank %d -> %d",
+			e.Type, e.Seq, e.Name, e.Ino, e.Parent, e.NewParent)
 	}
 	return fmt.Sprintf("%-7s seq=%d", e.Type, e.Seq)
 }

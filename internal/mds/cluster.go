@@ -25,9 +25,19 @@ type Cluster struct {
 	ranks []*Server
 
 	// table is the rank-side authoritative placement map; client
-	// portals hold replicas refreshed by the monitor.
+	// portals hold replicas refreshed by the monitor. It is the routing
+	// projection of the subtree ownership entities below.
 	table  *transport.Table
 	router *transport.Router
+
+	// subtrees is the first-class ownership registry: one entity per
+	// placed subtree, carrying its lifecycle state (subtree.go).
+	subtrees map[string]*Subtree
+
+	// migrations counts committed online migrations and splits. While it
+	// is zero the ranks skip the stale-routing ownership check entirely,
+	// keeping never-migrated (calibrated) runs byte-identical.
+	migrations int
 }
 
 // NewCluster builds n metadata ranks over one object store. n < 1 is
@@ -36,10 +46,20 @@ func NewCluster(eng runtime.Runtime, cfg model.Config, obj *rados.Cluster, n int
 	if n < 1 {
 		n = 1
 	}
-	c := &Cluster{eng: eng, cfg: cfg, obj: obj, table: transport.NewTable()}
+	c := &Cluster{
+		eng: eng, cfg: cfg, obj: obj,
+		table:    transport.NewTable(),
+		subtrees: make(map[string]*Subtree),
+	}
 	eps := make([]transport.Endpoint, n)
 	for i := 0; i < n; i++ {
 		s := NewRank(eng, cfg, obj, i)
+		s.SetOwnership(func(path string) (int, uint64, bool) {
+			if c.migrations == 0 {
+				return 0, 0, false
+			}
+			return c.table.RankFor(path), c.table.Epoch(), true
+		})
 		c.ranks = append(c.ranks, s)
 		eps[i] = s.Endpoint()
 	}
@@ -49,6 +69,9 @@ func NewCluster(eng runtime.Runtime, cfg model.Config, obj *rados.Cluster, n int
 
 // Ranks returns the number of metadata ranks.
 func (c *Cluster) Ranks() int { return len(c.ranks) }
+
+// Config returns the cluster's calibrated cost model.
+func (c *Cluster) Config() model.Config { return c.cfg }
 
 // Rank returns the i'th metadata server.
 func (c *Cluster) Rank(i int) *Server { return c.ranks[i] }
@@ -111,7 +134,44 @@ func (c *Cluster) Place(p runtime.Task, path string, rank int) error {
 		}
 	}
 	c.table.Place(path, rank)
+	st := c.SubtreeFor(path)
+	st.Rank, st.State, st.Epoch = rank, SubtreeOwned, c.table.Epoch()
 	return nil
+}
+
+// CommitMigration finalizes a committed online migration in the
+// authoritative state: the entity returns to owned on the new rank and
+// the routing table repoints. The monitor calls this between the
+// export-commit record landing and the epoch publish.
+func (c *Cluster) CommitMigration(path string, rank int, epoch uint64) {
+	c.table.Place(path, rank)
+	st := c.SubtreeFor(path)
+	st.Rank, st.State, st.Epoch = rank, SubtreeOwned, epoch
+	st.Moves++
+	c.migrations++
+}
+
+// SplitCommit registers a directory-fragment split in the authoritative
+// table. Like CommitMigration it flips the migrations flag, enabling
+// the stale-routing bounce.
+func (c *Cluster) SplitCommit(dir string, ranks []int) {
+	c.table.SplitDir(dir, ranks)
+	c.migrations++
+}
+
+// ReplicateSubtree copies the subtree at path (with its ancestor chain)
+// from its owning rank onto dst's store without changing placement —
+// the setup step of a directory-fragment split, after which hash
+// routing lets every fragment rank serve its share of the dentries.
+func (c *Cluster) ReplicateSubtree(path string, dst int) error {
+	if dst < 0 || dst >= len(c.ranks) {
+		return fmt.Errorf("mds: replicate %s: rank %d out of range [0,%d)", path, dst, len(c.ranks))
+	}
+	src := c.ranks[c.table.RankFor(path)]
+	if src == c.ranks[dst] {
+		return nil
+	}
+	return exportSubtree(src.store, c.ranks[dst].store, path)
 }
 
 // exportSubtree copies the directory chain from the root to path, and
@@ -202,3 +262,8 @@ func (pt *Portal) CloseSession(client string) { pt.cl.CloseSession(client) }
 // SetStream toggles journal streaming cluster-wide (the Stream
 // mechanism is a namespace-level durability setting).
 func (pt *Portal) SetStream(on bool) { pt.cl.SetStream(on) }
+
+// Refresh re-syncs the portal's routing replica from the authoritative
+// table — the client's reaction to a redirect reply: by the time a rank
+// bounces a request, the monitor has already published the newer map.
+func (pt *Portal) Refresh() { pt.table.CopyFrom(pt.cl.table) }

@@ -140,6 +140,25 @@ func RouteOf(msg any) string {
 		return m.Path
 	case *RecoupleMsg:
 		return m.Path
+	// Migration control messages are posted to explicit rank endpoints
+	// by the monitor, never routed; the route here is for observability
+	// (flight-recorder detail strings).
+	case *ExportFreezeMsg:
+		return m.Path
+	case *ExportSaveMsg:
+		return m.Path
+	case *ExportReadMsg:
+		return m.Path
+	case *ExportCommitMsg:
+		return m.Path
+	case *ExportAbortMsg:
+		return m.Path
+	case *ImportOpenMsg:
+		return m.Path
+	case *ImportChunkMsg:
+		return m.Path
+	case *AttachMsg:
+		return m.Path
 	}
 	return ""
 }

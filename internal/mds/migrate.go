@@ -1,0 +1,783 @@
+package mds
+
+import (
+	"errors"
+	"fmt"
+
+	"cudele/internal/journal"
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/rados"
+	"cudele/internal/runtime"
+	"cudele/internal/transport"
+)
+
+// This file implements the rank side of online subtree migration: the
+// exporting rank freezes the subtree, durably saves its directory
+// objects, and streams them to the importing rank over the same
+// windowed/backpressured chunk machinery the merge scheduler uses; the
+// export-commit record makes the handoff crash-adjudicable. The monitor
+// orchestrates the protocol (monitor.Migrate) and owns the routing
+// linearization point: ownership changes only when a new epoch is
+// published, so any crash or abort before that leaves the source
+// authoritative and the destination holding a harmless stale copy.
+
+// MigrationPool is the RADOS pool holding export-commit records.
+const MigrationPool = "cudele_migration"
+
+// ExportRecordName names the commit record of one migration sequence.
+func ExportRecordName(seq uint64) string {
+	return fmt.Sprintf("export.%08d", seq)
+}
+
+// ErrNotExporting is answered to export control messages for a subtree
+// this rank has no export session for (e.g. after a crash wiped it).
+var ErrNotExporting = errors.New("mds: no export session for subtree")
+
+// ExportFreezeMsg freezes the subtree at Path on the owning rank:
+// requests into it bounce with a Frozen redirect, its caps are revoked,
+// and an export session (directory list, journal tail) is prepared.
+type ExportFreezeMsg struct{ Path string }
+
+// ExportManifest summarizes a frozen subtree for the importer.
+type ExportManifest struct {
+	Path    string
+	Root    namespace.Ino
+	Dirs    int // directory objects to stream
+	Inodes  int // inodes under the subtree
+	Caps    int // capabilities revoked at freeze
+	Policy  *policy.Policy
+	Owner   string // decoupling client, "" when not decoupled
+	GrantLo namespace.Ino
+	GrantN  uint64
+	Tail    []*journal.Event // journal events touching the subtree
+}
+
+// ExportFreezeReply answers an ExportFreezeMsg.
+type ExportFreezeReply struct {
+	Manifest ExportManifest
+	Err      error
+}
+
+// ExportReadMsg asks the exporting rank for the next chunk of encoded
+// directory objects of its export session for Path.
+type ExportReadMsg struct {
+	Path  string
+	Chunk int // chunk index, sequential from 0
+}
+
+// ExportReadReply carries one chunk of encoded directory objects.
+type ExportReadReply struct {
+	Objs [][]byte
+	Last bool
+	Err  error
+}
+
+// ExportSaveMsg makes the frozen subtree durable: every directory object
+// under it is written to the metadata pool, so all updates acknowledged
+// before the freeze survive any crash regardless of which rank dies
+// next.
+type ExportSaveMsg struct{ Path string }
+
+// ExportSaveReply answers an ExportSaveMsg.
+type ExportSaveReply struct {
+	Saved int
+	Err   error
+}
+
+// ExportCommitMsg finishes the source side: the rank writes the
+// journaled export-commit record and, on success, prunes the subtree
+// and thaws routing state. A failed (or torn) record write leaves the
+// subtree frozen and intact; the monitor then aborts the migration.
+type ExportCommitMsg struct {
+	Path string
+	Seq  uint64 // monitor-assigned migration sequence
+	Dst  int    // destination rank, recorded for the audit trail
+}
+
+// ExportCommitReply answers an ExportCommitMsg.
+type ExportCommitReply struct {
+	Pruned int
+	Err    error
+}
+
+// ExportAbortMsg unfreezes a subtree and discards the export session.
+// Safe to send to a rank that crashed mid-export: the session is
+// volatile, so an unknown path is acknowledged as already aborted.
+type ExportAbortMsg struct{ Path string }
+
+// ExportAbortReply answers an ExportAbortMsg.
+type ExportAbortReply struct{ Err error }
+
+// ImportOpenMsg opens an import session on the destination rank. The
+// importer bounds concurrent admissions (MigrateAdmitMax) and buffers
+// chunks in a flow-control window, exactly like the merge scheduler.
+type ImportOpenMsg struct {
+	Path      string
+	TotalDirs int
+}
+
+// ImportOpenReply answers an ImportOpenMsg.
+type ImportOpenReply struct {
+	ID           uint64
+	Window       int
+	Backpressure bool
+	Err          error
+}
+
+// Backpressured implements transport.Flow.
+func (r *ImportOpenReply) Backpressured() bool { return r.Backpressure }
+
+// ImportChunkMsg ships one chunk of encoded directory objects.
+type ImportChunkMsg struct {
+	transport.StreamInfo
+	Path string
+	Objs [][]byte
+}
+
+// ImportChunkReply answers an ImportChunkMsg.
+type ImportChunkReply struct {
+	Backpressure bool
+	Window       int
+	Err          error
+}
+
+// Backpressured implements transport.Flow.
+func (r *ImportChunkReply) Backpressured() bool { return r.Backpressure }
+
+// ImportCommitMsg completes an import: waits for buffered chunks to
+// drain, installs the subtree's policy/owner/grant verbatim (so the
+// grant a client already holds stays valid across the move), and
+// appends the shipped journal tail to the importer's own journal.
+type ImportCommitMsg struct {
+	ID       uint64
+	Manifest ExportManifest
+}
+
+// ImportCommitReply answers an ImportCommitMsg.
+type ImportCommitReply struct {
+	Installed int
+	Err       error
+}
+
+// ImportAbortMsg abandons an import session; buffered and already
+// installed state is left as a harmless unreachable copy (routing never
+// pointed at the importer).
+type ImportAbortMsg struct{ ID uint64 }
+
+// ImportAbortReply answers an ImportAbortMsg.
+type ImportAbortReply struct{ Err error }
+
+// AttachMsg installs a subtree's policy, owner, and an exact inode
+// grant on a rank without allocating a fresh range — the re-attach path
+// after a migration or a rank restart, where the client must keep the
+// grant it already holds. Attach is a control message: it bypasses the
+// freeze/ownership bounce.
+type AttachMsg struct {
+	Path   string
+	Policy *policy.Policy
+	Client string
+	Lo     namespace.Ino
+	N      uint64
+}
+
+// AttachReply answers an AttachMsg.
+type AttachReply struct{ Err error }
+
+// --- exporting rank ---
+
+// exportState is one live export session on the source rank.
+type exportState struct {
+	path     string
+	root     namespace.Ino
+	dirs     []namespace.Ino // breadth-first, parents before children
+	manifest ExportManifest
+}
+
+// migrateChunkDirs returns the per-chunk directory-object count.
+func (s *Server) migrateChunkDirs() int {
+	if s.cfg.MigrateChunkDirs > 0 {
+		return s.cfg.MigrateChunkDirs
+	}
+	return 16
+}
+
+// migrateDirCPU is the CPU cost to encode or install one directory
+// object during migration.
+func (s *Server) migrateDirCPU() runtime.Duration {
+	if s.cfg.MigrateDirCPU > 0 {
+		return s.cfg.MigrateDirCPU
+	}
+	return s.cfg.MDSApplyTime
+}
+
+// frozenCovers reports whether path is inside any frozen subtree.
+func (s *Server) frozenCovers(path string) bool {
+	if len(s.frozen) == 0 || path == "" {
+		return false
+	}
+	for f := range s.frozen {
+		if f == path || (len(path) > len(f) &&
+			(f == "/" || (path[:len(f)] == f && path[len(f)] == '/'))) {
+			return true
+		}
+	}
+	return false
+}
+
+// exportFreeze is the ExportFreezeMsg handler: quiesce and snapshot the
+// subtree. Freezing refuses while any Volatile Apply is in flight — a
+// merge applied mid-export would corrupt the streamed image — and the
+// monitor simply aborts and retries the migration later.
+func (s *Server) exportFreeze(p runtime.Task, m *ExportFreezeMsg) *ExportFreezeReply {
+	if s.stopped {
+		return &ExportFreezeReply{Err: ErrShutdown}
+	}
+	if s.mergeQueue != 0 {
+		return &ExportFreezeReply{Err: fmt.Errorf("mds: %d merges in flight: %w",
+			s.mergeQueue, namespace.ErrBusy)}
+	}
+	path := cleanSubtreePath(m.Path)
+	if s.frozenCovers(path) {
+		return &ExportFreezeReply{Err: fmt.Errorf("mds: export %s: %w", path, namespace.ErrBusy)}
+	}
+	s.cpu.Acquire(p)
+	defer s.cpu.Release()
+	p.Sleep(s.serviceTime(OpResolve))
+
+	root, err := s.store.Resolve(path)
+	if err != nil {
+		return &ExportFreezeReply{Err: err}
+	}
+	if !root.IsDir() || root.Ino == namespace.RootIno {
+		return &ExportFreezeReply{Err: fmt.Errorf("mds: export %s: %w", path, namespace.ErrInval)}
+	}
+
+	ex := &exportState{path: path, root: root.Ino}
+	inos := make(map[namespace.Ino]bool)
+	if err := s.store.Walk(root.Ino, func(_ string, in *namespace.Inode) error {
+		inos[in.Ino] = true
+		if in.IsDir() {
+			ex.dirs = append(ex.dirs, in.Ino)
+		}
+		return nil
+	}); err != nil {
+		return &ExportFreezeReply{Err: err}
+	}
+	// The ancestor chain (namespace root first) leads the stream: the
+	// importer may never have seen the subtree's ancestry, and InstallDir
+	// requires each directory's parent to exist. Ancestors are not part
+	// of the export itself — they stay owned by this rank and are
+	// excluded from the inode set, cap revocation, and the prune.
+	var chain []namespace.Ino
+	for ino := root.Ino; ino != namespace.RootIno; {
+		in, err := s.store.Get(ino)
+		if err != nil {
+			return &ExportFreezeReply{Err: err}
+		}
+		chain = append([]namespace.Ino{in.Parent}, chain...)
+		ino = in.Parent
+	}
+	ex.dirs = append(chain, ex.dirs...)
+
+	// Revoke every capability under the subtree: clients lose their
+	// read-caching caps mid-freeze and re-acquire them from the new
+	// owner after the handoff. Revocation is real MDS work.
+	revoked := 0
+	for ino, dc := range s.caps {
+		if !inos[ino] || (dc.holder == "" && !dc.shared) {
+			continue
+		}
+		p.Sleep(s.cfg.MDSCapRevokeTime)
+		s.metrics.CapRevokes++
+		revoked++
+		delete(s.caps, ino)
+	}
+
+	// The journal tail: every untrimmed event of this rank's journal
+	// that touches the subtree ships with the manifest, so the importer's
+	// own journal series covers the subtree's recent history.
+	var tail []*journal.Event
+	if s.stream.enabled {
+		for _, ev := range s.stream.jrnl.Events() {
+			if inos[namespace.Ino(ev.Parent)] || inos[namespace.Ino(ev.Ino)] {
+				tail = append(tail, ev)
+			}
+		}
+	}
+
+	ex.manifest = ExportManifest{
+		Path:   path,
+		Root:   root.Ino,
+		Dirs:   len(ex.dirs),
+		Inodes: len(inos),
+		Caps:   revoked,
+		Policy: root.Policy,
+		Tail:   tail,
+	}
+	if owner, ok := s.owners[root.Ino]; ok {
+		ex.manifest.Owner = owner
+	}
+	if s.frozen == nil {
+		s.frozen = make(map[string]bool)
+	}
+	if s.exports == nil {
+		s.exports = make(map[string]*exportState)
+	}
+	s.frozen[path] = true
+	s.exports[path] = ex
+	s.metrics.Exports++
+	if fl := s.eng.Flight(); fl != nil {
+		fl.Record(int64(p.Now()), s.ep.Name(), "mds", "export.freeze",
+			fmt.Sprintf("%s dirs=%d caps=%d tail=%d", path, len(ex.dirs), revoked, len(tail)))
+	}
+	return &ExportFreezeReply{Manifest: ex.manifest}
+}
+
+// exportSave is the ExportSaveMsg handler: write the frozen subtree's
+// directory objects durably to the metadata pool. After this, every
+// update acknowledged before the freeze is crash-safe on both sides.
+func (s *Server) exportSave(p runtime.Task, m *ExportSaveMsg) *ExportSaveReply {
+	ex := s.exports[cleanSubtreePath(m.Path)]
+	if ex == nil {
+		return &ExportSaveReply{Err: ErrNotExporting}
+	}
+	saved := 0
+	for _, ino := range ex.dirs {
+		data, err := s.store.EncodeDir(ino)
+		if err != nil {
+			return &ExportSaveReply{Saved: saved, Err: err}
+		}
+		oid := rados.ObjectID{Pool: namespace.ObjectPool, Name: namespace.DirObjectName(ino)}
+		if err := s.obj.Write(p, oid, data); err != nil {
+			return &ExportSaveReply{Saved: saved, Err: fmt.Errorf("export save: %w", err)}
+		}
+		saved++
+	}
+	return &ExportSaveReply{Saved: saved}
+}
+
+// exportRead is the ExportReadMsg handler: encode the next chunk of
+// directory objects, charging the source rank's CPU per directory.
+func (s *Server) exportRead(p runtime.Task, m *ExportReadMsg) *ExportReadReply {
+	if s.stopped {
+		return &ExportReadReply{Err: ErrShutdown}
+	}
+	ex := s.exports[cleanSubtreePath(m.Path)]
+	if ex == nil {
+		return &ExportReadReply{Err: ErrNotExporting}
+	}
+	k := s.migrateChunkDirs()
+	lo := m.Chunk * k
+	if lo < 0 || lo >= len(ex.dirs) {
+		// An empty subtree (one dir) streams a single chunk; past-the-end
+		// reads answer an empty final chunk.
+		return &ExportReadReply{Last: true}
+	}
+	hi := lo + k
+	if hi > len(ex.dirs) {
+		hi = len(ex.dirs)
+	}
+	s.cpu.Acquire(p)
+	objs := make([][]byte, 0, hi-lo)
+	for _, ino := range ex.dirs[lo:hi] {
+		p.Sleep(s.migrateDirCPU())
+		data, err := s.store.EncodeDir(ino)
+		if err != nil {
+			s.cpu.Release()
+			return &ExportReadReply{Err: err}
+		}
+		objs = append(objs, data)
+	}
+	s.cpu.Release()
+	return &ExportReadReply{Objs: objs, Last: hi == len(ex.dirs)}
+}
+
+// exportCommit is the ExportCommitMsg handler: write the journaled
+// export-commit record, then prune the subtree and thaw. The record is
+// a single CRC-protected journal event, so a torn write is detectable
+// and adjudicates the migration as aborted.
+func (s *Server) exportCommit(p runtime.Task, m *ExportCommitMsg) *ExportCommitReply {
+	if s.stopped {
+		return &ExportCommitReply{Err: ErrShutdown}
+	}
+	path := cleanSubtreePath(m.Path)
+	ex := s.exports[path]
+	if ex == nil {
+		return &ExportCommitReply{Err: ErrNotExporting}
+	}
+	rec := &journal.Event{
+		Type:      journal.EvExport,
+		Seq:       m.Seq,
+		Name:      path,
+		Ino:       uint64(ex.root),
+		Parent:    uint64(s.rank),
+		NewParent: uint64(m.Dst),
+	}
+	var enc journal.Encoder
+	data, err := enc.Encode([]*journal.Event{rec})
+	if err != nil {
+		return &ExportCommitReply{Err: err}
+	}
+	oid := rados.ObjectID{Pool: MigrationPool, Name: ExportRecordName(m.Seq)}
+	if err := s.obj.Write(p, oid, data); err != nil {
+		// The record is not durably down: leave the subtree frozen and
+		// intact so the monitor's abort path restores service here.
+		return &ExportCommitReply{Err: fmt.Errorf("export commit record: %w", err)}
+	}
+	pruned, err := s.store.PruneSubtree(path)
+	if err != nil {
+		return &ExportCommitReply{Err: err}
+	}
+	delete(s.owners, ex.root)
+	delete(s.exports, path)
+	// The freeze deliberately persists: routing points at this rank
+	// until the monitor publishes the new epoch, and a request served
+	// from the pruned store would see a spurious ErrNotExist. The
+	// monitor thaws the subtree (ExportAbortMsg) right after publish;
+	// from then on stale routes bounce with the new epoch instead.
+	if fl := s.eng.Flight(); fl != nil {
+		fl.Record(int64(p.Now()), s.ep.Name(), "mds", "export.commit",
+			fmt.Sprintf("%s seq=%d pruned=%d -> rank %d", path, m.Seq, pruned, m.Dst))
+	}
+	return &ExportCommitReply{Pruned: pruned}
+}
+
+// exportAbort is the ExportAbortMsg handler: thaw and keep everything.
+// Unknown sessions (wiped by a crash) acknowledge as already aborted.
+func (s *Server) exportAbort(p runtime.Task, m *ExportAbortMsg) *ExportAbortReply {
+	path := cleanSubtreePath(m.Path)
+	delete(s.frozen, path)
+	delete(s.exports, path)
+	if fl := s.eng.Flight(); fl != nil {
+		fl.Record(int64(p.Now()), s.ep.Name(), "mds", "export.abort", path)
+	}
+	return &ExportAbortReply{}
+}
+
+// --- importing rank ---
+
+// importJob is one admitted import session on the destination rank.
+type importJob struct {
+	id        uint64
+	path      string
+	win       *transport.Window
+	installed int
+	err       error
+	last      bool
+	aborted   bool
+	done      runtime.Signal
+}
+
+// importSched is one rank's import scheduler: bounded admission plus a
+// window per job, drained by a single installer proc — the merge
+// scheduler's shape applied to directory objects.
+type importSched struct {
+	s         *Server
+	jobs      []*importJob
+	nextID    uint64
+	admitting int
+	running   bool
+	idle      runtime.Signal
+	finished  map[uint64]*importJob
+}
+
+func newImportSched(s *Server) *importSched {
+	return &importSched{s: s, finished: make(map[uint64]*importJob)}
+}
+
+func (is *importSched) find(id uint64) *importJob {
+	for _, j := range is.jobs {
+		if j.id == id {
+			return j
+		}
+	}
+	return nil
+}
+
+// importAdmitMax returns the concurrent-import bound.
+func (s *Server) importAdmitMax() int {
+	if s.cfg.MigrateAdmitMax > 0 {
+		return s.cfg.MigrateAdmitMax
+	}
+	return 2
+}
+
+// importOpen is the ImportOpenMsg handler: admission control, mirroring
+// mergeOpen (slot reserved before the first yield).
+func (s *Server) importOpen(p runtime.Task, m *ImportOpenMsg) *ImportOpenReply {
+	if s.stopped {
+		return &ImportOpenReply{Err: ErrShutdown}
+	}
+	is := s.imports
+	if len(is.jobs)+is.admitting >= s.importAdmitMax() {
+		s.metrics.ImportBackpressure++
+		return &ImportOpenReply{Backpressure: true}
+	}
+	is.admitting++
+	p.Sleep(s.cfg.NetLatency)
+	is.admitting--
+
+	win := s.cfg.MigrateWindowChunks
+	if win < 1 {
+		win = 4
+	}
+	is.nextID++
+	job := &importJob{
+		id:   is.nextID,
+		path: cleanSubtreePath(m.Path),
+		win:  transport.NewWindow(win),
+		done: s.eng.NewSignal(),
+	}
+	is.jobs = append(is.jobs, job)
+	s.metrics.Imports++
+	is.ensureRunning()
+	return &ImportOpenReply{ID: job.id, Window: win}
+}
+
+// importChunk is the ImportChunkMsg handler: accept the chunk into the
+// job's window or answer with backpressure.
+func (s *Server) importChunk(p runtime.Task, m *ImportChunkMsg) *ImportChunkReply {
+	if s.stopped {
+		return &ImportChunkReply{Err: ErrShutdown}
+	}
+	job := s.imports.find(m.ID)
+	if job == nil {
+		return &ImportChunkReply{Err: fmt.Errorf("mds: import stream %d: %w", m.ID, namespace.ErrInval)}
+	}
+	if job.win.Len() >= job.win.Limit() {
+		s.metrics.ImportBackpressure++
+		return &ImportChunkReply{Backpressure: true, Window: job.win.Len()}
+	}
+	p.Sleep(s.cfg.NetLatency)
+	var bytes int64
+	for _, o := range m.Objs {
+		bytes += int64(len(o))
+	}
+	if bytes > 0 {
+		s.obj.Net().Transfer(p, bytes)
+	}
+	// Re-verify after the wire yield, like mergeChunk.
+	if job.aborted {
+		return &ImportChunkReply{Err: ErrNotExporting}
+	}
+	if !job.win.TryPush(p.Now(), m) {
+		s.metrics.ImportBackpressure++
+		return &ImportChunkReply{Backpressure: true, Window: job.win.Len()}
+	}
+	s.metrics.ImportChunks++
+	s.imports.kick()
+	return &ImportChunkReply{Window: job.win.Len()}
+}
+
+// importCommit is the ImportCommitMsg handler: wait for the install
+// proc to drain the job, then adopt the subtree's policy, owner, grant,
+// and journal tail.
+func (s *Server) importCommit(p runtime.Task, m *ImportCommitMsg) *ImportCommitReply {
+	is := s.imports
+	job := is.find(m.ID)
+	if job == nil {
+		job = is.finished[m.ID]
+	}
+	if job == nil {
+		return &ImportCommitReply{Err: fmt.Errorf("mds: import stream %d: %w", m.ID, namespace.ErrInval)}
+	}
+	job.done.Wait(p)
+	delete(is.finished, m.ID)
+	if job.err != nil {
+		return &ImportCommitReply{Installed: job.installed, Err: job.err}
+	}
+	if s.stopped {
+		return &ImportCommitReply{Installed: job.installed, Err: ErrShutdown}
+	}
+
+	man := m.Manifest
+	root, err := s.store.Resolve(man.Path)
+	if err != nil {
+		return &ImportCommitReply{Installed: job.installed, Err: err}
+	}
+	if man.Policy != nil {
+		if err := s.store.SetPolicy(root.Ino, man.Policy); err != nil {
+			return &ImportCommitReply{Installed: job.installed, Err: err}
+		}
+	}
+	if man.Owner != "" {
+		s.owners[root.Ino] = man.Owner
+		if man.GrantLo != 0 && man.GrantN > 0 {
+			if err := s.store.ReserveRange(man.GrantLo, man.GrantN); err != nil {
+				return &ImportCommitReply{Installed: job.installed, Err: err}
+			}
+		}
+	}
+	// Append the shipped journal tail to this rank's own journal series,
+	// charging the usual per-event journaling CPU. Replay after a crash
+	// tolerates these (the saved directory objects already contain the
+	// same state).
+	if s.stream.enabled && len(man.Tail) > 0 {
+		s.cpu.Acquire(p)
+		for _, ev := range man.Tail {
+			p.Sleep(s.cfg.MDSJournalOpTime)
+			if seg, err := s.stream.jrnl.Append(ev); err == nil {
+				s.metrics.Journaled++
+				if seg != nil {
+					s.stream.queue = append(s.stream.queue, seg)
+					s.stream.kick()
+				}
+			}
+		}
+		s.cpu.Release()
+	}
+	if fl := s.eng.Flight(); fl != nil {
+		fl.Record(int64(p.Now()), s.ep.Name(), "mds", "import.commit",
+			fmt.Sprintf("%s dirs=%d tail=%d", man.Path, job.installed, len(man.Tail)))
+	}
+	return &ImportCommitReply{Installed: job.installed}
+}
+
+// importAbort is the ImportAbortMsg handler.
+func (s *Server) importAbort(p runtime.Task, m *ImportAbortMsg) *ImportAbortReply {
+	is := s.imports
+	if job := is.find(m.ID); job != nil {
+		job.aborted = true
+		is.ensureRunning()
+		return &ImportAbortReply{}
+	}
+	delete(is.finished, m.ID)
+	return &ImportAbortReply{}
+}
+
+func (is *importSched) ensureRunning() {
+	if is.running {
+		is.kick()
+		return
+	}
+	is.running = true
+	is.s.eng.Spawn(is.s.ep.Name()+".import", is.run)
+}
+
+func (is *importSched) kick() {
+	if is.idle != nil {
+		idle := is.idle
+		is.idle = nil
+		idle.Fire(nil)
+	}
+}
+
+func (is *importSched) pick() *importJob {
+	for _, j := range is.jobs {
+		if j.win.Len() > 0 {
+			return j
+		}
+	}
+	return nil
+}
+
+// run is the installer proc: pop one chunk, install its directory
+// objects into the live store at the per-directory CPU cost.
+func (is *importSched) run(p runtime.Task) {
+	s := is.s
+	for {
+		is.retireAborted(p)
+		job := is.pick()
+		if job == nil {
+			if len(is.jobs) == 0 {
+				is.running = false
+				return
+			}
+			is.idle = s.eng.NewSignal()
+			is.idle.Wait(p)
+			continue
+		}
+		payload, _, _ := job.win.Pop(p.Now())
+		chunk := payload.(*ImportChunkMsg)
+		if chunk.Last {
+			job.last = true
+		}
+		if job.err == nil && len(chunk.Objs) > 0 {
+			s.cpu.Acquire(p)
+			for _, data := range chunk.Objs {
+				p.Sleep(s.migrateDirCPU())
+				obj, err := namespace.DecodeDir(data)
+				if err == nil {
+					err = s.store.InstallDir(obj)
+				}
+				if err != nil {
+					job.err = fmt.Errorf("import install: %w", err)
+					break
+				}
+				job.installed++
+			}
+			s.cpu.Release()
+		}
+		if job.last && job.win.Len() == 0 {
+			is.finish(job)
+		}
+	}
+}
+
+func (is *importSched) retireAborted(p runtime.Task) {
+	for i := 0; i < len(is.jobs); {
+		job := is.jobs[i]
+		if !job.aborted {
+			i++
+			continue
+		}
+		for job.win.Len() > 0 {
+			job.win.Pop(p.Now())
+		}
+		is.finish(job)
+	}
+}
+
+func (is *importSched) finish(job *importJob) {
+	for i, j := range is.jobs {
+		if j == job {
+			is.jobs = append(is.jobs[:i], is.jobs[i+1:]...)
+			break
+		}
+	}
+	job.done.Fire(nil)
+	if !job.aborted {
+		is.finished[job.id] = job
+	}
+}
+
+// --- attach ---
+
+// Attach installs a subtree policy/owner/grant verbatim on this rank
+// (monitor re-attach path).
+func (s *Server) Attach(p runtime.Task, path string, pol *policy.Policy, client string, lo namespace.Ino, n uint64) error {
+	return s.ep.Post(p, &AttachMsg{Path: path, Policy: pol, Client: client, Lo: lo, N: n}).(*AttachReply).Err
+}
+
+// attach is the AttachMsg handler body.
+func (s *Server) attach(p runtime.Task, m *AttachMsg) *AttachReply {
+	if s.stopped {
+		return &AttachReply{Err: ErrShutdown}
+	}
+	s.cpu.Acquire(p)
+	defer s.cpu.Release()
+	p.Sleep(s.serviceTime(OpResolve))
+	in, err := s.store.Resolve(m.Path)
+	if err != nil {
+		return &AttachReply{Err: err}
+	}
+	if m.Policy != nil {
+		if err := s.store.SetPolicy(in.Ino, m.Policy); err != nil {
+			return &AttachReply{Err: err}
+		}
+	}
+	if m.Client != "" {
+		s.owners[in.Ino] = m.Client
+	}
+	if m.Lo != 0 && m.N > 0 {
+		if err := s.store.ReserveRange(m.Lo, m.N); err != nil {
+			return &AttachReply{Err: err}
+		}
+	}
+	return &AttachReply{}
+}
+
+// Frozen reports whether any subtree covering path is frozen on this
+// rank (exported mid-flight).
+func (s *Server) Frozen(path string) bool { return s.frozenCovers(cleanSubtreePath(path)) }

@@ -111,6 +111,12 @@ type Metrics struct {
 	// Streamed-merge pipeline counters (scheduler.go).
 	MergeChunks       uint64 // chunks accepted into merge windows
 	MergeBackpressure uint64 // opens/chunks answered with backpressure
+	// Migration counters (migrate.go).
+	Exports            uint64 // subtrees frozen for export on this rank
+	Imports            uint64 // import sessions admitted on this rank
+	ImportChunks       uint64 // directory-object chunks accepted
+	ImportBackpressure uint64 // import opens/chunks answered with backpressure
+	Bounced            uint64 // requests answered with a WrongRank redirect
 }
 
 // Server is one simulated metadata rank.
@@ -136,6 +142,21 @@ type Server struct {
 	merge *mergeSched // streamed (chunked) Volatile Apply scheduler
 
 	mergeQueue int // client journals queued for Volatile Apply
+
+	// frozen marks subtree paths mid-export: requests into them bounce
+	// with a Frozen redirect until the migration commits or aborts.
+	// exports holds the live export sessions; imports is the
+	// destination-side scheduler. All volatile — a crash wipes them.
+	frozen  map[string]bool
+	exports map[string]*exportState
+	imports *importSched
+
+	// resolveOwner is the cluster-installed ownership oracle for the
+	// stale-routing bounce: it returns the owning rank and table epoch
+	// for a path, with ok=false while no migration or split has ever
+	// happened (the check is then skipped entirely, keeping calibrated
+	// runs byte-identical). nil on standalone servers.
+	resolveOwner func(path string) (rank int, epoch uint64, ok bool)
 
 	metrics Metrics
 
@@ -190,6 +211,7 @@ func NewRank(eng runtime.Runtime, cfg model.Config, obj *rados.Cluster, rank int
 	}
 	s.stream = newStreamState(s)
 	s.merge = newMergeSched(s)
+	s.imports = newImportSched(s)
 	s.rpc = transport.Chain(s.dispatchOp,
 		s.admission, s.accounting, s.journaling, s.execution, s.interference)
 	// The tracing interceptor wraps the whole message dispatcher, so
@@ -221,6 +243,26 @@ func msgLabel(msg any) string {
 		return "decouple"
 	case *RecoupleMsg:
 		return "recouple"
+	case *ExportFreezeMsg:
+		return "export.freeze"
+	case *ExportSaveMsg:
+		return "export.save"
+	case *ExportReadMsg:
+		return "export.read"
+	case *ExportCommitMsg:
+		return "export.commit"
+	case *ExportAbortMsg:
+		return "export.abort"
+	case *ImportOpenMsg:
+		return "import.open"
+	case *ImportChunkMsg:
+		return "import.chunk"
+	case *ImportCommitMsg:
+		return "import.commit"
+	case *ImportAbortMsg:
+		return "import.abort"
+	case *AttachMsg:
+		return "attach"
 	}
 	return fmt.Sprintf("msg.%T", msg)
 }
@@ -287,6 +329,9 @@ func (s *Server) handle(p runtime.Task, msg any) any {
 	if fl := s.eng.Flight(); fl != nil {
 		fl.Record(int64(p.Now()), s.ep.Name(), "mds", msgLabel(msg), flightDetail(msg))
 	}
+	if bounced := s.bounce(msg); bounced != nil {
+		return bounced
+	}
 	switch m := msg.(type) {
 	case *Request:
 		return s.rpc(p, m)
@@ -313,8 +358,98 @@ func (s *Server) handle(p runtime.Task, msg any) any {
 		return &DecoupleReply{Lo: lo, N: n, Err: err}
 	case *RecoupleMsg:
 		return &RecoupleReply{Err: s.recouple(p, m.Path)}
+	case *ExportFreezeMsg:
+		return s.exportFreeze(p, m)
+	case *ExportSaveMsg:
+		return s.exportSave(p, m)
+	case *ExportReadMsg:
+		return s.exportRead(p, m)
+	case *ExportCommitMsg:
+		return s.exportCommit(p, m)
+	case *ExportAbortMsg:
+		return s.exportAbort(p, m)
+	case *ImportOpenMsg:
+		return s.importOpen(p, m)
+	case *ImportChunkMsg:
+		return s.importChunk(p, m)
+	case *ImportCommitMsg:
+		return s.importCommit(p, m)
+	case *ImportAbortMsg:
+		return s.importAbort(p, m)
+	case *AttachMsg:
+		return s.attach(p, m)
 	}
 	return &Reply{Err: fmt.Errorf("mds: unknown message %T: %w", msg, namespace.ErrInval)}
+}
+
+// bounce answers workload messages addressed to a subtree this rank has
+// frozen for export — or, once any migration has happened, does not own
+// at all (a stale client table) — with a typed WrongRank redirect
+// instead of serving them. Control traffic (decouple, attach, export,
+// import) passes through. The check costs no simulated time and, on a
+// cluster that has never migrated, reduces to one map-length test, so
+// calibrated runs are untouched.
+func (s *Server) bounce(msg any) any {
+	switch msg.(type) {
+	case *Request, *MergeMsg, *MergeOpenMsg:
+	default:
+		return nil
+	}
+	checkOwner := false
+	if s.resolveOwner != nil {
+		_, _, checkOwner = s.resolveOwner("/")
+	}
+	if len(s.frozen) == 0 && !checkOwner {
+		return nil
+	}
+	route := RouteOf(msg)
+	if route == "" {
+		// Requests routed by parent-inode hint only: recover the path
+		// server-side so the ownership check still applies.
+		if req, ok := msg.(*Request); ok && req.Parent != 0 {
+			if p, err := s.store.PathOf(req.Parent); err == nil {
+				route = p
+			}
+		}
+		if route == "" {
+			return nil
+		}
+	}
+	var werr *transport.WrongRankError
+	if s.frozenCovers(cleanSubtreePath(route)) {
+		werr = &transport.WrongRankError{Path: route, Rank: s.rank, Frozen: true}
+	} else if checkOwner {
+		if rank, e, ok := s.resolveOwner(route); ok && rank != s.rank {
+			werr = &transport.WrongRankError{Path: route, Rank: rank, Epoch: e}
+		}
+	}
+	if werr == nil {
+		return nil
+	}
+	if s.resolveOwner != nil {
+		if _, e, ok := s.resolveOwner(route); ok {
+			werr.Epoch = e
+		}
+	}
+	s.metrics.Bounced++
+	if fl := s.eng.Flight(); fl != nil {
+		fl.Record(int64(s.eng.Now()), s.ep.Name(), "mds", "bounce", werr.Error())
+	}
+	switch msg.(type) {
+	case *Request:
+		return &Reply{Err: werr}
+	case *MergeMsg:
+		return &MergeReply{Err: werr}
+	case *MergeOpenMsg:
+		return &MergeOpenReply{Err: werr}
+	}
+	return nil
+}
+
+// SetOwnership installs the cluster's ownership oracle for the
+// stale-routing bounce.
+func (s *Server) SetOwnership(resolve func(path string) (rank int, epoch uint64, ok bool)) {
+	s.resolveOwner = resolve
 }
 
 // Store exposes the in-memory metadata store. Benchmarks and the monitor
@@ -332,6 +467,10 @@ func (s *Server) Config() model.Config { return s.cfg }
 
 // SetStream turns MDS journal streaming (the Stream mechanism) on or off.
 func (s *Server) SetStream(on bool) { s.stream.enabled = on }
+
+// Refresh implements the client Service interface: a single server has
+// no routing replica to re-sync.
+func (s *Server) Refresh() {}
 
 // StreamEnabled reports whether journal streaming is on.
 func (s *Server) StreamEnabled() bool { return s.stream.enabled }
@@ -377,6 +516,21 @@ func (s *Server) Crash() {
 	}
 	s.merge.ensureRunning()
 	s.merge = newMergeSched(s)
+
+	// Migration state is volatile: export sessions and freezes die with
+	// the rank (the monitor's orchestration sees ErrShutdown or a missing
+	// session and aborts); in-flight imports are retired the same way
+	// streamed merges are.
+	s.frozen = nil
+	s.exports = nil
+	for _, job := range s.imports.jobs {
+		job.aborted = true
+		if job.err == nil {
+			job.err = ErrShutdown
+		}
+	}
+	s.imports.ensureRunning()
+	s.imports = newImportSched(s)
 }
 
 // Restart brings a crashed rank back: the metadata store is rebuilt from

@@ -169,6 +169,37 @@ type Config struct {
 	// merge open or chunk that was answered with backpressure.
 	MergeRetryDelay time.Duration
 
+	// --- Subtree migration (online export/import) ---
+	//
+	// Migration only runs when explicitly requested (Monitor.Migrate or
+	// the balancer), so unlike the Merge* knobs the zero values select
+	// built-in defaults rather than disabling the feature; no calibrated
+	// baseline is affected either way.
+
+	// MigrateChunkDirs is the number of encoded directory objects per
+	// export chunk streamed from the exporting to the importing rank.
+	// 0 means the default (16).
+	MigrateChunkDirs int
+
+	// MigrateWindowChunks is the importer's flow-control window: chunks
+	// buffered per import before backpressure. 0 means the default (4).
+	MigrateWindowChunks int
+
+	// MigrateAdmitMax bounds concurrent imports a rank admits; opens
+	// beyond it get a backpressure reply and retry. 0 means the default
+	// (2).
+	MigrateAdmitMax int
+
+	// MigrateRetryDelay is how long a backpressured export sender (or a
+	// client bounced off a frozen subtree) waits before retrying. 0
+	// means the default (2ms).
+	MigrateRetryDelay time.Duration
+
+	// MigrateDirCPU is the exporting/importing rank's CPU time to encode
+	// or install one directory object during migration. 0 means the
+	// default (MDSApplyTime).
+	MigrateDirCPU time.Duration
+
 	// --- Namespace sync (Fig 6c) ---
 
 	// ForkBase is the fixed pause to fork the client for a namespace
@@ -287,6 +318,12 @@ func (c Config) Validate() error {
 		{c.MergeWindowChunks >= 0, "MergeWindowChunks"},
 		{c.MergeAdmitMax >= 0, "MergeAdmitMax"},
 		{c.MergeRetryDelay >= 0, "MergeRetryDelay"},
+		// Zero selects built-in migration defaults; negatives are nonsense.
+		{c.MigrateChunkDirs >= 0, "MigrateChunkDirs"},
+		{c.MigrateWindowChunks >= 0, "MigrateWindowChunks"},
+		{c.MigrateAdmitMax >= 0, "MigrateAdmitMax"},
+		{c.MigrateRetryDelay >= 0, "MigrateRetryDelay"},
+		{c.MigrateDirCPU >= 0, "MigrateDirCPU"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {

@@ -45,6 +45,7 @@ type Monitor struct {
 	eng      runtime.Runtime
 	cl       *mds.Cluster
 	epoch    uint64
+	migSeq   uint64 // last assigned migration sequence (export records)
 	subtrees map[string]*Entry
 	subs     map[string]*transport.Table
 }

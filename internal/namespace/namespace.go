@@ -571,6 +571,52 @@ func (s *Store) walk(p string, ino Ino, fn func(string, *Inode) error) error {
 	return nil
 }
 
+// PruneSubtree detaches the directory at absolute path p from its parent
+// and removes every inode under it. The exporting rank calls this after a
+// migration commits: the subtree's inodes now live on the importer. The
+// inode count removed is returned; pruning the root is refused.
+func (s *Store) PruneSubtree(p string) (int, error) {
+	root, err := s.Resolve(p)
+	if err != nil {
+		return 0, err
+	}
+	if root.Ino == RootIno {
+		return 0, fmt.Errorf("prune %q: %w", p, ErrInval)
+	}
+	var victims []Ino
+	if err := s.Walk(root.Ino, func(_ string, in *Inode) error {
+		victims = append(victims, in.Ino)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	parent, err := s.Get(root.Parent)
+	if err != nil {
+		return 0, err
+	}
+	delete(parent.children, root.Name)
+	for _, ino := range victims {
+		delete(s.inodes, ino)
+	}
+	s.version++
+	return len(victims), nil
+}
+
+// SubtreeInos returns the inode numbers of every inode at or under the
+// directory rooted at absolute path p.
+func (s *Store) SubtreeInos(p string) (map[Ino]bool, error) {
+	root, err := s.Resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[Ino]bool)
+	err = s.Walk(root.Ino, func(_ string, in *Inode) error {
+		set[in.Ino] = true
+		return nil
+	})
+	return set, err
+}
+
 // ApplyEvent implements journal.Target: it replays one journal event onto
 // the store. This is the recovery/merge code path shared by Stream replay,
 // Volatile Apply, and Nonvolatile Apply (paper §IV-B).
@@ -610,6 +656,10 @@ func (s *Store) ApplyEvent(ev *journal.Event) error {
 		return s.SetAttr(Ino(ev.Ino), ev.Mode, ev.UID, ev.GID, ev.Size, ev.Mtime)
 	case journal.EvAllocRange:
 		return s.ReserveRange(Ino(ev.Ino), ev.Size)
+	case journal.EvExport:
+		// Export-commit records mark an ownership handoff, not a
+		// namespace mutation; replay skips them.
+		return nil
 	}
 	return fmt.Errorf("apply %v: %w", ev.Type, ErrInval)
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -15,6 +16,11 @@ import (
 type Table struct {
 	epoch  uint64
 	places map[string]int
+
+	// frags maps a split directory to the ranks its dentry fragments
+	// hash onto: dentry name → frags[dir][FragIndex(name, len(...))].
+	// Splitting lets one hot directory span ranks (CephFS dirfrags).
+	frags map[string][]int
 }
 
 // NewTable returns an empty table: everything routes to rank 0.
@@ -41,7 +47,9 @@ func (t *Table) Remove(path string) {
 
 // RankFor returns the rank owning path: the longest placed prefix wins,
 // with component-boundary matching ("/job1" does not own "/job10").
-// Unplaced paths belong to rank 0.
+// Unplaced paths belong to rank 0. Paths strictly under a split
+// directory that is at least as deep as the best placed prefix route by
+// dentry-fragment hash instead.
 func (t *Table) RankFor(path string) int {
 	path = clean(path)
 	best, bestLen := 0, -1
@@ -50,13 +58,19 @@ func (t *Table) RankFor(path string) int {
 			best, bestLen = rank, len(prefix)
 		}
 	}
+	if dir, comp := t.fragFor(path, bestLen); dir != "" {
+		ranks := t.frags[dir]
+		return ranks[FragIndex(comp, len(ranks))]
+	}
 	return best
 }
 
 // SubtreeFor returns the placed subtree that owns path — the longest
 // placed prefix, mirroring RankFor's resolution — or "/" when no
 // placement covers it. Heat accounting keys cells by this, so load
-// aggregates per policy subtree instead of per leaf path.
+// aggregates per policy subtree instead of per leaf path. Paths under a
+// split directory report "<dir>#<frag>" so each fragment's heat is its
+// own cell.
 func (t *Table) SubtreeFor(path string) string {
 	path = clean(path)
 	best, bestLen := "/", -1
@@ -65,7 +79,92 @@ func (t *Table) SubtreeFor(path string) string {
 			best, bestLen = prefix, len(prefix)
 		}
 	}
+	if dir, comp := t.fragFor(path, bestLen); dir != "" {
+		return fmt.Sprintf("%s#%d", dir, FragIndex(comp, len(t.frags[dir])))
+	}
 	return best
+}
+
+// fragFor returns the deepest split directory that path lives strictly
+// under — provided that split is at least as deep as the best placed
+// prefix (placedLen) — plus the first path component below it, which is
+// the dentry whose hash picks the fragment. ("", "") when no split
+// applies.
+func (t *Table) fragFor(path string, placedLen int) (dir, comp string) {
+	bestLen := -1
+	for d := range t.frags {
+		if len(d) >= placedLen && len(d) > bestLen &&
+			hasPathPrefix(path, d) && len(path) > len(d) {
+			dir, bestLen = d, len(d)
+		}
+	}
+	if dir == "" {
+		return "", ""
+	}
+	rest := path[len(dir):]
+	if dir == "/" {
+		rest = path
+	}
+	rest = strings.TrimPrefix(rest, "/")
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return dir, rest
+}
+
+// FragIndex hashes a dentry name onto one of ways fragments (FNV-1a).
+// Deterministic across every replica of the table, so any holder routes
+// a dentry to the same fragment.
+func FragIndex(name string, ways int) int {
+	if ways <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h % uint32(ways))
+}
+
+// SplitDir registers a directory as fragment-split across ranks: dentry
+// name n of dir routes to ranks[FragIndex(n, len(ranks))]. An empty or
+// single-element ranks removes the split.
+func (t *Table) SplitDir(dir string, ranks []int) {
+	dir = clean(dir)
+	if len(ranks) < 2 {
+		delete(t.frags, dir)
+		return
+	}
+	if t.frags == nil {
+		t.frags = make(map[string][]int)
+	}
+	t.frags[dir] = append([]int(nil), ranks...)
+}
+
+// FragSplits returns a copy of the split-directory map.
+func (t *Table) FragSplits() map[string][]int {
+	if len(t.frags) == 0 {
+		return nil
+	}
+	out := make(map[string][]int, len(t.frags))
+	for d, ranks := range t.frags {
+		out[d] = append([]int(nil), ranks...)
+	}
+	return out
+}
+
+// RankForEntry returns the rank owning dentry name of directory dir,
+// honoring a registered split before falling back to subtree placement.
+func (t *Table) RankForEntry(dir, name string) int {
+	dir = clean(dir)
+	if ranks, ok := t.frags[dir]; ok {
+		return ranks[FragIndex(name, len(ranks))]
+	}
+	if dir == "/" {
+		return t.RankFor("/" + name)
+	}
+	return t.RankFor(dir + "/" + name)
 }
 
 // Placements returns a copy of the path→rank map, sorted iteration being
@@ -88,10 +187,11 @@ func (t *Table) Paths() []string {
 	return out
 }
 
-// CopyFrom replaces the table's contents with src's placements and
-// epoch — the monitor's publish step.
+// CopyFrom replaces the table's contents with src's placements, splits,
+// and epoch — the monitor's publish step.
 func (t *Table) CopyFrom(src *Table) {
 	t.places = src.Placements()
+	t.frags = src.FragSplits()
 	t.epoch = src.epoch
 }
 
