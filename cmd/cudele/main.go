@@ -17,7 +17,9 @@
 //	migrate <path> <rank>        online-export a subtree to another rank
 //	lcreate <name>               create in the decoupled subtree
 //	lmkdir <name>                mkdir in the decoupled subtree
-//	merge                        volatile-apply the client journal
+//	merge                        merge the client journal (volatile-apply,
+//	                             or the speculative/strong-eventual merge
+//	                             when the subtree's cell selects one)
 //	persist local|global         persist the client journal
 //	recouple <path>              drop a subtree's policy
 //	scrub                        check namespace consistency
@@ -62,6 +64,7 @@ import (
 
 	"cudele"
 	"cudele/internal/namespace"
+	"cudele/internal/policy"
 )
 
 // options is the parsed command line.
@@ -331,11 +334,28 @@ func execute(cl *cudele.Cluster, c *cudele.Client, p cudele.Proc, line string) e
 		}
 		fmt.Printf("%s %s (ino %d, decoupled)\n", cmd, args[0], ino)
 	case "merge":
-		n, err := c.VolatileApply(p)
-		if err != nil {
-			return err
+		// Dispatch on the decoupled subtree's consistency cell so the
+		// shell exercises the same merge path the policy compiled to.
+		switch c.MergeMode() {
+		case policy.ConsSpeculative:
+			n, conflicts, err := c.SpeculativeApply(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("merged %d event(s), %d rolled back\n", n, len(conflicts))
+		case policy.ConsStrongEventual:
+			n, err := c.ConvergeApply(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("merged %d event(s) (convergent)\n", n)
+		default:
+			n, err := c.VolatileApply(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("merged %d event(s)\n", n)
 		}
-		fmt.Printf("merged %d event(s)\n", n)
 	case "persist":
 		if err := need(1); err != nil {
 			return err

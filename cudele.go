@@ -116,11 +116,14 @@ type (
 	BalancerConfig = monitor.BalancerConfig
 )
 
-// Consistency levels (paper Table I columns).
+// Consistency levels (paper Table I columns, plus the two cells beyond
+// Table I: speculative and strong-eventual).
 const (
-	ConsInvisible = policy.ConsInvisible
-	ConsWeak      = policy.ConsWeak
-	ConsStrong    = policy.ConsStrong
+	ConsInvisible      = policy.ConsInvisible
+	ConsWeak           = policy.ConsWeak
+	ConsStrong         = policy.ConsStrong
+	ConsSpeculative    = policy.ConsSpeculative
+	ConsStrongEventual = policy.ConsStrongEventual
 )
 
 // Durability levels (paper Table I rows).
@@ -338,6 +341,9 @@ func (cl *Cluster) Decouple(p Proc, c *Client, path, policiesText string) (*Entr
 	if err := c.AdoptGrant(p, path, e.GrantLo, e.GrantN); err != nil {
 		return nil, err
 	}
+	if err := c.SetMergeMode(e.Policy.Consistency); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -348,6 +354,9 @@ func (cl *Cluster) DecouplePolicy(p Proc, c *Client, path string, pol *Policy) (
 		return nil, err
 	}
 	if err := c.AdoptGrant(p, path, e.GrantLo, e.GrantN); err != nil {
+		return nil, err
+	}
+	if err := c.SetMergeMode(pol.Consistency); err != nil {
 		return nil, err
 	}
 	return e, nil

@@ -22,7 +22,7 @@ func cell(t *testing.T, s string) float64 {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"ext-latency", "fig2", "fig3a", "fig3b", "fig3c", "fig5", "fig6a", "fig6b", "fig6c", "heatskew", "mergescale", "multimds", "rebalance", "table1"}
+	want := []string{"ext-latency", "fig2", "fig3a", "fig3b", "fig3c", "fig5", "fig6a", "fig6b", "fig6c", "heatskew", "mergescale", "multimds", "newcells", "rebalance", "table1"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}

@@ -16,6 +16,15 @@
 //	ConsInvisible  updates never leak into the global namespace pre-merge
 //	ConsStrong     acked updates are immediately visible
 //
+// Cycle 2 extends the matrix with the two cells beyond Table I:
+//
+//	ConsSpeculative    a merge applies exactly the ops whose predictions
+//	                   held (the oracle mirrors the validation), and every
+//	                   rolled-back op vanishes from the client image and
+//	                   never reaches the global namespace
+//	ConsStrongEventual merged batches replayed in any permutation render
+//	                   a byte-identical namespace image
+//
 // plus global invariants: no phantom namespace entries, inode grants
 // respected, merge-scheduler slots freed, no leaked simulation
 // processes.
@@ -55,11 +64,32 @@ const (
 type Plan struct {
 	Seed int64
 
-	// Cell of the 3x3 policy matrix under test. Consecutive seeds cycle
-	// through all nine cells (seed%9), so any nine contiguous seeds give
-	// full matrix coverage.
+	// Cycle versions the seed-to-cell mapping. Cycle 1 (the default) is
+	// the original 3x3 matrix: cell = seed%9, and every schedule is
+	// byte-identical with earlier harness versions. Cycle 2 widens the
+	// wheel to 15 cells: seeds 0-8 (mod 15) keep the 3x3 mapping, seeds
+	// 9-14 cover speculative and strong-eventual across all three
+	// durability levels.
+	Cycle int
+
+	// Cell of the policy matrix under test. Consecutive seeds cycle
+	// through every cell of the plan's cycle, so any Cycle-width run of
+	// contiguous seeds gives full matrix coverage.
 	Cons policy.Consistency
 	Dur  policy.Durability
+
+	// Interfere is the workload weight of interfering RPC operations on
+	// speculative schedules: ops that mutate the decoupled subtree
+	// through the strong path so client predictions get falsified and
+	// the rollback machinery actually fires. Zero outside
+	// ConsSpeculative. Draw-free: it never touches the plan's rng.
+	Interfere float64
+
+	// Permute arms the merge-order permutation check on strong-eventual
+	// schedules: every merged batch is captured, and the final verify
+	// replays the batches in several permutations, demanding a
+	// byte-identical namespace image from each. Draw-free.
+	Permute bool
 
 	// Ops is the workload length in operations.
 	Ops int
@@ -102,15 +132,52 @@ type Plan struct {
 	TornCommit bool
 }
 
-// NewPlan derives a schedule from a seed. The generator draws from its
-// own rand source; the simulation's engine stream is untouched.
-func NewPlan(seed int64) *Plan {
+// NewPlan derives a cycle-1 schedule from a seed. The generator draws
+// from its own rand source; the simulation's engine stream is untouched.
+func NewPlan(seed int64) *Plan { return NewPlanCycle(seed, 1) }
+
+// planCells is the width of each cycle's cell wheel.
+func planCells(cycle int) int {
+	if cycle >= 2 {
+		return policy.NumConsistencies * policy.NumDurabilities
+	}
+	return 9
+}
+
+// NewPlanCycle derives a schedule from a seed under the given cycle's
+// seed-to-cell mapping. Cycle 1 plans are byte-identical with NewPlan of
+// every earlier harness version; cycle 2 adds the speculative and
+// strong-eventual cells. Both cycles consume the seed's rand stream in
+// exactly the same order — the new-cell knobs (Interfere, Permute) are
+// derived without drawing — so a seed's ops/fault/transport schedule is
+// the same in every cycle and only the cell under test changes.
+func NewPlanCycle(seed int64, cycle int) *Plan {
+	if cycle < 1 {
+		cycle = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
-	cell := int((seed%9 + 9) % 9)
+	n := int64(planCells(cycle))
+	cell := int((seed%n + n) % n)
 	p := &Plan{
-		Seed: seed,
-		Cons: policy.Consistency(cell % 3),
-		Dur:  policy.Durability(cell / 3),
+		Seed:  seed,
+		Cycle: cycle,
+	}
+	switch {
+	case cell < 9:
+		p.Cons = policy.Consistency(cell % 3)
+		p.Dur = policy.Durability(cell / 3)
+	case cell < 12:
+		p.Cons = policy.ConsSpeculative
+		p.Dur = policy.Durability(cell - 9)
+	default:
+		p.Cons = policy.ConsStrongEventual
+		p.Dur = policy.Durability(cell - 12)
+	}
+	if p.Cons == policy.ConsSpeculative {
+		p.Interfere = 0.3
+	}
+	if p.Cons == policy.ConsStrongEventual {
+		p.Permute = true
 	}
 	p.Ops = 40 + rng.Intn(41)
 	p.Chunked = rng.Float64() < 0.5
@@ -166,12 +233,20 @@ func (p *Plan) String() string {
 	if p.Migrate {
 		s += fmt.Sprintf("migrate: at=%v torn-commit=%v\n", p.MigrateAt, p.TornCommit)
 	}
+	// Cycle-1 plans keep their historical rendering byte-for-byte.
+	if p.Cycle >= 2 {
+		if !strings.HasSuffix(s, "\n") {
+			s += "\n"
+		}
+		s += fmt.Sprintf("cycle=%d interfere=%.2f permute=%v\n", p.Cycle, p.Interfere, p.Permute)
+	}
 	return s
 }
 
 // Result is one schedule's verdict.
 type Result struct {
 	Seed        int64
+	Cycle       int // cell cycle the schedule ran under (0/1 = the original nine)
 	Cell        string
 	Ops         int
 	CrashFaults int
@@ -197,19 +272,27 @@ func (r Result) Passed() bool { return len(r.Violations) == 0 }
 // signal.
 const maxViolations = 16
 
-// Run executes one chaos schedule and returns its verdict. Everything —
-// cluster, engine, rand sources, oracle — is built fresh from the seed,
-// so concurrent Runs never share state.
-func Run(seed int64) Result {
-	plan := NewPlan(seed)
+// Run executes one cycle-1 chaos schedule and returns its verdict.
+// Everything — cluster, engine, rand sources, oracle — is built fresh
+// from the seed, so concurrent Runs never share state.
+func Run(seed int64) Result { return RunCycle(seed, 1) }
+
+// RunCycle executes one chaos schedule under the given cell cycle.
+func RunCycle(seed int64, cycle int) Result {
+	plan := NewPlanCycle(seed, cycle)
 	d := newDriver(plan)
 	return d.run()
 }
 
-// RunMany executes schedules for every seed on a worker pool and
-// returns results in seed order. Each schedule is an independent
+// RunMany executes cycle-1 schedules for every seed on a worker pool
+// and returns results in seed order. Each schedule is an independent
 // simulation, so the verdicts are byte-identical at any worker count.
 func RunMany(seeds []int64, workers int) []Result {
+	return RunManyCycle(seeds, workers, 1)
+}
+
+// RunManyCycle is RunMany under the given cell cycle.
+func RunManyCycle(seeds []int64, workers, cycle int) []Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -219,7 +302,7 @@ func RunMany(seeds []int64, workers int) []Result {
 	out := make([]Result, len(seeds))
 	if workers <= 1 {
 		for i, s := range seeds {
-			out[i] = Run(s)
+			out[i] = RunCycle(s, cycle)
 		}
 		return out
 	}
@@ -230,7 +313,7 @@ func RunMany(seeds []int64, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = Run(seeds[i])
+				out[i] = RunCycle(seeds[i], cycle)
 			}
 		}()
 	}
@@ -283,7 +366,11 @@ func Report(w io.Writer, results []Result) int {
 				fmt.Fprintf(w, "    %s\n", line)
 			}
 		}
-		fmt.Fprintf(w, "  reproduce: cudele-bench -chaos-replay %d\n", r.Seed)
+		if r.Cycle >= 2 {
+			fmt.Fprintf(w, "  reproduce: cudele-bench -chaos-cycle %d -chaos-replay %d\n", r.Cycle, r.Seed)
+		} else {
+			fmt.Fprintf(w, "  reproduce: cudele-bench -chaos-replay %d\n", r.Seed)
+		}
 	}
 	if failed == 0 {
 		fmt.Fprintf(w, "chaos: %d/%d schedules passed\n", len(results), len(results))

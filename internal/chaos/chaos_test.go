@@ -114,6 +114,58 @@ func TestSeedsCoverMatrix(t *testing.T) {
 	}
 }
 
+// TestPlanCycleOneByteIdentical pins the compatibility contract for the
+// versioned cell cycle: cycle 1 is the default, and its plans — including
+// their printed form, which seeds the replay commands in CI history — are
+// byte-identical to what NewPlan always produced.
+func TestPlanCycleOneByteIdentical(t *testing.T) {
+	for _, seed := range Seeds(0, 40) {
+		a, b := NewPlan(seed), NewPlanCycle(seed, 1)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: cycle-1 plan differs from NewPlan:\n%s\nvs\n%s", seed, a, b)
+		}
+		if a.Cell() != b.Cell() {
+			t.Fatalf("seed %d: cycle-1 cell %s != %s", seed, b.Cell(), a.Cell())
+		}
+	}
+}
+
+// TestPlanCycleTwoCoversAllCells asserts fifteen consecutive seeds under
+// cycle 2 hit all fifteen cells — the nine Table-I cells plus speculative
+// and strong-eventual crossed with every durability level.
+func TestPlanCycleTwoCoversAllCells(t *testing.T) {
+	cells := make(map[string]bool)
+	for _, seed := range Seeds(1, 15) {
+		cells[NewPlanCycle(seed, 2).Cell()] = true
+	}
+	if len(cells) != 15 {
+		t.Errorf("15 consecutive seeds cover %d cells, want 15: %v", len(cells), cells)
+	}
+	for _, want := range []string{
+		"speculative/none", "speculative/local", "speculative/global",
+		"strong-eventual/none", "strong-eventual/local", "strong-eventual/global",
+	} {
+		if !cells[want] {
+			t.Errorf("cycle 2 missing cell %s", want)
+		}
+	}
+}
+
+// TestCycleTwoSmoke runs consecutive seeds under the fifteen-cell cycle,
+// exercising the speculative rollback and strong-eventual convergence
+// contracts alongside the original nine cells.
+func TestCycleTwoSmoke(t *testing.T) {
+	n := 90
+	if testing.Short() {
+		n = 30
+	}
+	results := RunManyCycle(Seeds(1, n), 0, 2)
+	var buf bytes.Buffer
+	if failed := Report(&buf, results); failed > 0 {
+		t.Errorf("%d cycle-2 schedules failed:\n%s", failed, buf.String())
+	}
+}
+
 // TestReportFailureBlock asserts a failing result reprints its plan and
 // the replay command, which is what turns a CI red into a local repro.
 func TestReportFailureBlock(t *testing.T) {
@@ -137,6 +189,24 @@ func TestReportFailureBlock(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestReportCycleTwoReplayCommand asserts a cycle-2 failure's replay
+// command carries the -chaos-cycle flag — without it the seed would
+// replay under the nine-cell mapping and exercise the wrong cell.
+func TestReportCycleTwoReplayCommand(t *testing.T) {
+	r := Result{
+		Seed:       7,
+		Cycle:      2,
+		Cell:       NewPlanCycle(7, 2).Cell(),
+		Violations: []string{"example violation"},
+		PlanText:   NewPlanCycle(7, 2).String(),
+	}
+	var buf bytes.Buffer
+	Report(&buf, []Result{r})
+	if !strings.Contains(buf.String(), "reproduce: cudele-bench -chaos-cycle 2 -chaos-replay 7") {
+		t.Errorf("cycle-2 report missing cycle-aware replay command:\n%s", buf.String())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"cudele"
 	"cudele/internal/client"
+	"cudele/internal/journal"
 	"cudele/internal/mds"
 	"cudele/internal/namespace"
 	"cudele/internal/obs"
@@ -86,6 +87,18 @@ type driver struct {
 	migDone    runtime.Signal
 	mdsCrashed bool
 
+	// Speculative-cell state: names already taken by an interfering RPC.
+	stolen map[string]bool
+
+	// Strong-eventual-cell state: unlink candidates (names created since
+	// the last merge), the captured merge batches for the permutation
+	// replay, the root-chain skeleton the replay rebuilds, and whether a
+	// partial dirty-image replay invalidated the live-image comparison.
+	seLive      []string
+	seSegs      [][]*journal.Event
+	seChain     []seChainEnt
+	seNoCompare bool
+
 	// seenIno is every inode number ever acked, by path — the
 	// no-duplicate-inodes invariant. A crash must never make a client or
 	// MDS hand out an inode a second time: the first copy may be durable
@@ -119,6 +132,7 @@ func newDriver(plan *Plan) *driver {
 		seenIno: make(map[uint64]string),
 		res: Result{
 			Seed:     plan.Seed,
+			Cycle:    plan.Cycle,
 			Cell:     plan.Cell(),
 			Ops:      plan.Ops,
 			PlanText: plan.String(),
@@ -274,6 +288,9 @@ func (d *driver) setup(p runtime.Task) bool {
 	}
 	d.cands = []parentRef{{root, mainPath}}
 	d.scands = []parentRef{{root, mainPath}}
+	if d.se() && !d.seRecordChain() {
+		return false
+	}
 
 	if d.plan.Background {
 		bpol := &policy.Policy{
@@ -370,6 +387,9 @@ func (d *driver) crashClient(p runtime.Task) {
 	d.o.clientCrash()
 	d.cands = d.cands[:1]
 	d.scands = d.scands[:1]
+	// The crash wiped the client-local image: names recovered into the
+	// journal are no longer unlinkable (the image no longer renders them).
+	d.seLive = nil
 	if err := d.c.Restart(p); err != nil {
 		d.violate("client restart: %v", err)
 		return
@@ -449,6 +469,14 @@ func (d *driver) crashMDS(p runtime.Task) {
 func (d *driver) step(p runtime.Task) {
 	if d.strong() {
 		d.stepStrong(p)
+		return
+	}
+	if d.spec() {
+		d.stepSpec(p)
+		return
+	}
+	if d.se() {
+		d.stepSE(p)
 		return
 	}
 	roll := d.rng.Float64()
@@ -558,7 +586,17 @@ func (d *driver) opPersist(p runtime.Task) {
 	case policy.DurGlobal:
 		d.opGlobalPersist(p)
 	default: // DurNone has no persistence mechanism
-		d.opLocalCreate(p)
+		// Fall back to the cell's own create op: the speculative oracle
+		// must not displace an interfering twin's pset entry, and the
+		// strong-eventual workload must stay at the subtree root.
+		switch {
+		case d.spec():
+			d.opSpecCreate(p)
+		case d.se():
+			d.opSECreate(p)
+		default:
+			d.opLocalCreate(p)
+		}
 	}
 }
 
@@ -704,6 +742,12 @@ func (d *driver) checkVisible() {
 			d.violate("visible update %s missing: %v", path, err)
 			continue
 		}
+		if d.se() && u.dir {
+			// Strong-eventual directory identity is structural: the CRDT
+			// resolver renders directories with server-assigned inodes,
+			// so only presence is part of the contract.
+			continue
+		}
 		if uint64(in.Ino) != u.ino {
 			d.violate("visible update %s has ino %d, want %d", path, uint64(in.Ino), u.ino)
 		}
@@ -738,12 +782,19 @@ func (d *driver) finalVerify(p runtime.Task) {
 	if !d.strong() {
 		// Persist the tail so the global image covers the whole run,
 		// then merge the live journal (journals are self-contained, so
-		// this must succeed).
+		// this must succeed) through the cell's own merge path.
 		if d.plan.Dur == policy.DurGlobal && len(d.o.journal) > 0 {
 			d.opGlobalPersist(p)
 		}
 		if len(d.o.journal) > 0 {
-			d.opMerge(p)
+			switch {
+			case d.spec():
+				d.opSpecMerge(p)
+			case d.se():
+				d.opSEMerge(p)
+			default:
+				d.opMerge(p)
+			}
 		}
 	}
 	if d.streamOn() {
@@ -756,7 +807,17 @@ func (d *driver) finalVerify(p runtime.Task) {
 		d.crashMDS(p)
 	}
 	if !d.strong() && d.plan.Dur == policy.DurGlobal {
-		d.verifyGlobal(p)
+		switch {
+		case d.spec():
+			d.verifyGlobalSpec(p)
+		case d.se():
+			d.verifyGlobalSE(p)
+		default:
+			d.verifyGlobal(p)
+		}
+	}
+	if d.se() && d.plan.Permute {
+		d.verifyPermutations()
 	}
 	d.checkVisible()
 	d.checkBG()
@@ -840,13 +901,16 @@ func (d *driver) checkBG() {
 // the acked-update set, every granted inode inside its registration's
 // range, and a structurally clean store.
 func (d *driver) checkNamespace() {
-	d.walkSubtree(d.mds().Store(), mainPath, func(path string) (uint64, bool) {
+	d.walkSubtree(d.mds().Store(), mainPath, func(path string, ino uint64) (uint64, bool) {
 		u, ok := d.o.pset[path]
+		if d.se() && u.dir {
+			return ino, ok // structural identity: presence only
+		}
 		return u.ino, ok
 	})
 	if d.plan.Background {
 		// The background subtree is never migrated; it stays on rank 0.
-		d.walkSubtree(d.srv.Store(), bgPath, func(path string) (uint64, bool) {
+		d.walkSubtree(d.srv.Store(), bgPath, func(path string, _ uint64) (uint64, bool) {
 			ino, ok := d.bgSet[path]
 			return ino, ok
 		})
@@ -892,9 +956,11 @@ func (d *driver) checkNamespace() {
 }
 
 // walkSubtree walks one subtree of the real store and demands every
-// entry below the root be an acked update with a matching inode.
+// entry below the root be an acked update with a matching inode. The
+// lookup callback receives the rendered inode so cells with structural
+// directory identity can accept it as-is.
 func (d *driver) walkSubtree(store *namespace.Store, rootPath string,
-	lookup func(path string) (uint64, bool)) {
+	lookup func(path string, ino uint64) (uint64, bool)) {
 	root, err := store.Resolve(rootPath)
 	if err != nil {
 		d.violate("subtree root %s missing: %v", rootPath, err)
@@ -904,7 +970,7 @@ func (d *driver) walkSubtree(store *namespace.Store, rootPath string,
 		if path == rootPath {
 			return nil
 		}
-		want, ok := lookup(path)
+		want, ok := lookup(path, uint64(in.Ino))
 		if !ok {
 			d.violate("phantom entry %s (ino %d)", path, uint64(in.Ino))
 			return nil

@@ -1,0 +1,591 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"cudele/internal/namespace"
+	"cudele/internal/policy"
+	"cudele/internal/runtime"
+)
+
+// Cycle-2 schedules: the speculative and strong-eventual cells beyond
+// the paper's Table I, with their own workload mixes and contract
+// checks.
+//
+// Speculative contract: a merge applies exactly the ops whose
+// predictions held against the live global view. The oracle mirrors the
+// MDS's validation algorithm over its own model, so the rejected-index
+// set is predicted before the merge runs — any divergence is a
+// violation. After the merge, every rolled-back op must be gone from
+// the client image and must never reach the global namespace (the
+// phantom walk holds the global half of that contract).
+//
+// Strong-eventual contract: every merged batch is captured, and the
+// final verify replays the batches — identity order, reversed, and two
+// random permutations — through a fresh store and CRDT resolver. All
+// four must render byte-identical namespace images, and (when no MDS
+// crash destroyed merged state) the identity image must equal the live
+// namespace.
+
+func (d *driver) spec() bool { return d.plan.Cons == policy.ConsSpeculative }
+func (d *driver) se() bool   { return d.plan.Cons == policy.ConsStrongEventual }
+
+// seChainEnt is one directory on the path from the namespace root to
+// the workload root, as the permutation replay rebuilds it.
+type seChainEnt struct {
+	name string
+	ino  namespace.Ino
+}
+
+// peekName returns the next workload name without consuming it.
+func (d *driver) peekName(prefix string) string {
+	return fmt.Sprintf("%s%06d", prefix, d.nameSeq)
+}
+
+// ackJournalSpec records a speculative create/mkdir acked into the
+// client journal. Unlike the blind-merge cells the update is only
+// provisionally in pset: a rejected prediction is scrubbed again at
+// merge time, restoring the phantom bound's full strength.
+func (o *oracle) ackJournalSpec(u update) {
+	if _, taken := o.pset[u.path]; !taken {
+		o.pset[u.path] = u
+	}
+	o.journal = append(o.journal, u)
+}
+
+// ackJournalSE records a strong-eventual journal op. Creates and mkdirs
+// enter the phantom bound; an unlink does not displace the create it
+// removes (the entry may legitimately stay visible if the unlink is
+// lost with the client before merging).
+func (o *oracle) ackJournalSE(u update) {
+	if !u.unlink {
+		o.pset[u.path] = u
+	}
+	o.journal = append(o.journal, u)
+}
+
+// specMirror replays the MDS's speculative validation over the oracle's
+// model of the global view (mdsMem plus the subtree root) and returns
+// the indices the real merge must reject — conflict prediction, not
+// conflict observation. Accepted ops extend the model as they land, so
+// rejection cascades below a rejected mkdir exactly like the real
+// validator's missing-parent rule.
+func (o *oracle) specMirror(ops []update, root string) []int {
+	kind := map[string]bool{root: true} // path -> is-directory
+	for p, u := range o.mdsMem {
+		kind[p] = u.dir
+	}
+	var rej []int
+	for i, u := range ops {
+		parent := u.path[:strings.LastIndexByte(u.path, '/')]
+		isDir, ok := kind[parent]
+		if !ok || !isDir {
+			rej = append(rej, i)
+			continue
+		}
+		if _, exists := kind[u.path]; exists {
+			rej = append(rej, i)
+			continue
+		}
+		kind[u.path] = u.dir
+	}
+	return rej
+}
+
+// mergeSpecOK commits a validated merge: accepted updates become
+// visible, rejected ones are scrubbed from the provisional pset (their
+// paths must never appear in the namespace — unless an interfering
+// twin with a different inode owns the path).
+func (o *oracle) mergeSpecOK(conflicts []int) {
+	rej := make(map[int]bool, len(conflicts))
+	for _, i := range conflicts {
+		rej[i] = true
+	}
+	for i, u := range o.journal {
+		if rej[i] {
+			if cur, ok := o.pset[u.path]; ok && cur.ino == u.ino {
+				delete(o.pset, u.path)
+			}
+			continue
+		}
+		o.pset[u.path] = u
+		o.mdsMem[u.path] = u
+	}
+	o.journal = nil
+}
+
+// adoptSpec merges a re-validated global image: the accepted subset
+// becomes visible, rejections (ops already applied, or re-cascaded)
+// change nothing.
+func (o *oracle) adoptSpec(conflicts []int) {
+	rej := make(map[int]bool, len(conflicts))
+	for _, i := range conflicts {
+		rej[i] = true
+	}
+	for i, u := range o.globalImage {
+		if rej[i] {
+			continue
+		}
+		o.pset[u.path] = u
+		o.mdsMem[u.path] = u
+	}
+}
+
+// stepSpec runs one speculative workload op. The interfere weight comes
+// from the plan: RPC ops that mutate the subtree through the strong
+// path, falsifying client predictions so merges actually reject ops.
+func (d *driver) stepSpec(p runtime.Task) {
+	roll := d.rng.Float64()
+	inter := d.plan.Interfere
+	switch {
+	case roll < 0.40:
+		d.opSpecCreate(p)
+	case roll < 0.50:
+		d.opSpecMkdir(p)
+	case roll < 0.50+inter:
+		d.opInterfere(p)
+	case roll < 0.60+inter:
+		d.opPersist(p)
+	default:
+		d.opSpecMerge(p)
+	}
+}
+
+func (d *driver) opSpecCreate(p runtime.Task) {
+	par := d.cands[d.rng.Intn(len(d.cands))]
+	name := d.nextName("f")
+	ino, err := d.c.LocalCreate(p, par.ino, name, 0o644)
+	if err != nil {
+		d.violate("speculative create %s/%s: %v", par.path, name, err)
+		return
+	}
+	d.ackIno(uint64(ino), par.path+"/"+name)
+	d.o.ackJournalSpec(update{
+		path: par.path + "/" + name, ino: uint64(ino),
+		parent: uint64(par.ino), name: name, granted: true,
+	})
+}
+
+func (d *driver) opSpecMkdir(p runtime.Task) {
+	if len(d.cands) >= maxParents {
+		d.opSpecCreate(p)
+		return
+	}
+	par := d.cands[d.rng.Intn(len(d.cands))]
+	name := d.nextName("d")
+	ino, err := d.c.LocalMkdir(p, par.ino, name, 0o755)
+	if err != nil {
+		d.violate("speculative mkdir %s/%s: %v", par.path, name, err)
+		return
+	}
+	path := par.path + "/" + name
+	d.ackIno(uint64(ino), path)
+	d.o.ackJournalSpec(update{
+		path: path, ino: uint64(ino),
+		parent: uint64(par.ino), name: name, dir: true, granted: true,
+	})
+	d.cands = append(d.cands, parentRef{ino, path})
+}
+
+// opInterfere creates a file through the strong RPC path at the subtree
+// root, under a name the speculative client has journaled (or is about
+// to journal) — the interference that falsifies a prediction and forces
+// a rollback. The RPC ack is authoritative: the name now belongs to the
+// interferer, and the client's twin must be rejected at merge.
+func (d *driver) opInterfere(p runtime.Task) {
+	if d.stolen == nil {
+		d.stolen = make(map[string]bool)
+	}
+	root := d.cands[0]
+	// Prefer poisoning a name already journaled at the root — a
+	// guaranteed conflict. Fall back to the next name the local workload
+	// will draw.
+	name := ""
+	for _, u := range d.o.journal {
+		if !u.dir && u.parent == uint64(root.ino) && !d.stolen[u.name] {
+			name = u.name
+			break
+		}
+	}
+	if name == "" {
+		name = d.peekName("f")
+		if d.stolen[name] {
+			d.opSpecCreate(p)
+			return
+		}
+	}
+	d.stolen[name] = true
+	ino, err := d.c.Create(p, root.ino, name, 0o600)
+	if err != nil {
+		d.violate("interfering create %s/%s: %v", root.path, name, err)
+		return
+	}
+	d.o.ackRPC(update{
+		path: root.path + "/" + name, ino: uint64(ino),
+		parent: uint64(root.ino), name: name,
+	}, false)
+}
+
+// opSpecMerge ships the journal for validated merge and holds the cell
+// to its contract: the rejected set must equal the oracle's prediction,
+// every rolled-back op must be gone from the client image, and every
+// accepted op must still be there with its acked inode.
+func (d *driver) opSpecMerge(p runtime.Task) {
+	ups := append([]update(nil), d.o.journal...)
+	expect := d.o.specMirror(ups, mainPath)
+	applied, conflicts, err := d.c.SpeculativeApply(p)
+	d.res.Merges++
+	if err != nil {
+		d.violate("speculative apply: %v", err)
+		return
+	}
+	if !equalInts(conflicts, expect) {
+		d.violate("speculative apply rejected %v, oracle predicted %v", conflicts, expect)
+		return
+	}
+	if applied != len(ups)-len(conflicts) {
+		d.violate("speculative apply: applied %d, want %d of %d ops",
+			applied, len(ups)-len(conflicts), len(ups))
+	}
+	d.o.mergeSpecOK(conflicts)
+	rej := make(map[int]bool, len(conflicts))
+	for _, i := range conflicts {
+		rej[i] = true
+	}
+	for i, u := range ups {
+		ino, lerr := d.c.LocalLookup(namespace.Ino(u.parent), u.name)
+		if rej[i] {
+			if lerr == nil {
+				d.violate("rolled-back op %s still visible in the client image", u.path)
+			}
+			continue
+		}
+		if lerr != nil {
+			d.violate("accepted op %s missing from the client image: %v", u.path, lerr)
+			continue
+		}
+		if uint64(ino) != u.ino {
+			d.violate("accepted op %s has ino %d in the client image, want %d",
+				u.path, uint64(ino), u.ino)
+		}
+	}
+	d.cands = d.cands[:1]
+	d.checkVisible()
+}
+
+// verifyGlobalSpec is verifyGlobal for the speculative cell: a
+// recovered journal image re-enters the ordinary validate-or-reject
+// cycle, and the oracle predicts the outcome — already-applied ops and
+// previously rejected ops must re-reject, ops the cluster lost must be
+// re-admitted.
+func (d *driver) verifyGlobalSpec(p runtime.Task) {
+	if d.o.global == globalNone {
+		return
+	}
+	evBytes := int64(d.cl.Config().JournalEventBytes)
+	evs, err := d.c.FetchGlobalJournal(p, d.c.Name())
+	if d.o.global == globalDirty {
+		if err != nil || len(evs) == 0 {
+			return // unacked image may be unreadable — allowed
+		}
+		// A stale image re-merges through validation, which rejects
+		// anything that no longer applies; the phantom walk bounds the
+		// rest.
+		_, _, _ = d.mds().SpeculativeApply(p, evs, int64(len(evs))*evBytes)
+		return
+	}
+	if err != nil {
+		d.violate("fetch global journal: %v", err)
+		return
+	}
+	if msg := d.o.matchGlobal(evs); msg != "" {
+		d.violate("recovered global journal: %s", msg)
+		return
+	}
+	expect := d.o.specMirror(d.o.globalImage, mainPath)
+	applied, conflicts, merr := d.mds().SpeculativeApply(p, evs, int64(len(evs))*evBytes)
+	if merr != nil {
+		d.violate("re-merge recovered global journal: %v", merr)
+		return
+	}
+	if !equalInts(conflicts, expect) {
+		d.violate("re-merged global journal rejected %v, oracle predicted %v", conflicts, expect)
+		return
+	}
+	if applied != len(evs)-len(conflicts) {
+		d.violate("re-merged global journal: applied %d, want %d of %d events",
+			applied, len(evs)-len(conflicts), len(evs))
+		return
+	}
+	d.o.adoptSpec(conflicts)
+}
+
+// stepSE runs one strong-eventual workload op. Everything stays at the
+// subtree root and unlinks only target names created since the last
+// merge, so every merged batch is self-contained and batches can replay
+// in any permutation.
+func (d *driver) stepSE(p runtime.Task) {
+	roll := d.rng.Float64()
+	switch {
+	case roll < 0.45:
+		d.opSECreate(p)
+	case roll < 0.58:
+		d.opSEMkdir(p)
+	case roll < 0.73:
+		d.opSEUnlink(p)
+	case roll < 0.87:
+		d.opPersist(p)
+	default:
+		d.opSEMerge(p)
+	}
+}
+
+func (d *driver) opSECreate(p runtime.Task) {
+	root := d.cands[0]
+	name := d.nextName("s")
+	ino, err := d.c.LocalCreate(p, root.ino, name, 0o644)
+	if err != nil {
+		d.violate("strong-eventual create %s/%s: %v", root.path, name, err)
+		return
+	}
+	d.ackIno(uint64(ino), root.path+"/"+name)
+	d.o.ackJournalSE(update{
+		path: root.path + "/" + name, ino: uint64(ino),
+		parent: uint64(root.ino), name: name, granted: true,
+	})
+	d.seLive = append(d.seLive, name)
+}
+
+func (d *driver) opSEMkdir(p runtime.Task) {
+	root := d.cands[0]
+	name := d.nextName("t")
+	ino, err := d.c.LocalMkdir(p, root.ino, name, 0o755)
+	if err != nil {
+		d.violate("strong-eventual mkdir %s/%s: %v", root.path, name, err)
+		return
+	}
+	d.ackIno(uint64(ino), root.path+"/"+name)
+	d.o.ackJournalSE(update{
+		path: root.path + "/" + name, ino: uint64(ino),
+		parent: uint64(root.ino), name: name, dir: true, granted: true,
+	})
+}
+
+func (d *driver) opSEUnlink(p runtime.Task) {
+	if len(d.seLive) == 0 {
+		d.opSECreate(p)
+		return
+	}
+	root := d.cands[0]
+	i := d.rng.Intn(len(d.seLive))
+	name := d.seLive[i]
+	if err := d.c.LocalUnlink(p, root.ino, name); err != nil {
+		d.violate("strong-eventual unlink %s/%s: %v", root.path, name, err)
+		return
+	}
+	d.seLive = append(d.seLive[:i], d.seLive[i+1:]...)
+	d.o.ackJournalSE(update{
+		path:   root.path + "/" + name,
+		parent: uint64(root.ino), name: name, unlink: true,
+	})
+}
+
+// opSEMerge ships the journal through the CRDT resolver and captures
+// the batch for the permutation replay.
+func (d *driver) opSEMerge(p runtime.Task) {
+	evs, err := d.c.JournalEvents()
+	if err != nil {
+		d.violate("strong-eventual merge: snapshot journal: %v", err)
+		return
+	}
+	want := len(d.o.journal)
+	applied, err := d.c.ConvergeApply(p)
+	d.res.Merges++
+	if err != nil {
+		d.violate("converge apply: %v", err)
+		return
+	}
+	if applied != want {
+		d.violate("converge apply: applied %d events, journal had %d", applied, want)
+	}
+	if len(evs) > 0 {
+		d.seSegs = append(d.seSegs, evs)
+	}
+	d.o.mergeOK()
+	d.seLive = nil
+	d.checkVisible()
+}
+
+// verifyGlobalSE is verifyGlobal for the strong-eventual cell: a
+// recovered journal image re-merges through the CRDT resolver, where
+// replaying already-applied batches is idempotent by construction.
+func (d *driver) verifyGlobalSE(p runtime.Task) {
+	if d.o.global == globalNone {
+		return
+	}
+	evBytes := int64(d.cl.Config().JournalEventBytes)
+	evs, err := d.c.FetchGlobalJournal(p, d.c.Name())
+	if d.o.global == globalDirty {
+		if err != nil || len(evs) == 0 {
+			return // unacked image may be unreadable — allowed
+		}
+		if applied, aerr := d.mds().ConvergeApply(p, evs, int64(len(evs))*evBytes); aerr == nil && applied == len(evs) {
+			d.seSegs = append(d.seSegs, evs)
+			if d.plan.Migrate {
+				d.seNoCompare = true
+			}
+		} else {
+			// A partial replay left state the captured batches don't
+			// cover; the permutation check stays sound, the live-image
+			// comparison does not.
+			d.seNoCompare = true
+		}
+		return
+	}
+	if err != nil {
+		d.violate("fetch global journal: %v", err)
+		return
+	}
+	if msg := d.o.matchGlobal(evs); msg != "" {
+		d.violate("recovered global journal: %s", msg)
+		return
+	}
+	applied, merr := d.mds().ConvergeApply(p, evs, int64(len(evs))*evBytes)
+	if merr != nil {
+		d.violate("re-merge recovered global journal: %v", merr)
+		return
+	}
+	if applied != len(evs) {
+		d.violate("re-merged global journal: applied %d of %d events", applied, len(evs))
+		return
+	}
+	if len(evs) > 0 {
+		d.seSegs = append(d.seSegs, evs)
+		// The resolver's tombstone summaries are rank-local: after a
+		// migration a re-merged image can resurrect an entry whose
+		// tombstone stayed behind, which the full-history replay keeps
+		// dead. Convergence across permutations still holds; the live
+		// comparison does not.
+		if d.plan.Migrate {
+			d.seNoCompare = true
+		}
+	}
+	// No adoptGlobal here: unlike the blind-merge cells, re-merging an
+	// acked image through the CRDT does not make its ops visible — any
+	// op superseded by a later merged tombstone stays dead. The image
+	// ops remain in pset, so the phantom walk still admits whatever the
+	// re-merge legitimately revives.
+}
+
+// seRecordChain snapshots the path and inode of every directory from
+// the namespace root down to the workload root, so the permutation
+// replay can rebuild an identical skeleton in a fresh store.
+func (d *driver) seRecordChain() bool {
+	st := d.srv.Store()
+	prefix := ""
+	for _, comp := range strings.Split(strings.TrimPrefix(mainPath, "/"), "/") {
+		prefix += "/" + comp
+		in, err := st.Resolve(prefix)
+		if err != nil {
+			d.violate("setup: resolve %s: %v", prefix, err)
+			return false
+		}
+		d.seChain = append(d.seChain, seChainEnt{comp, in.Ino})
+	}
+	return true
+}
+
+// seReplayImage replays the captured merge batches in the given order
+// through a fresh store and CRDT resolver and renders the converged
+// image. Batch-internal event order is preserved — the permutation is
+// over merge batches, exactly the reordering concurrent clients and
+// retries can produce.
+func (d *driver) seReplayImage(order []int) (string, error) {
+	st := namespace.NewStore()
+	cur := namespace.RootIno
+	for _, e := range d.seChain {
+		in, err := st.Mkdir(cur, e.name, namespace.CreateAttrs{Ino: e.ino, Mode: 0o755})
+		if err != nil {
+			return "", err
+		}
+		cur = in.Ino
+	}
+	m := namespace.NewSEMerger(st)
+	for _, si := range order {
+		for _, ev := range d.seSegs[si] {
+			if err := m.ApplyEvent(ev); err != nil {
+				return "", err
+			}
+		}
+	}
+	return namespace.SEImageOf(st, cur)
+}
+
+// verifyPermutations is the strong-eventual convergence contract: the
+// captured merge batches replayed in identity, reversed, and two random
+// orders must all render byte-identical images, and the identity image
+// must match the live namespace unless an MDS crash legitimately
+// destroyed merged state.
+func (d *driver) verifyPermutations() {
+	if len(d.seSegs) == 0 {
+		return
+	}
+	n := len(d.seSegs)
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	base, err := d.seReplayImage(identity)
+	if err != nil {
+		d.violate("permutation replay (identity order): %v", err)
+		return
+	}
+	orders := [][]int{make([]int, n)}
+	for i := range orders[0] {
+		orders[0][i] = n - 1 - i
+	}
+	for k := 0; k < 2; k++ {
+		perm := append([]int(nil), identity...)
+		d.rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		orders = append(orders, perm)
+	}
+	for _, order := range orders {
+		img, err := d.seReplayImage(order)
+		if err != nil {
+			d.violate("permutation replay %v: %v", order, err)
+			continue
+		}
+		if img != base {
+			d.violate("merge order %v renders a different image than the identity order", order)
+		}
+	}
+	if d.mdsCrashed || d.seNoCompare {
+		return
+	}
+	root, err := d.mds().Store().Resolve(mainPath)
+	if err != nil {
+		d.violate("permutation check: resolve %s: %v", mainPath, err)
+		return
+	}
+	real, err := namespace.SEImageOf(d.mds().Store(), root.Ino)
+	if err != nil {
+		d.violate("permutation check: render live image: %v", err)
+		return
+	}
+	if real != base {
+		d.violate("replayed merge batches render a different image than the live namespace")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

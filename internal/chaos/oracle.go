@@ -17,6 +17,7 @@ type update struct {
 	name    string
 	dir     bool
 	granted bool // inode drawn from a decoupled grant
+	unlink  bool // removal of path, not creation (strong-eventual cells)
 }
 
 // globalState tracks what the oracle knows about the client's journal
@@ -93,9 +94,15 @@ func (o *oracle) ackRPC(u update, journaled bool) {
 	}
 }
 
-// mergeOK: the journal was acked into the MDS in-memory store.
+// mergeOK: the journal was acked into the MDS in-memory store. Updates
+// land in journal order, so an unlink removes whatever the same batch
+// created before it.
 func (o *oracle) mergeOK() {
 	for _, u := range o.journal {
+		if u.unlink {
+			delete(o.mdsMem, u.path)
+			continue
+		}
 		o.mdsMem[u.path] = u
 	}
 	o.journal = nil
@@ -156,6 +163,10 @@ func (o *oracle) mdsCrash() {
 // adoptGlobal marks the acked global image merged into the MDS.
 func (o *oracle) adoptGlobal() {
 	for _, u := range o.globalImage {
+		if u.unlink {
+			delete(o.mdsMem, u.path)
+			continue
+		}
 		o.mdsMem[u.path] = u
 	}
 }
@@ -190,8 +201,11 @@ func (o *oracle) matchGlobal(evs []*journal.Event) string {
 	for i, ev := range evs {
 		u := o.globalImage[i]
 		wantType := journal.EvCreate
-		if u.dir {
+		switch {
+		case u.dir:
 			wantType = journal.EvMkdir
+		case u.unlink:
+			wantType = journal.EvUnlink
 		}
 		if ev.Type != wantType || ev.Ino != u.ino ||
 			ev.Parent != u.parent || ev.Name != u.name {

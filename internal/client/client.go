@@ -19,6 +19,7 @@ import (
 	"cudele/internal/mds"
 	"cudele/internal/model"
 	"cudele/internal/namespace"
+	"cudele/internal/policy"
 	"cudele/internal/rados"
 	"cudele/internal/runtime"
 	"cudele/internal/stats"
@@ -106,6 +107,10 @@ type Client struct {
 	// Crash, so Restart can re-attach to the same grant.
 	crashed *grantStub
 
+	// failRollback, when non-nil, makes the next speculative rollback
+	// die after that many undos (test hook; see FailRollbackAfter).
+	failRollback *int
+
 	// Namespace-sync state (partial updates, §V-B3).
 	sync *syncState
 
@@ -132,6 +137,15 @@ type decoupled struct {
 	store *namespace.Store // client-local image of the subtree
 	// mapping from the local image's inode numbers to granted inode
 	// numbers is 1:1 — local creates draw from the grant directly.
+
+	// mode is the subtree's consistency cell; it selects the merge path
+	// (blind, speculative, or convergent). The zero value ConsInvisible
+	// merges blind, so pre-existing flows are untouched.
+	mode policy.Consistency
+	// undo is the speculative-mode undo log: one EvUndo record per
+	// journaled op, indexed 1:1 with the journal, consulted when the MDS
+	// rejects predictions at merge time. nil outside ConsSpeculative.
+	undo *journal.Journal
 }
 
 // New creates a client attached to a metadata service and object store.
@@ -207,6 +221,7 @@ type grantStub struct {
 	grantLo uint64
 	grantN  uint64
 	next    uint64
+	mode    policy.Consistency
 }
 
 // Crash models the client process dying: the session, RPC caches, and
@@ -229,6 +244,7 @@ func (c *Client) Crash() {
 			grantLo: c.dec.grantLo,
 			grantN:  c.dec.grantN,
 			next:    c.dec.next,
+			mode:    c.dec.mode,
 		}
 	}
 	c.dec = nil
@@ -262,6 +278,10 @@ func (c *Client) Restart(p runtime.Task) error {
 		grantN:  stub.grantN,
 		next:    stub.next,
 		store:   namespace.NewStore(),
+		mode:    stub.mode,
+	}
+	if stub.mode == policy.ConsSpeculative {
+		c.dec.undo = journal.New(c.cfg.SegmentEvents)
 	}
 	return nil
 }

@@ -78,6 +78,16 @@ func (c *Client) JournalNominalBytes() int64 {
 	return int64(c.dec.jrnl.Len()) * int64(c.cfg.JournalEventBytes)
 }
 
+// JournalEvents returns a snapshot of the decoupled journal's events in
+// append order. The chaos harness captures merge batches with it so it
+// can replay merge-order permutations offline.
+func (c *Client) JournalEvents() ([]*journal.Event, error) {
+	if c.dec == nil {
+		return nil, ErrNotDecoupled
+	}
+	return c.dec.jrnl.Events(), nil
+}
+
 // allocIno draws the next inode number from the subtree grant.
 func (d *decoupled) allocIno() (uint64, error) {
 	if d.next >= d.grantN {
@@ -152,6 +162,9 @@ func (c *Client) LocalCreate(p runtime.Task, dir namespace.Ino, name string, mod
 	if err := c.appendEvent(p, ev); err != nil {
 		return 0, err
 	}
+	if err := c.recordUndo(journal.EvCreate, ino, c.dec.globalParent(dir), name, nil); err != nil {
+		return 0, err
+	}
 	c.stats.Creates++
 	return namespace.Ino(ino), nil
 }
@@ -177,20 +190,48 @@ func (c *Client) LocalMkdir(p runtime.Task, dir namespace.Ino, name string, mode
 	if err := c.appendEvent(p, ev); err != nil {
 		return 0, err
 	}
+	if err := c.recordUndo(journal.EvMkdir, ino, c.dec.globalParent(dir), name, nil); err != nil {
+		return 0, err
+	}
 	return namespace.Ino(ino), nil
 }
 
-// LocalUnlink removes a file from the decoupled subtree.
+// LocalUnlink removes a file from the decoupled subtree. The event is
+// timestamped so unlink/create races resolve deterministically in the
+// strong-eventual cell; the stamp changes no calibrated cost (transfers
+// bill at nominal bytes, not encoded bytes).
 func (c *Client) LocalUnlink(p runtime.Task, dir namespace.Ino, name string) error {
 	if c.dec == nil {
 		return ErrNotDecoupled
 	}
+	victim, err := c.dec.store.Lookup(c.dec.localParent(dir), name)
+	if err != nil {
+		return err
+	}
+	vcopy := *victim
 	if err := c.dec.store.Unlink(c.dec.localParent(dir), name); err != nil {
 		return err
 	}
-	return c.appendEvent(p, &journal.Event{
+	if err := c.appendEvent(p, &journal.Event{
 		Type: journal.EvUnlink, Parent: c.dec.globalParent(dir), Name: name,
-	})
+		Mtime: int64(p.Now()),
+	}); err != nil {
+		return err
+	}
+	return c.recordUndo(journal.EvUnlink, uint64(vcopy.Ino), c.dec.globalParent(dir), name, &vcopy)
+}
+
+// LocalLookup resolves one dentry in the client-local image of the
+// decoupled subtree — the view speculative rollback edits.
+func (c *Client) LocalLookup(dir namespace.Ino, name string) (namespace.Ino, error) {
+	if c.dec == nil {
+		return 0, ErrNotDecoupled
+	}
+	in, err := c.dec.store.Lookup(c.dec.localParent(dir), name)
+	if err != nil {
+		return 0, err
+	}
+	return in.Ino, nil
 }
 
 // LocalReadDir lists a decoupled directory from the client-local image —
@@ -328,6 +369,9 @@ func (c *Client) LocalPersist(p runtime.Task) error {
 		c.noteTransfer(c.JournalNominalBytes())
 		c.chargeLocalDisk(p, c.JournalNominalBytes())
 		c.localFiles["journal"] = data
+		if err := c.persistUndoLocal(p); err != nil {
+			return err
+		}
 		return c.persistLocal(p, data)
 	}
 	// Encode into a fresh buffer and install it only once the whole encode
@@ -353,6 +397,9 @@ func (c *Client) LocalPersist(p runtime.Task) error {
 		c.chargeLocalDisk(p, int64(len(evs))*evBytes)
 	}
 	c.localFiles["journal"] = file
+	if err := c.persistUndoLocal(p); err != nil {
+		return err
+	}
 	return c.persistLocal(p, file)
 }
 
@@ -388,6 +435,14 @@ func (c *Client) RecoverLocal(p runtime.Task) (int, error) {
 		return 0, err
 	}
 	c.dec.jrnl = j
+	// Speculative mode rebuilds the local image and undo log from the
+	// recovered journal itself: the ops are the authoritative record, so
+	// a torn or missing persisted undo image cannot corrupt recovery.
+	if c.dec.mode == policy.ConsSpeculative {
+		if err := c.rebuildSpeculative(); err != nil {
+			return 0, err
+		}
+	}
 	return j.Len(), nil
 }
 
@@ -412,7 +467,7 @@ func (c *Client) GlobalPersist(p runtime.Task) error {
 			c.JournalNominalBytes()); err != nil {
 			return fmt.Errorf("global persist: %w", err)
 		}
-		return nil
+		return c.persistUndoGlobal(p, striper)
 	}
 	evBytes := int64(c.cfg.JournalEventBytes)
 	var enc journal.Encoder
@@ -447,7 +502,10 @@ func (c *Client) GlobalPersist(p runtime.Task) error {
 			break
 		}
 	}
-	return c.removeStalePersist(p, striper, last)
+	if err := c.removeStalePersist(p, striper, last); err != nil {
+		return err
+	}
+	return c.persistUndoGlobal(p, striper)
 }
 
 // removeStalePersist deletes what an earlier, larger Global Persist left
@@ -728,6 +786,12 @@ func (c *Client) runMechanism(p runtime.Task, m policy.Mechanism) error {
 		return c.LocalPersist(p)
 	case policy.MechGlobalPersist:
 		return c.GlobalPersist(p)
+	case policy.MechSpeculativeApply:
+		_, _, err := c.SpeculativeApply(p)
+		return err
+	case policy.MechConvergeApply:
+		_, err := c.ConvergeApply(p)
+		return err
 	}
 	return fmt.Errorf("client: unknown mechanism %v", m)
 }

@@ -31,6 +31,7 @@ const (
 	EvSetAttr              // update inode attributes
 	EvAllocRange           // record an inode-number range grant
 	EvExport               // subtree export-commit record (migration)
+	EvUndo                 // speculative-mode per-op undo record
 	evMax
 )
 
@@ -44,6 +45,7 @@ var eventTypeNames = [...]string{
 	EvSetAttr:    "setattr",
 	EvAllocRange: "alloc",
 	EvExport:     "export",
+	EvUndo:       "undo",
 }
 
 func (t EventType) String() string {
@@ -68,6 +70,12 @@ func (t EventType) Valid() bool { return t > EvInvalid && t < evMax }
 //	  Parent the source rank, NewParent the destination rank, Seq the
 //	  monitor-assigned migration sequence. Written as the export-commit
 //	  record; a namespace store treats it as a no-op on replay.
+//	Undo: speculative-mode rollback bookkeeping. Parent+Name name the
+//	  dentry the undone op touched, Ino its inode, Mode the EventType of
+//	  the op being undone, Size the op's index in the client journal.
+//	  For an undone unlink, UID/GID/Mtime carry the victim's original
+//	  attributes so rollback can re-create it. A namespace store treats
+//	  it as a no-op on replay.
 type Event struct {
 	Type      EventType
 	Seq       uint64 // per-producer sequence number
@@ -119,6 +127,10 @@ func (e *Event) Validate() error {
 		if e.Name == "" {
 			return fmt.Errorf("%w: export with empty path", ErrBadEvent)
 		}
+	case EvUndo:
+		if e.Name == "" {
+			return fmt.Errorf("%w: undo with empty name", ErrBadEvent)
+		}
 	}
 	return nil
 }
@@ -144,6 +156,9 @@ func (e *Event) String() string {
 	case EvExport:
 		return fmt.Sprintf("%-7s seq=%d subtree=%q root=%d rank %d -> %d",
 			e.Type, e.Seq, e.Name, e.Ino, e.Parent, e.NewParent)
+	case EvUndo:
+		return fmt.Sprintf("%-7s seq=%d client=%s undoes=%s[%d] parent=%d name=%q ino=%d",
+			e.Type, e.Seq, e.Client, EventType(e.Mode), e.Size, e.Parent, e.Name, e.Ino)
 	}
 	return fmt.Sprintf("%-7s seq=%d", e.Type, e.Seq)
 }

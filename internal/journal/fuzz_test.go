@@ -25,6 +25,9 @@ func FuzzDecode(f *testing.F) {
 		{Type: EvRename, Seq: 4, Client: "client.0", Parent: 1, Name: "a", NewParent: 2, NewName: "b"},
 		{Type: EvSetAttr, Seq: 5, Client: "client.0", Ino: 10, Mode: 0600, UID: 7, GID: 8, Size: 99, Mtime: -3},
 		{Type: EvAllocRange, Seq: 6, Client: "client.2", Ino: 1 << 33, Size: 100000},
+		{Type: EvExport, Seq: 7, Name: "/spec", Ino: 12, Parent: 0, NewParent: 1},
+		{Type: EvUndo, Seq: 8, Client: "client.0", Parent: 1, Name: "f0", Ino: 10, Mode: uint32(EvCreate), Size: 0},
+		{Type: EvUndo, Seq: 9, Client: "client.1", Parent: 1, Name: "g", Ino: 13, Mode: uint32(EvUnlink), Size: 2, UID: 7, GID: 8, Mtime: 42},
 	})
 	if err != nil {
 		f.Fatal(err)

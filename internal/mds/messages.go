@@ -13,6 +13,24 @@ import (
 // charge their own calibrated costs (a journal merge's network cost is
 // its byte transfer, not an RPC round trip).
 
+// MergeMode selects how a MergeMsg's events are applied. The zero value
+// is the paper's blind Volatile Apply, so every pre-existing sender and
+// committed baseline is untouched.
+type MergeMode uint8
+
+const (
+	// MergeBlind is Table I's Volatile Apply: replay with no checks,
+	// conflicts resolved in favor of the decoupled namespace.
+	MergeBlind MergeMode = iota
+	// MergeSpeculative validates each event against the current global
+	// view; conflicting predictions are skipped and reported back by
+	// index so the client can roll them back (ConsSpeculative).
+	MergeSpeculative
+	// MergeConverge merges through the strong-eventual CRDT resolver,
+	// so concurrent merges commute (ConsStrongEventual).
+	MergeConverge
+)
+
 // MergeMsg ships a decoupled client's journal for Volatile Apply in one
 // message (the calibrated all-at-once arrival model). Exactly one of
 // Events and Source carries the journal: Source lets the sender hand
@@ -22,6 +40,8 @@ type MergeMsg struct {
 	Events       []*journal.Event
 	Source       *journal.Cursor
 	NominalBytes int64
+	// Mode selects blind, speculative, or convergent apply.
+	Mode MergeMode
 	// Route is the decoupled subtree's path, used by the routing layer
 	// to find the owning rank.
 	Route string
@@ -30,7 +50,10 @@ type MergeMsg struct {
 // MergeReply answers a MergeMsg or a MergeWaitMsg.
 type MergeReply struct {
 	Applied int
-	Err     error
+	// Conflicts lists the journal indices a speculative merge rejected,
+	// in ascending order; the client must undo exactly these ops.
+	Conflicts []int
+	Err       error
 }
 
 // MergeOpenMsg opens a streamed (chunked) merge: the scheduler admits

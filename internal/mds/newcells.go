@@ -1,0 +1,163 @@
+package mds
+
+import (
+	"cudele/internal/journal"
+	"cudele/internal/namespace"
+	"cudele/internal/runtime"
+)
+
+// The merge paths for the two policy cells beyond the paper's Table I:
+// speculative_apply (ConsSpeculative) validates each client prediction
+// against the current global view and reports the losers back for
+// rollback; converge_apply (ConsStrongEventual) merges through the
+// namespace CRDT resolver so concurrent merges commute. Both share
+// Volatile Apply's cost model — network transfer, merge-queue congestion,
+// chunked CPU — so the new cells are comparable to the original nine in
+// every bench table.
+
+// SpeculativeApply posts a speculative merge of events to this rank and
+// returns the applied count plus the indices of rejected predictions. A
+// convenience wrapper mirroring VolatileApply.
+func (s *Server) SpeculativeApply(p runtime.Task, events []*journal.Event, nominalBytes int64) (int, []int, error) {
+	r := s.ep.Post(p, &MergeMsg{Events: events, NominalBytes: nominalBytes, Mode: MergeSpeculative}).(*MergeReply)
+	return r.Applied, r.Conflicts, r.Err
+}
+
+// ConvergeApply posts a strong-eventual merge of events to this rank.
+func (s *Server) ConvergeApply(p runtime.Task, events []*journal.Event, nominalBytes int64) (int, error) {
+	r := s.ep.Post(p, &MergeMsg{Events: events, NominalBytes: nominalBytes, Mode: MergeConverge}).(*MergeReply)
+	return r.Applied, r.Err
+}
+
+// speculativeValidate is the MDS-side prediction check: does this event
+// still apply cleanly against the live global view? A missing parent is
+// a conflict in itself, which naturally cascades — ops under a
+// rolled-back mkdir are rejected without any dependency tracking.
+func (s *Server) speculativeValidate(ev *journal.Event) bool {
+	st := s.store
+	switch ev.Type {
+	case journal.EvCreate, journal.EvMkdir:
+		dir, err := st.Get(namespace.Ino(ev.Parent))
+		if err != nil || !dir.IsDir() {
+			return false
+		}
+		_, err = st.Lookup(namespace.Ino(ev.Parent), ev.Name)
+		return err != nil // an existing dentry falsifies the prediction
+	case journal.EvUnlink, journal.EvRmdir:
+		in, err := st.Lookup(namespace.Ino(ev.Parent), ev.Name)
+		if err != nil {
+			return false
+		}
+		if ev.Type == journal.EvUnlink {
+			return !in.IsDir()
+		}
+		return in.IsDir() && in.NumChildren() == 0
+	case journal.EvRename:
+		if _, err := st.Lookup(namespace.Ino(ev.Parent), ev.Name); err != nil {
+			return false
+		}
+		dir, err := st.Get(namespace.Ino(ev.NewParent))
+		if err != nil || !dir.IsDir() {
+			return false
+		}
+		_, err = st.Lookup(namespace.Ino(ev.NewParent), ev.NewName)
+		return err != nil
+	case journal.EvSetAttr:
+		_, err := st.Get(namespace.Ino(ev.Ino))
+		return err == nil
+	}
+	return true // alloc/export/undo records never conflict
+}
+
+// speculativeApply is the MergeMsg handler body for Mode=MergeSpeculative.
+// Events are validated and applied serially under the same congestion
+// model as volatileApply; rejected indices come back in ascending order.
+func (s *Server) speculativeApply(p runtime.Task, evs []*journal.Event, nominalBytes int64) (int, []int, error) {
+	if s.stopped {
+		return 0, nil, ErrShutdown
+	}
+	s.mergeQueue++
+	defer func() { s.mergeQueue-- }()
+
+	p.Sleep(s.cfg.NetLatency)
+	if nominalBytes > 0 {
+		s.obj.Net().Transfer(p, nominalBytes)
+	}
+	s.cpu.Use(p, s.cfg.MDSMergeSetup)
+	s.metrics.MergeJobs++
+
+	applied := 0
+	var conflicts []int
+	for off := 0; off < len(evs); off += mergeChunk {
+		end := off + mergeChunk
+		if end > len(evs) {
+			end = len(evs)
+		}
+		chunk := evs[off:end]
+		per := s.mergeApplyCost()
+		s.cpu.Acquire(p)
+		p.Sleep(per * runtime.Duration(len(chunk)))
+		for i, ev := range chunk {
+			if !s.speculativeValidate(ev) {
+				conflicts = append(conflicts, off+i)
+				s.metrics.MergeConflicts++
+				continue
+			}
+			if err := s.store.ApplyEvent(ev); err != nil {
+				s.cpu.Release()
+				return applied, conflicts, err
+			}
+			applied++
+			s.metrics.Merged++
+		}
+		s.cpu.Release()
+	}
+	return applied, conflicts, nil
+}
+
+// seMerger lazily wraps the rank's store in the strong-eventual CRDT
+// resolver. It is reset on Crash together with the store it renders.
+func (s *Server) seMerger() *namespace.SEMerger {
+	if s.se == nil {
+		s.se = namespace.NewSEMerger(s.store)
+	}
+	return s.se
+}
+
+// convergeApply is the MergeMsg handler body for Mode=MergeConverge:
+// volatileApply's cost model with the CRDT resolver as the target. Every
+// event is "applied" — absorbing a tie-break loser IS the merge — so
+// Applied == len(events) on success regardless of race outcomes.
+func (s *Server) convergeApply(p runtime.Task, src eventSource, nominalBytes int64) (int, error) {
+	if s.stopped {
+		return 0, ErrShutdown
+	}
+	s.mergeQueue++
+	defer func() { s.mergeQueue-- }()
+
+	p.Sleep(s.cfg.NetLatency)
+	if nominalBytes > 0 {
+		s.obj.Net().Transfer(p, nominalBytes)
+	}
+	s.cpu.Use(p, s.cfg.MDSMergeSetup)
+	s.metrics.MergeJobs++
+
+	merger := s.seMerger()
+	applied := 0
+	for src.Remaining() > 0 {
+		chunk := src.Next(mergeChunk)
+		per := s.mergeApplyCost()
+		s.cpu.Acquire(p)
+		p.Sleep(per * runtime.Duration(len(chunk)))
+		for _, ev := range chunk {
+			if err := merger.ApplyEvent(ev); err != nil {
+				s.cpu.Release()
+				return applied, err
+			}
+			applied++
+			s.metrics.Merged++
+		}
+		s.cpu.Release()
+	}
+	return applied, nil
+}

@@ -108,6 +108,9 @@ type Metrics struct {
 	JournalBytes uint64 // nominal journal bytes streamed to the object store
 	Merged       uint64 // events merged via Volatile Apply
 	MergeJobs    uint64 // client journals merged
+	// MergeConflicts counts speculative predictions rejected at
+	// validation time (newcells.go).
+	MergeConflicts uint64
 	// Streamed-merge pipeline counters (scheduler.go).
 	MergeChunks       uint64 // chunks accepted into merge windows
 	MergeBackpressure uint64 // opens/chunks answered with backpressure
@@ -140,6 +143,11 @@ type Server struct {
 	stream *streamState
 
 	merge *mergeSched // streamed (chunked) Volatile Apply scheduler
+
+	// se is the lazily created strong-eventual merge resolver over
+	// store; nil until the first MergeConverge message, wiped with the
+	// store on Crash.
+	se *namespace.SEMerger
 
 	mergeQueue int // client journals queued for Volatile Apply
 
@@ -340,11 +348,33 @@ func (s *Server) handle(p runtime.Task, msg any) any {
 		if m.Events == nil && m.Source != nil {
 			src = m.Source
 		}
-		applied, err := s.volatileApply(p, src, m.NominalBytes)
+		var applied int
+		var conflicts []int
+		var err error
+		switch m.Mode {
+		case MergeSpeculative:
+			// Validation reports absolute journal indices, so the
+			// events must be addressable as one flat slice.
+			evs := m.Events
+			if evs == nil && m.Source != nil {
+				for {
+					batch := m.Source.Next(mergeChunk)
+					if batch == nil {
+						break
+					}
+					evs = append(evs, batch...)
+				}
+			}
+			applied, conflicts, err = s.speculativeApply(p, evs, m.NominalBytes)
+		case MergeConverge:
+			applied, err = s.convergeApply(p, src, m.NominalBytes)
+		default:
+			applied, err = s.volatileApply(p, src, m.NominalBytes)
+		}
 		if s.heat != nil && applied > 0 {
 			s.heat.RecordMerge(int64(p.Now()), s.heatSubtree(m.Route), s.rank, applied, m.NominalBytes)
 		}
-		return &MergeReply{Applied: applied, Err: err}
+		return &MergeReply{Applied: applied, Conflicts: conflicts, Err: err}
 	case *MergeOpenMsg:
 		return s.mergeOpen(p, m)
 	case *MergeChunkMsg:
@@ -493,6 +523,7 @@ func (s *Server) Crash() {
 	s.caps = make(map[namespace.Ino]*dirCaps)
 	s.owners = make(map[namespace.Ino]string)
 	s.store = namespace.NewStore()
+	s.se = nil // the CRDT summaries rendered into the lost store die with it
 	if s.rank > 0 {
 		s.store.SetInoFloor(rankInoFloor(s.rank))
 	}

@@ -1,9 +1,10 @@
 // Package policy models Cudele's programmable consistency/durability
 // policies (paper §III).
 //
-// A policy names a consistency level (invisible, weak, strong) and a
+// A policy names a consistency level (invisible, weak, strong, and the
+// post-paper speculative and strong-eventual extensions) and a
 // durability level (none, local, global), or spells out an explicit
-// composition of the six low-level mechanisms using the paper's small DSL:
+// composition of the low-level mechanisms using the paper's small DSL:
 // "+" sequences mechanisms and "||" runs them in parallel. The Compile
 // function is Table I: it maps each (consistency, durability) cell to its
 // mechanism composition. Policies also carry the subtree's inode grant and
@@ -28,12 +29,38 @@ const (
 	ConsWeak
 	// ConsStrong: updates are seen immediately by all clients.
 	ConsStrong
+	// ConsSpeculative: clients apply updates optimistically against a
+	// predicted global view; the merge validates every prediction and
+	// forces rollback of the ops that conflicted (plus their dependent
+	// suffix, which the validator rejects through missing parents).
+	ConsSpeculative
+	// ConsStrongEventual: decoupled clients merge concurrently with
+	// deterministic commutative conflict resolution — a (timestamp,
+	// clientID) tie-break — so any merge order converges to the same
+	// namespace.
+	ConsStrongEventual
+	consMax
 )
 
+// NumConsistencies is the number of consistency levels the compiler
+// knows; exhaustiveness tests iterate [0, NumConsistencies).
+const NumConsistencies = int(consMax)
+
 var consNames = map[Consistency]string{
-	ConsInvisible: "invisible",
-	ConsWeak:      "weak",
-	ConsStrong:    "strong",
+	ConsInvisible:      "invisible",
+	ConsWeak:           "weak",
+	ConsStrong:         "strong",
+	ConsSpeculative:    "speculative",
+	ConsStrongEventual: "strong-eventual",
+}
+
+// AllConsistencies returns every consistency level in enum order.
+func AllConsistencies() []Consistency {
+	out := make([]Consistency, 0, NumConsistencies)
+	for c := Consistency(0); c < consMax; c++ {
+		out = append(out, c)
+	}
+	return out
 }
 
 func (c Consistency) String() string {
@@ -64,7 +91,20 @@ const (
 	// DurGlobal: updates are always recoverable (safe in the object
 	// store).
 	DurGlobal
+	durMax
 )
+
+// NumDurabilities is the number of durability levels the compiler knows.
+const NumDurabilities = int(durMax)
+
+// AllDurabilities returns every durability level in enum order.
+func AllDurabilities() []Durability {
+	out := make([]Durability, 0, NumDurabilities)
+	for d := Durability(0); d < durMax; d++ {
+		out = append(out, d)
+	}
+	return out
+}
 
 var durNames = map[Durability]string{
 	DurNone:   "none",
@@ -114,6 +154,16 @@ const (
 	// MechGlobalPersist pushes the serialized client journal into the
 	// object store.
 	MechGlobalPersist
+	// MechSpeculativeApply replays the client journal onto the MDS's
+	// in-memory store with per-event validation: events whose prediction
+	// fails (name taken, parent rolled back) are rejected and the client
+	// rolls them back from its undo log.
+	MechSpeculativeApply
+	// MechConvergeApply replays the client journal through the MDS's
+	// commutative (CRDT-style) merger: conflicting updates are resolved
+	// by a deterministic (timestamp, clientID) tie-break, so concurrent
+	// merges converge in any order.
+	MechConvergeApply
 	mechMax
 )
 
@@ -125,11 +175,14 @@ var mechNames = map[Mechanism]string{
 	MechStream:              "stream",
 	MechLocalPersist:        "local_persist",
 	MechGlobalPersist:       "global_persist",
+	MechSpeculativeApply:    "speculative_apply",
+	MechConvergeApply:       "converge_apply",
 }
 
 var mechAliases = map[string]Mechanism{
-	"append": MechAppendClientJournal,
-	"rpc":    MechRPCs,
+	"append":     MechAppendClientJournal,
+	"rpc":        MechRPCs,
+	"crdt_merge": MechConvergeApply,
 }
 
 func (m Mechanism) String() string {
@@ -262,6 +315,18 @@ func Compile(c Consistency, d Durability) (Composition, error) {
 		return seq(MechAppendClientJournal, MechLocalPersist, MechVolatileApply), nil
 	case c == ConsWeak && d == DurGlobal:
 		return seq(MechAppendClientJournal, MechGlobalPersist, MechVolatileApply), nil
+	case c == ConsSpeculative && d == DurNone:
+		return seq(MechAppendClientJournal, MechSpeculativeApply), nil
+	case c == ConsSpeculative && d == DurLocal:
+		return seq(MechAppendClientJournal, MechLocalPersist, MechSpeculativeApply), nil
+	case c == ConsSpeculative && d == DurGlobal:
+		return seq(MechAppendClientJournal, MechGlobalPersist, MechSpeculativeApply), nil
+	case c == ConsStrongEventual && d == DurNone:
+		return seq(MechAppendClientJournal, MechConvergeApply), nil
+	case c == ConsStrongEventual && d == DurLocal:
+		return seq(MechAppendClientJournal, MechLocalPersist, MechConvergeApply), nil
+	case c == ConsStrongEventual && d == DurGlobal:
+		return seq(MechAppendClientJournal, MechGlobalPersist, MechConvergeApply), nil
 	}
 	return nil, fmt.Errorf("%w: (%v, %v)", ErrParse, c, d)
 }
@@ -290,8 +355,17 @@ func ValidateComposition(c Composition) error {
 	if c.Contains(MechStream) && c.Contains(MechLocalPersist) {
 		return fmt.Errorf("%w: stream already provides stronger durability than local_persist", ErrSenseless)
 	}
-	if c.Contains(MechVolatileApply) && c.Contains(MechNonvolatileApply) {
-		return fmt.Errorf("%w: volatile_apply with nonvolatile_apply applies updates twice", ErrSenseless)
+	applies := 0
+	for _, m := range []Mechanism{MechVolatileApply, MechNonvolatileApply, MechSpeculativeApply, MechConvergeApply} {
+		if c.Contains(m) {
+			applies++
+		}
+	}
+	if applies > 1 {
+		return fmt.Errorf("%w: more than one apply mechanism replays the same updates twice", ErrSenseless)
+	}
+	if c.Contains(MechRPCs) && (c.Contains(MechSpeculativeApply) || c.Contains(MechConvergeApply)) {
+		return fmt.Errorf("%w: rpcs leave no client journal for an apply mechanism to merge", ErrSenseless)
 	}
 	return nil
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestParseConsistencyDurability(t *testing.T) {
-	for _, name := range []string{"invisible", "weak", "strong"} {
+	for _, name := range []string{"invisible", "weak", "strong", "speculative", "strong-eventual"} {
 		c, err := ParseConsistency(name)
 		if err != nil || c.String() != name {
 			t.Errorf("consistency %q: %v, %v", name, c, err)
@@ -305,12 +305,95 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestCompileBeyondTableI pins the six new composition rows for the
+// post-paper speculative and strong-eventual cells.
+func TestCompileBeyondTableI(t *testing.T) {
+	want := map[[2]int]string{
+		{int(ConsSpeculative), int(DurNone)}:      "append_client_journal+speculative_apply",
+		{int(ConsSpeculative), int(DurLocal)}:     "append_client_journal+local_persist+speculative_apply",
+		{int(ConsSpeculative), int(DurGlobal)}:    "append_client_journal+global_persist+speculative_apply",
+		{int(ConsStrongEventual), int(DurNone)}:   "append_client_journal+converge_apply",
+		{int(ConsStrongEventual), int(DurLocal)}:  "append_client_journal+local_persist+converge_apply",
+		{int(ConsStrongEventual), int(DurGlobal)}: "append_client_journal+global_persist+converge_apply",
+	}
+	for key, dsl := range want {
+		comp, err := Compile(Consistency(key[0]), Durability(key[1]))
+		if err != nil {
+			t.Errorf("compile (%d,%d): %v", key[0], key[1], err)
+			continue
+		}
+		if comp.String() != dsl {
+			t.Errorf("cell (%v,%v) = %q, want %q",
+				Consistency(key[0]), Durability(key[1]), comp, dsl)
+		}
+		if err := ValidateComposition(comp); err != nil {
+			t.Errorf("cell (%v,%v) invalid: %v",
+				Consistency(key[0]), Durability(key[1]), err)
+		}
+	}
+}
+
+// TestCellExhaustive is the go-vet-style exhaustiveness guard: adding a
+// consistency or durability enum value automatically grows
+// AllConsistencies/AllDurabilities (they iterate to the enum's max), so a
+// new cell without a Compile row, a name, or a parse round-trip fails
+// here rather than at runtime.
+func TestCellExhaustive(t *testing.T) {
+	cons := AllConsistencies()
+	durs := AllDurabilities()
+	if len(cons) != NumConsistencies || len(durs) != NumDurabilities {
+		t.Fatalf("enum walk: %d consistencies, %d durabilities", len(cons), len(durs))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cons {
+		// String must not fall through to the raw-number form, and must
+		// parse back to the same value.
+		if s := c.String(); strings.Contains(s, "Consistency(") {
+			t.Errorf("consistency %d has no name", uint8(c))
+		} else if back, err := ParseConsistency(s); err != nil || back != c {
+			t.Errorf("consistency %v round trip: %v, %v", c, back, err)
+		}
+		for _, d := range durs {
+			if s := d.String(); strings.Contains(s, "Durability(") {
+				t.Errorf("durability %d has no name", uint8(d))
+			} else if back, err := ParseDurability(s); err != nil || back != d {
+				t.Errorf("durability %v round trip: %v, %v", d, back, err)
+			}
+			comp, err := Compile(c, d)
+			if err != nil {
+				t.Errorf("cell (%v,%v) has no composition row: %v", c, d, err)
+				continue
+			}
+			if err := ValidateComposition(comp); err != nil {
+				t.Errorf("cell (%v,%v) composition invalid: %v", c, d, err)
+			}
+			if seen[comp.String()] {
+				t.Errorf("cell (%v,%v) composition %q duplicates another cell", c, d, comp)
+			}
+			seen[comp.String()] = true
+			// The composition DSL itself must round-trip.
+			again, err := ParseComposition(comp.String())
+			if err != nil || again.String() != comp.String() {
+				t.Errorf("cell (%v,%v) DSL round trip: %q, %v", c, d, again, err)
+			}
+		}
+	}
+	// Every mechanism any cell compiles to must be named and parseable.
+	for m := MechInvalid + 1; m < mechMax; m++ {
+		if s := m.String(); strings.Contains(s, "Mechanism(") {
+			t.Errorf("mechanism %d has no name", uint8(m))
+		} else if back, err := ParseMechanism(s); err != nil || back != m {
+			t.Errorf("mechanism %v round trip: %v, %v", m, back, err)
+		}
+	}
+}
+
 // Property: Compile output always validates and is decoupled exactly when
 // consistency != strong.
 func TestCompileQuick(t *testing.T) {
 	f := func(c, d uint8) bool {
-		cons := Consistency(c % 3)
-		dur := Durability(d % 3)
+		cons := Consistency(int(c) % NumConsistencies)
+		dur := Durability(int(d) % NumDurabilities)
 		comp, err := Compile(cons, dur)
 		if err != nil {
 			return false
